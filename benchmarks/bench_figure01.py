@@ -1,0 +1,42 @@
+"""Figure 1: execution-time histograms of repeated GPU kernels."""
+
+from _shared import show
+from repro.analysis import render_histogram, render_table
+from repro.experiments.figure1 import run_figure1, shape_census
+
+
+def test_figure1(benchmark):
+    histograms = benchmark.pedantic(
+        run_figure1,
+        kwargs={"workload_names": ["resnet50_infer", "bert_infer"]},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [h.workload, h.kernel, len(h.times), h.shape.num_peaks, h.shape.cov, h.shape.label]
+        for h in histograms
+    ]
+    show(
+        render_table(
+            ["workload", "kernel", "calls", "peaks", "CoV", "shape"],
+            rows,
+            title="Figure 1: runtime heterogeneity of repeated kernels",
+        )
+    )
+    # Show the three signature shapes the paper highlights by name.
+    for needle in ("bn_fw_inf", "max_pool", "sgemm_128x64"):
+        match = next((h for h in histograms if needle in h.kernel), None)
+        if match is not None:
+            show(render_histogram(match.times, bins=32, title=f"{match.kernel} ({match.shape.label})"))
+
+    census = shape_census(histograms)
+    # The heterogeneity menagerie: multi-peak, wide AND narrow kernels
+    # coexist, which is the paper's motivating observation.
+    assert any(label.startswith("multi-peak") for label in census)
+    assert any(h.shape.cov > 0.25 for h in histograms)
+    assert any(h.shape.label == "narrow" for h in histograms)
+    bn = next(h for h in histograms if "bn_fw_inf" in h.kernel)
+    assert bn.shape.num_peaks >= 2  # paper: three clearly separated peaks
+    pool = next(h for h in histograms if "max_pool" in h.kernel)
+    assert pool.shape.cov > 0.2  # paper: wide memory-bound spread

@@ -1,0 +1,31 @@
+"""Figure 7: per-workload speedups of the four methods (Rodinia+CASIO)."""
+
+from _shared import show, suite_rows
+from repro.analysis import render_table
+from repro.experiments.speedup_error import per_workload_summary
+
+
+def run():
+    rows = list(suite_rows("rodinia")) + list(suite_rows("casio"))
+    return per_workload_summary(rows)
+
+
+def test_figure7(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    methods = ["random", "pka", "sieve", "photon", "stem"]
+    rendered = [
+        [workload] + [table[workload][m]["speedup"] for m in methods]
+        for workload in sorted(table)
+    ]
+    show(
+        render_table(
+            ["workload"] + methods,
+            rendered,
+            title="Figure 7: per-workload speedup (x, harmonic mean over reps)",
+        )
+    )
+    # Every method accelerates every workload.
+    for workload, per_method in table.items():
+        for method in methods:
+            speedup = per_method[method]["speedup"]
+            assert speedup != speedup or speedup >= 1.0, (workload, method)

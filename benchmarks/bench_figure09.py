@@ -1,0 +1,60 @@
+"""Figure 9: speedup-vs-error scatter on CASIO and HuggingFace."""
+
+import numpy as np
+
+from _shared import show, suite_rows
+from repro.analysis import ScatterPoint, render_scatter, render_table
+from repro.experiments.speedup_error import per_workload_summary
+
+
+def run():
+    casio = per_workload_summary(list(suite_rows("casio")))
+    hf = per_workload_summary(list(suite_rows("huggingface")))
+    return casio, hf
+
+
+def test_figure9(benchmark):
+    casio, hf = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for label, table, methods in (
+        ("CASIO", casio, ["random", "pka", "sieve", "photon", "stem"]),
+        ("HuggingFace", hf, ["random", "stem"]),
+    ):
+        rows = []
+        for workload in sorted(table):
+            for method in methods:
+                cell = table[workload][method]
+                if cell["speedup"] != cell["speedup"]:
+                    continue  # N/A methods
+                rows.append([workload, method, cell["speedup"], cell["error_percent"]])
+        show(
+            render_table(
+                ["workload", "method", "speedup x", "error %"],
+                rows,
+                title=f"Figure 9 ({label}): scatter points (speedup, error)",
+            )
+        )
+        points = [
+            ScatterPoint(x=row[2], y=max(row[3], 1e-3), series=row[1])
+            for row in rows
+        ]
+        show(
+            render_scatter(
+                points,
+                log_x=True,
+                title=f"Figure 9 ({label}): error vs speedup (log x)",
+                x_label="speedup",
+                y_label="error %",
+            )
+        )
+
+    # STEM occupies the paper's sweet spot: near-zero error with large
+    # speedups — on every workload its error beats uniform random.
+    for table in (casio, hf):
+        for workload, per_method in table.items():
+            stem_err = per_method["stem"]["error_percent"]
+            random_err = per_method["random"]["error_percent"]
+            assert stem_err <= random_err or stem_err < 1.0, workload
+    hf_stem = [hf[w]["stem"] for w in hf]
+    assert float(np.mean([c["error_percent"] for c in hf_stem])) < 5.0
+    assert all(c["speedup"] > 100 for c in hf_stem)

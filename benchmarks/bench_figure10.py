@@ -1,0 +1,40 @@
+"""Figure 10: time spreads of kernels prior methods call "identical"."""
+
+from _shared import FULL, show
+from repro.analysis import render_histogram, render_table
+from repro.experiments.identical_kernels import run_identical_kernels
+
+
+def test_figure10(benchmark):
+    groups = benchmark.pedantic(
+        run_identical_kernels,
+        kwargs={"workload_scale": 1.0 if FULL else 0.25},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for method, entries in groups.items():
+        for g in entries:
+            rows.append(
+                [method, g.label, g.size, g.min_time_us, g.max_time_us, g.spread_factor, g.cov]
+            )
+    show(
+        render_table(
+            ["method", "group", "size", "min us", "max us", "max/min", "CoV"],
+            rows,
+            title='Figure 10: execution times of "identical" kernels (DLRM)',
+        )
+    )
+    for method, entries in groups.items():
+        top = entries[0]
+        show(
+            render_histogram(
+                top.times, bins=24,
+                title=f"{method} treats these {top.size} launches as one kernel:",
+            )
+        )
+
+    # Paper's point: PKA's cluster 0 spans 2-11 us (a >2x spread); one
+    # proxy sample cannot represent such a group.
+    for method, entries in groups.items():
+        assert max(g.spread_factor for g in entries) > 2.0, method

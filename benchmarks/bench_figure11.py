@@ -1,0 +1,47 @@
+"""Figure 11: error-bound (epsilon) sweep — speedup vs error tradeoff."""
+
+from _shared import show, suite_config
+from repro.analysis import render_table
+from repro.experiments.error_bound_sweep import (
+    DEFAULT_EPSILONS,
+    PAPER_FIGURE11,
+    run_error_bound_sweep,
+)
+
+
+def run():
+    return run_error_bound_sweep(
+        epsilons=DEFAULT_EPSILONS, config=suite_config("casio")
+    )
+
+
+def test_figure11(benchmark):
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for p in points:
+        paper = PAPER_FIGURE11.get(p.epsilon)
+        rows.append(
+            [
+                f"{p.epsilon:.0%}",
+                p.speedup,
+                p.error_percent,
+                p.mean_samples,
+                paper[0] if paper else float("nan"),
+                paper[1] if paper else float("nan"),
+            ]
+        )
+    show(
+        render_table(
+            ["epsilon", "speedup x", "error %", "avg samples", "paper speedup", "paper err %"],
+            rows,
+            title="Figure 11: impact of the error bound on speedup and error",
+        )
+    )
+
+    # Monotone tradeoff: larger epsilon -> fewer samples, more speedup;
+    # and the realized error always respects the requested bound.
+    for tight, loose in zip(points, points[1:]):
+        assert loose.mean_samples <= tight.mean_samples
+        assert loose.speedup >= tight.speedup * 0.95
+    for p in points:
+        assert p.error_percent <= p.epsilon * 100.0

@@ -1,0 +1,46 @@
+"""Figure 12: sampled vs full cycle counts across uarch changes."""
+
+import numpy as np
+
+from _shared import dse_results, show
+from repro.analysis import render_table
+from repro.experiments.dse import VARIANT_LABELS
+
+
+def test_figure12(benchmark):
+    results = benchmark.pedantic(lambda: dse_results(), rounds=1, iterations=1)
+
+    # Show a per-workload cycle-count comparison for STEM and the worst
+    # baseline, like the paper's grouped bars.
+    rows = []
+    for row in results:
+        if row.method not in ("stem", "sieve"):
+            continue
+        rows.append(
+            [
+                row.workload,
+                row.variant,
+                row.method,
+                row.full_cycles / 1e6,
+                row.estimated_cycles / 1e6,
+                row.error_percent,
+            ]
+        )
+    show(
+        render_table(
+            ["workload", "variant", "method", "full Mcyc", "sampled Mcyc", "err %"],
+            rows[:60],
+            title="Figure 12: sampled vs full simulation cycle counts (excerpt)",
+        )
+    )
+
+    # STEM's estimates track the ground truth on every variant: mean
+    # error across workloads stays in single digits everywhere.
+    for variant in VARIANT_LABELS:
+        stem_errors = [
+            r.error_percent
+            for r in results
+            if r.method == "stem" and r.variant == variant
+        ]
+        assert stem_errors
+        assert float(np.mean(stem_errors)) < 10.0, variant

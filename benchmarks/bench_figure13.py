@@ -1,0 +1,45 @@
+"""Figure 13: H100-derived sampling information evaluated on the H200."""
+
+import numpy as np
+
+from _shared import FULL, show
+from repro.analysis import render_table
+from repro.experiments.cross_gpu import PAPER_FIGURE13_MEAN_ERROR, run_cross_gpu
+
+
+def run():
+    return run_cross_gpu(
+        suite="casio",
+        repetitions=5 if FULL else 3,
+        workload_scale=1.0 if FULL else 0.25,
+    )
+
+
+def test_figure13(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [r.workload, r.error_percent, r.same_gpu_error_percent, r.speedup]
+        for r in results
+    ]
+    mean_cross = float(np.mean([r.error_percent for r in results]))
+    rows.append(["MEAN", mean_cross, float(np.mean([r.same_gpu_error_percent for r in results])), float("nan")])
+    show(
+        render_table(
+            ["workload", "H100->H200 err %", "same-GPU err %", "speedup x"],
+            rows,
+            title=(
+                "Figure 13: cross-GPU portability "
+                f"(paper mean error {PAPER_FIGURE13_MEAN_ERROR}%)"
+            ),
+        )
+    )
+
+    # Shape: cross-GPU error stays moderate (paper: 5.46% mean), and the
+    # memory-intensive dlrm workload is the hardest case.
+    assert mean_cross < 15.0
+    by_workload = {r.workload: r.error_percent for r in results}
+    worst = max(by_workload, key=by_workload.get)
+    assert by_workload["dlrm"] >= np.median(list(by_workload.values())), (
+        worst,
+        by_workload,
+    )

@@ -1,0 +1,37 @@
+"""Figure 14: microarchitectural metrics, full vs sampled (bert_infer)."""
+
+import numpy as np
+
+from _shared import FULL, show
+from repro.analysis import render_table
+from repro.experiments.microarch_metrics import run_microarch_validation
+
+
+def run():
+    return run_microarch_validation(
+        workload_name="bert_infer",
+        repetitions=5 if FULL else 3,
+        workload_scale=1.0 if FULL else 0.25,
+    )
+
+
+def test_figure14(benchmark):
+    comparisons = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [c.metric, c.full_value, c.estimated_value, c.error_percent]
+        for c in comparisons
+    ]
+    show(
+        render_table(
+            ["metric", "full workload", "sampled estimate", "error %"],
+            rows,
+            title="Figure 14: 13 microarchitectural metrics, full vs sampled",
+        )
+    )
+
+    # Paper: near-zero differences across ALL metrics despite sampling
+    # purely on execution time.
+    errors = np.array([c.error_percent for c in comparisons])
+    assert len(errors) == 13
+    assert float(errors.mean()) < 5.0
+    assert float(errors.max()) < 15.0

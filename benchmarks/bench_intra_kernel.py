@@ -1,0 +1,68 @@
+"""Intra-kernel (wave-level) sampling — Sec. 7.3's orthogonal dimension.
+
+Kernel-level sampling picks which launches to simulate; intra-kernel
+sampling shortens each simulated launch by detecting per-wave stability.
+This bench measures both the standalone accuracy of adaptive wave
+sampling and the combined kernel-level x wave-level speedup.
+"""
+
+import numpy as np
+
+from _shared import FULL, show
+from repro.analysis import render_table
+from repro.baselines import ProfileStore
+from repro.core import StemRootSampler
+from repro.hardware import RTX_2080
+from repro.sim import AdaptiveWaveSimulator
+from repro.workloads import load_workload
+
+WORKLOADS = ["hotspot", "cfd", "srad"]
+
+
+def run():
+    rows = []
+    for name in WORKLOADS:
+        workload = load_workload("rodinia", name, scale=0.1, seed=0)
+        limit = 20 if FULL else 8
+        picks = np.linspace(0, len(workload) - 1, min(limit, len(workload))).astype(int)
+        sampler = AdaptiveWaveSimulator(RTX_2080)
+        errors, fractions = [], []
+        for index in np.unique(picks):
+            result = sampler.simulate(workload, int(index), seed=1, compute_full=True)
+            if result.error_percent is not None:
+                errors.append(result.error_percent)
+            fractions.append(result.wave_fraction)
+        # Combined: kernel-level plan fraction x wave fraction.
+        store = ProfileStore(workload, RTX_2080, seed=0)
+        plan = StemRootSampler().build_plan_from_store(store, seed=0)
+        kernel_fraction = len(plan.unique_indices()) / len(workload)
+        rows.append(
+            [
+                name,
+                float(np.mean(errors)),
+                float(np.mean(fractions)),
+                kernel_fraction,
+                float(np.mean(fractions)) * kernel_fraction,
+            ]
+        )
+    return rows
+
+
+def test_intra_kernel(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(
+        render_table(
+            [
+                "workload", "wave-sampling err %", "waves simulated",
+                "kernels simulated", "combined fraction",
+            ],
+            rows,
+            title="Intra-kernel sampling accuracy and combined reduction",
+        )
+    )
+    for name, error, wave_fraction, _kernel_fraction, combined in rows:
+        # Wave-level estimates stay accurate while skipping most waves...
+        assert error < 10.0, name
+        assert wave_fraction <= 1.0
+        # ...and composing the two levels multiplies the reduction.
+        assert combined <= wave_fraction

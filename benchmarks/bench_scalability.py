@@ -1,0 +1,30 @@
+"""Sec. 5.6 scalability: STEM's pipeline is near-linear in kernel count."""
+
+from _shared import FULL, show
+from repro.analysis import render_table
+from repro.experiments.scalability import fit_exponent, run_scalability
+
+
+def test_scalability(benchmark):
+    scales = (0.02, 0.05, 0.1, 0.2, 0.4) if FULL else (0.02, 0.05, 0.1, 0.2)
+    points = benchmark.pedantic(
+        run_scalability, kwargs={"scales": scales}, rounds=1, iterations=1
+    )
+    exponent, r_squared = fit_exponent(points)
+    rows = [
+        [p.num_invocations, p.profile_seconds, p.plan_seconds, p.total_seconds]
+        for p in points
+    ]
+    rows.append(["power-law exponent", exponent, "r^2", r_squared])
+    show(
+        render_table(
+            ["kernel launches", "profile s", "cluster+allocate s", "total s"],
+            rows,
+            title="STEM pipeline wall time vs workload size (paper: O(N log N))",
+            precision=3,
+        )
+    )
+    # Near-linear: far from Photon's quadratic growth.
+    assert exponent < 1.5, exponent
+    # And absolute cost stays tiny even at hundreds of thousands of kernels.
+    assert points[-1].total_seconds < 60.0

@@ -1,0 +1,43 @@
+"""Table 2: scale summary of the three benchmark suites."""
+
+from _shared import show
+from repro.analysis import render_table
+from repro.experiments.table2 import PAPER_TABLE2, run_table2
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    rendered = []
+    for row in rows:
+        paper = PAPER_TABLE2[row.suite]
+        rendered.append(
+            [
+                row.suite,
+                row.num_workloads,
+                row.avg_execution_seconds,
+                row.avg_kernel_calls,
+                paper[0],
+                paper[1],
+                paper[2],
+            ]
+        )
+    show(
+        render_table(
+            [
+                "suite", "workloads", "avg exec s", "avg kernel calls",
+                "paper n", "paper exec s", "paper calls",
+            ],
+            rendered,
+            title="Table 2: workloads used in the evaluation",
+        )
+    )
+
+    by_suite = {r.suite: r for r in rows}
+    # The scale ordering the evaluation relies on: Rodinia (thousands of
+    # calls) << CASIO (tens of thousands) << HuggingFace (millions).
+    assert by_suite["rodinia"].avg_kernel_calls < 5_000
+    assert 10_000 < by_suite["casio"].avg_kernel_calls < 200_000
+    assert by_suite["huggingface"].avg_kernel_calls > 900_000
+    assert by_suite["rodinia"].num_workloads >= 13
+    assert by_suite["casio"].num_workloads == 11
+    assert by_suite["huggingface"].num_workloads == 6

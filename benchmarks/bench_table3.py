@@ -1,0 +1,54 @@
+"""Table 3: average speedup and error of 5 methods on 3 suites."""
+
+import math
+
+from _shared import show, table3_summaries
+from repro.analysis import render_table
+from repro.experiments.speedup_error import PAPER_TABLE3
+
+
+def test_table3(benchmark):
+    rows, summaries = benchmark.pedantic(
+        table3_summaries, rounds=1, iterations=1
+    )
+    by_key = {(s.suite, s.method): s for s in summaries}
+
+    table_rows = []
+    for suite in ("rodinia", "casio", "huggingface"):
+        for method in ("random", "pka", "sieve", "photon", "stem"):
+            measured = by_key.get((suite, method))
+            paper = PAPER_TABLE3.get(suite, {}).get(method)
+            table_rows.append(
+                [
+                    suite,
+                    method,
+                    measured.speedup if measured and measured.feasible else float("nan"),
+                    measured.error_percent if measured and measured.feasible else float("nan"),
+                    paper[0] if paper else float("nan"),
+                    paper[1] if paper else float("nan"),
+                ]
+            )
+    show(
+        render_table(
+            ["suite", "method", "speedup", "error %", "paper speedup", "paper err %"],
+            table_rows,
+            title="Table 3: speedup (harmonic mean) and error (arithmetic mean)",
+        )
+    )
+
+    # Shape assertions: STEM has the lowest error in every suite, and the
+    # instruction-level methods are infeasible on HuggingFace.
+    for suite in ("rodinia", "casio", "huggingface"):
+        errors = {
+            m: by_key[(suite, m)].error_percent
+            for m in ("random", "pka", "sieve", "photon", "stem")
+            if (suite, m) in by_key and by_key[(suite, m)].feasible
+        }
+        assert errors["stem"] == min(errors.values()), (suite, errors)
+    for method in ("pka", "sieve", "photon"):
+        summary = by_key[("huggingface", method)]
+        assert not summary.feasible or math.isnan(summary.error_percent)
+    # Error-reduction factor vs the best baseline is large on CASIO.
+    casio = {m: by_key[("casio", m)].error_percent for m in ("random", "pka", "sieve", "photon", "stem")}
+    best_baseline = min(v for m, v in casio.items() if m != "stem")
+    assert best_baseline / max(casio["stem"], 1e-6) > 2.0

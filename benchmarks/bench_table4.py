@@ -1,0 +1,40 @@
+"""Table 4: average DSE error across uarch variants per method."""
+
+import numpy as np
+
+from _shared import dse_results, show
+from repro.analysis import render_table
+from repro.experiments.dse import PAPER_TABLE4, VARIANT_LABELS, table4_summary
+
+
+def test_table4(benchmark):
+    results = benchmark.pedantic(lambda: dse_results(), rounds=1, iterations=1)
+    table = table4_summary(list(results))
+
+    methods = ["pka", "sieve", "photon", "stem"]
+    rows = []
+    for variant in VARIANT_LABELS:
+        measured = table.get(variant, {})
+        row = [variant]
+        for m in methods:
+            row.append(measured.get(m, float("nan")))
+        for m in methods:
+            row.append(PAPER_TABLE4[variant][m])
+        rows.append(row)
+    show(
+        render_table(
+            ["variant"] + [f"{m} %" for m in methods] + [f"paper {m} %" for m in methods],
+            rows,
+            title="Table 4: sampled-simulation error across GPU microarchitectures",
+        )
+    )
+
+    # Shape: STEM has the lowest error on every variant, and its error is
+    # stable (flat) across variants.
+    stem_errors = []
+    for variant in VARIANT_LABELS:
+        measured = table[variant]
+        assert measured["stem"] == min(measured.values()), (variant, measured)
+        stem_errors.append(measured["stem"])
+    assert max(stem_errors) - min(stem_errors) < 5.0
+    assert float(np.mean(stem_errors)) < 10.0

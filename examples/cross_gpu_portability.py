@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Cross-GPU portability of sampling information (Figure 13 workflow).
+
+Profiles CASIO-style ML workloads on the modeled H100, builds STEM
+sampling plans from those profiles, and evaluates the plans against
+execution times on the H200 — whose upgrades are concentrated in the
+memory subsystem.  The memory-intensive DLRM workload moves the most,
+exactly the paper's observation.
+
+Run:  python examples/cross_gpu_portability.py
+"""
+
+from repro.analysis import render_table
+from repro.experiments.cross_gpu import PAPER_FIGURE13_MEAN_ERROR, run_cross_gpu
+
+
+def main() -> None:
+    results = run_cross_gpu(suite="casio", repetitions=3, workload_scale=0.25)
+    rows = [
+        [r.workload, r.same_gpu_error_percent, r.error_percent, r.speedup]
+        for r in sorted(results, key=lambda r: r.error_percent, reverse=True)
+    ]
+    print(
+        render_table(
+            ["workload", "H100 err %", "H100->H200 err %", "speedup x"],
+            rows,
+            title=(
+                "Sampling decisions from H100 profiles, scored on the H200 "
+                f"(paper mean: {PAPER_FIGURE13_MEAN_ERROR}%)"
+            ),
+        )
+    )
+    mean_err = sum(r.error_percent for r in results) / len(results)
+    print(f"\nmean cross-GPU error: {mean_err:.2f}%")
+    print(
+        "STEM's adaptive oversampling of memory-sensitive kernels is what"
+        "\nkeeps hardware-induced drift bounded (paper Sec. 6.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Design-space exploration with sampled cycle-level simulation.
+
+The workflow architects actually use sampling for (paper Sec. 5.4): pick
+representative kernels ONCE from a cheap execution-time profile on the
+baseline machine, then evaluate candidate hardware designs by simulating
+only those kernels on the cycle-level simulator — here, cache-capacity
+and SM-count variants of the RTX 2080.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import time
+
+from repro import ProfileStore, RTX_2080, StemRootSampler, evaluate_plan
+from repro.analysis import render_table
+from repro.hardware import dse_variants
+from repro.sim import GpuSimulator
+from repro.workloads import load_workload
+
+
+def main() -> None:
+    # A reduced workload, small enough to also run the FULL simulation
+    # for ground truth (as the paper does for Table 4).
+    workload = load_workload("rodinia", "hotspot", scale=0.1, seed=0).head(120)
+    print(f"workload: hotspot (reduced) — {len(workload)} kernel launches")
+
+    # Sampling information from the baseline machine's time profile.
+    store = ProfileStore(workload, RTX_2080, seed=0)
+    plan = StemRootSampler(epsilon=0.05).build_plan_from_store(store, seed=0)
+    unique = plan.unique_indices()
+    print(
+        f"STEM plan: {plan.num_clusters} clusters, "
+        f"{len(unique)} unique kernels to simulate "
+        f"({len(unique) / len(workload):.1%} of the workload)\n"
+    )
+
+    rows = []
+    for gpu in dse_variants(RTX_2080):
+        simulator = GpuSimulator(gpu)
+        # Sampled simulation: only the plan's kernels...
+        t0 = time.perf_counter()
+        sampled = simulator.simulate_workload(workload, indices=unique, seed=0)
+        sampled_wall = time.perf_counter() - t0
+        cycles_by_index = sampled.cycles_by_index()
+        import numpy as np
+
+        estimate = sum(
+            cluster.member_count
+            * np.mean([cycles_by_index[int(i)] for i in cluster.sampled_indices])
+            for cluster in plan.clusters
+        )
+        # ...vs the full simulation for ground truth.
+        t0 = time.perf_counter()
+        full = simulator.simulate_workload(workload, seed=0)
+        full_wall = time.perf_counter() - t0
+        error = abs(estimate - full.total_cycles) / full.total_cycles * 100
+        rows.append(
+            [
+                gpu.name,
+                full.total_cycles / 1e6,
+                estimate / 1e6,
+                error,
+                full_wall / max(sampled_wall, 1e-9),
+            ]
+        )
+
+    print(
+        render_table(
+            ["design point", "full Mcycles", "sampled Mcycles", "error %", "sim speedup x"],
+            rows,
+            title="Sampled vs full cycle-level simulation across design points",
+        )
+    )
+    print(
+        "\nThe same sampling information (from the baseline profile) stays"
+        "\naccurate on every hardware variant — Table 4's conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Compare all five sampling methods on an ML workload (a Table 3 slice).
+
+Runs Random / PKA / Sieve / Photon / STEM on the CASIO-style DLRM
+recommendation-model workload — the paper's Figure 10 case study, whose
+random-access embedding lookups give kernels wide execution-time spreads
+that static signatures cannot see.
+
+Run:  python examples/method_comparison.py [workload]
+"""
+
+import sys
+
+from repro import ProfileStore, RTX_2080, StemRootSampler, evaluate_plan
+from repro.analysis import render_table
+from repro.baselines import PhotonSampler, PkaSampler, RandomSampler, SieveSampler
+from repro.workloads import load_workload
+
+
+def main(workload_name: str = "dlrm") -> None:
+    workload = load_workload("casio", workload_name, seed=0)
+    store = ProfileStore(workload, RTX_2080, seed=0)
+    times = store.execution_times()
+    print(f"{workload_name}: {len(workload):,} launches, "
+          f"{len(workload.kernel_names())} kernel types\n")
+
+    samplers = [
+        RandomSampler(0.001),
+        PkaSampler(),
+        SieveSampler(),
+        PhotonSampler(),
+        StemRootSampler(epsilon=0.05),
+    ]
+    rows = []
+    for sampler in samplers:
+        if hasattr(sampler, "build_plan_from_store"):
+            plan = sampler.build_plan_from_store(store, seed=1)
+        else:
+            plan = sampler.build_plan(store, seed=1)
+        result = evaluate_plan(plan, times)
+        rows.append(
+            [
+                plan.method,
+                result.error_percent,
+                result.speedup,
+                plan.num_clusters,
+                plan.num_samples,
+            ]
+        )
+    print(
+        render_table(
+            ["method", "error %", "speedup x", "clusters", "samples"],
+            rows,
+            title=f"Sampling methods on {workload_name} (one run, seed 1)",
+        )
+    )
+    print(
+        "\nSTEM allocates many samples to the wide embedding-gather"
+        "\nclusters and one each to the stable GEMM peaks — the adaptive"
+        "\nsampling of Sec. 3.2."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "dlrm")

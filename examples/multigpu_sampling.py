@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Multi-GPU execution-trace sampling (the paper's Sec. 6.2 extension).
+
+Builds Chakra-style execution traces for two parallel-training shapes —
+data-parallel training with per-layer allreduce, and pipeline-parallel
+inference with P2P transfers — then applies STEM+ROOT *node sampling*:
+only a small fraction of operators is simulated in detail, the rest
+receive their cluster's representative duration, and the full multi-GPU
+timeline (with computation-communication overlap and interconnect
+contention) is reconstructed by the list scheduler.
+
+Run:  python examples/multigpu_sampling.py
+"""
+
+from repro.analysis import render_table
+from repro.multigpu import (
+    EtStemSampler,
+    TimelineSimulator,
+    data_parallel_training,
+    pipeline_parallel_inference,
+)
+
+
+def main() -> None:
+    simulator = TimelineSimulator()
+    sampler = EtStemSampler(epsilon=0.05)
+
+    traces = [
+        data_parallel_training(num_gpus=8, layers=12, steps=50, seed=0),
+        pipeline_parallel_inference(num_stages=6, requests=200, seed=1),
+    ]
+    rows = []
+    for trace in traces:
+        summary = trace.describe()
+        result = sampler.evaluate(trace, simulator, seed=7)
+        rows.append(
+            [
+                trace.name,
+                int(summary["num_nodes"]),
+                result.num_sampled,
+                result.detail_fraction * 100,
+                result.makespan_error_percent,
+                result.total_time_error_percent,
+            ]
+        )
+    print(
+        render_table(
+            [
+                "trace", "operators", "simulated", "detail %",
+                "makespan err %", "device-time err %",
+            ],
+            rows,
+            title="STEM node sampling on multi-GPU execution traces",
+        )
+    )
+
+    full = simulator.simulate(traces[0], seed=7)
+    print(
+        f"\n{traces[0].name}: makespan {full.makespan:,.0f} us, "
+        f"network utilization {full.utilization('net'):.1%}, "
+        f"gpu0 utilization {full.utilization('gpu0'):.1%}\n"
+    )
+
+    # Visualize the first slice of the reconstructed timeline.
+    from repro.analysis import render_gantt
+
+    horizon = full.makespan * 0.06
+    intervals = {}
+    for node in traces[0].nodes():
+        start = full.start_times[node.node_id]
+        if start > horizon:
+            continue
+        finish = min(start + full.durations[node.node_id], horizon)
+        intervals.setdefault(node.resource, []).append((start, finish))
+    print(
+        render_gantt(
+            intervals,
+            title="First ~6% of the data-parallel timeline (# = busy):",
+            end_time=horizon,
+        )
+    )
+    print(
+        "Dependencies and contention are preserved exactly; only operator"
+        "\ndurations are sampled — the starting point the paper sketches"
+        "\nfor extending kernel-level sampling to multi-GPU simulators."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Quickstart: sample a GPU workload with STEM+ROOT in ~20 lines.
+
+Builds a CASIO-style BERT inference workload (tens of thousands of kernel
+launches), profiles it on the modeled RTX 2080 (the Nsight-Systems
+equivalent), lets STEM+ROOT pick representative kernels, and compares the
+sampled estimate against the full run.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ProfileStore, RTX_2080, StemRootSampler, evaluate_plan
+from repro.workloads import load_workload
+
+
+def main() -> None:
+    # 1. A workload: 54,000 kernel launches of a BERT inference service.
+    workload = load_workload("casio", "bert_infer", seed=0)
+    print(f"workload: {workload.name} with {len(workload):,} kernel launches")
+
+    # 2. Profile it once with the lightweight kernel-timeline profiler.
+    store = ProfileStore(workload, RTX_2080, seed=0)
+    times = store.execution_times()
+    print(f"full execution time: {times.sum() / 1e6:.3f} s")
+
+    # 3. Build the sampling plan: ROOT isolates each kernel's runtime
+    #    contexts, STEM sizes the samples for a 5% error bound.
+    sampler = StemRootSampler(epsilon=0.05)
+    plan = sampler.build_plan(workload, times, seed=0)
+    print(
+        f"plan: {plan.num_clusters} clusters, {plan.num_samples} samples, "
+        f"theoretical error bound "
+        f"{plan.metadata['predicted_error'] * 100:.2f}% <= 5%"
+    )
+
+    # 4. "Simulate" only the sampled kernels and extrapolate.
+    result = evaluate_plan(plan, times)
+    print(f"estimated total : {result.estimated_total / 1e6:.3f} s")
+    print(f"sampling error  : {result.error_percent:.3f}%")
+    print(f"speedup         : {result.speedup:,.1f}x")
+
+
+if __name__ == "__main__":
+    main()

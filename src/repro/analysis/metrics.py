@@ -1,0 +1,73 @@
+"""Aggregation conventions for speedup and error (paper Sec. 5).
+
+The paper follows Eeckhout's guidance: *harmonic* mean for speedups,
+*arithmetic* mean for errors, and every randomized experiment is repeated
+(10x by default) and averaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["harmonic_mean", "MethodAggregate", "aggregate_results"]
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean; infinite entries contribute zero reciprocal."""
+    vals = np.asarray(list(values), dtype=np.float64)
+    if len(vals) == 0:
+        raise ValueError("harmonic mean of an empty sequence")
+    if (vals <= 0).any():
+        raise ValueError("harmonic mean requires positive values")
+    reciprocals = np.where(np.isfinite(vals), 1.0 / vals, 0.0)
+    denom = reciprocals.sum()
+    if denom == 0:
+        return float("inf")
+    return float(len(vals) / denom)
+
+
+@dataclass
+class MethodAggregate:
+    """Accumulates per-workload results of one method."""
+
+    method: str
+    errors: List[float] = field(default_factory=list)
+    speedups: List[float] = field(default_factory=list)
+
+    def add(self, error_percent: float, speedup: float) -> None:
+        self.errors.append(error_percent)
+        self.speedups.append(speedup)
+
+    @property
+    def mean_error(self) -> float:
+        """Arithmetic mean of sampling errors (percent)."""
+        if not self.errors:
+            raise ValueError("no results recorded")
+        return float(np.mean(self.errors))
+
+    @property
+    def mean_speedup(self) -> float:
+        """Harmonic mean of speedups."""
+        return harmonic_mean(self.speedups)
+
+    def summary(self) -> Dict[str, float]:
+        return {"error_percent": self.mean_error, "speedup": self.mean_speedup}
+
+
+def aggregate_results(
+    rows: Iterable[Dict[str, float]],
+) -> Dict[str, MethodAggregate]:
+    """Group flat result rows by method.
+
+    Each row needs ``method``, ``error_percent`` and ``speedup`` keys —
+    the shape the experiment runner produces.
+    """
+    aggregates: Dict[str, MethodAggregate] = {}
+    for row in rows:
+        method = str(row["method"])
+        agg = aggregates.setdefault(method, MethodAggregate(method))
+        agg.add(float(row["error_percent"]), float(row["speedup"]))
+    return aggregates

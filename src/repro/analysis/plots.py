@@ -1,0 +1,118 @@
+"""Plain-text plotting: scatter charts and resource timelines.
+
+The benchmark harness runs in terminals, so figure-class outputs are
+rendered as ASCII: a log-log-capable scatter plot for the Figure 9-style
+speedup/error tradeoff and a Gantt chart for multi-GPU timelines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ScatterPoint", "render_scatter", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    """One labeled point of a scatter chart."""
+
+    x: float
+    y: float
+    series: str
+
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError("log-scaled values must be positive")
+        return math.log10(value)
+    return value
+
+
+def render_scatter(
+    points: Sequence[ScatterPoint],
+    width: int = 64,
+    height: int = 20,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """ASCII scatter plot with one marker per series."""
+    if not points:
+        raise ValueError("no points to plot")
+    xs = [_transform(p.x, log_x) for p in points]
+    ys = [_transform(p.y, log_y) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    series_names: List[str] = []
+    for p in points:
+        if p.series not in series_names:
+            series_names.append(p.series)
+    markers = {name: _MARKERS[i % len(_MARKERS)] for i, name in enumerate(series_names)}
+
+    grid = [[" "] * width for _ in range(height)]
+    for p, x, y in zip(points, xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = (height - 1) - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = markers[p.series]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    axis = f"{x_label}: [{min(p.x for p in points):g}, {max(p.x for p in points):g}]"
+    axis += "  " + f"{y_label}: [{min(p.y for p in points):g}, {max(p.y for p in points):g}]"
+    if log_x or log_y:
+        axis += "  (log scale: " + "/".join(
+            label for label, flag in (("x", log_x), ("y", log_y)) if flag
+        ) + ")"
+    lines.append(axis)
+    legend = "  ".join(f"{markers[name]}={name}" for name in series_names)
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def render_gantt(
+    intervals: Dict[str, List[Tuple[float, float]]],
+    width: int = 72,
+    title: str = "",
+    end_time: Optional[float] = None,
+) -> str:
+    """ASCII Gantt chart: one row per resource, '#' where busy.
+
+    ``intervals`` maps resource name to (start, finish) pairs; overlap
+    within a row is drawn once.  Used to visualize multi-GPU timelines.
+    """
+    if not intervals:
+        raise ValueError("no intervals to plot")
+    horizon = end_time or max(
+        (finish for spans in intervals.values() for _, finish in spans), default=0.0
+    )
+    if horizon <= 0:
+        raise ValueError("timeline horizon must be positive")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    name_width = max(len(name) for name in intervals)
+    for name in sorted(intervals):
+        row = [" "] * width
+        for start, finish in intervals[name]:
+            lo = int(max(0.0, start) / horizon * (width - 1))
+            hi = int(min(horizon, finish) / horizon * (width - 1))
+            for col in range(lo, hi + 1):
+                row[col] = "#"
+        lines.append(f"{name:>{name_width}} |{''.join(row)}|")
+    lines.append(f"{'':>{name_width}} 0{'':>{width - 8}}{horizon:>7.0f}")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Plain-text rendering of tables and figure series.
+
+Every benchmark target prints its table/figure in the same layout the
+paper uses, so paper-vs-measured comparison is a side-by-side read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["render_table", "render_series", "format_value"]
+
+
+def format_value(value: object, precision: int = 2) -> str:
+    """Human formatting: floats get fixed precision, large floats get commas."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "N/A"
+        if abs(value) >= 10_000:
+            return f"{value:,.0f}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Fixed-width ASCII table."""
+    text_rows: List[List[str]] = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in text_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    series: Dict[str, Dict[object, float]],
+    title: str = "",
+    precision: int = 2,
+    x_order: Optional[Sequence[object]] = None,
+) -> str:
+    """Render multiple named series over a shared x-axis as a table.
+
+    ``series`` maps series name to ``{x: y}``; handy for figure targets
+    like the epsilon sweep or per-workload bar charts.
+    """
+    if x_order is None:
+        keys: List[object] = []
+        for points in series.values():
+            for x in points:
+                if x not in keys:
+                    keys.append(x)
+    else:
+        keys = list(x_order)
+    headers = [x_label] + list(series)
+    rows = []
+    for x in keys:
+        row: List[object] = [x]
+        for name in series:
+            row.append(series[name].get(x, float("nan")))
+        rows.append(row)
+    return render_table(headers, rows, title=title, precision=precision)

@@ -1,0 +1,82 @@
+"""Distribution-level validation of sampled workloads.
+
+Beyond total-time error, a sampled workload should *look like* the full
+workload: the weighted empirical distribution of its sampled execution
+times should match the full distribution.  This module quantifies that
+with a weighted two-sample Kolmogorov–Smirnov statistic — a stricter
+companion to the paper's Figure 14 metric comparison, useful for
+catching plans that nail the mean while misshaping the distribution
+(e.g. single-sample-per-cluster baselines on multi-peak kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.plan import SamplingPlan
+
+__all__ = ["DistributionMatch", "weighted_ks_statistic", "validate_distribution"]
+
+
+@dataclass(frozen=True)
+class DistributionMatch:
+    """KS-style comparison of sampled-vs-full time distributions."""
+
+    ks_statistic: float
+    num_samples: int
+    num_full: int
+
+    @property
+    def matches(self) -> bool:
+        """A loose practical threshold: distributions agree within 0.2."""
+        return self.ks_statistic < 0.2
+
+
+def weighted_ks_statistic(
+    full_values: np.ndarray,
+    sample_values: np.ndarray,
+    sample_weights: Optional[np.ndarray] = None,
+) -> float:
+    """Max CDF gap between the full sample and a weighted subsample."""
+    full = np.sort(np.asarray(full_values, dtype=np.float64))
+    samples = np.asarray(sample_values, dtype=np.float64)
+    if len(full) == 0 or len(samples) == 0:
+        raise ValueError("both samples must be non-empty")
+    if sample_weights is None:
+        sample_weights = np.ones(len(samples))
+    weights = np.asarray(sample_weights, dtype=np.float64)
+    if len(weights) != len(samples):
+        raise ValueError("weights must align with sample values")
+    if weights.sum() <= 0:
+        raise ValueError("weights must have positive total")
+
+    order = np.argsort(samples)
+    samples = samples[order]
+    cum_weights = np.cumsum(weights[order]) / weights.sum()
+
+    # Evaluate both CDFs on the union grid.
+    grid = np.union1d(full, samples)
+    cdf_full = np.searchsorted(full, grid, side="right") / len(full)
+    cdf_sample = np.zeros(len(grid))
+    positions = np.searchsorted(samples, grid, side="right")
+    nonzero = positions > 0
+    cdf_sample[nonzero] = cum_weights[positions[nonzero] - 1]
+    return float(np.abs(cdf_full - cdf_sample).max())
+
+
+def validate_distribution(
+    plan: SamplingPlan, times: np.ndarray
+) -> DistributionMatch:
+    """Compare a plan's weighted sample distribution to the full one."""
+    weights_map = plan.sample_weights()
+    indices = np.fromiter(weights_map.keys(), dtype=np.int64)
+    weights = np.fromiter(weights_map.values(), dtype=np.float64)
+    statistic = weighted_ks_statistic(times, times[indices], weights)
+    return DistributionMatch(
+        ks_statistic=statistic,
+        num_samples=len(indices),
+        num_full=len(times),
+    )

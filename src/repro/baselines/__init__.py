@@ -1,0 +1,18 @@
+"""Baseline kernel-sampling methods compared against STEM+ROOT (Table 1)."""
+
+from .base import ProfileStore, Sampler
+from .photon import PhotonSampler
+from .pka import PkaSampler
+from .random_sampling import RandomSampler
+from .sieve import SieveSampler
+from .tbpoint import TbpointSampler
+
+__all__ = [
+    "ProfileStore",
+    "Sampler",
+    "RandomSampler",
+    "PkaSampler",
+    "SieveSampler",
+    "PhotonSampler",
+    "TbpointSampler",
+]

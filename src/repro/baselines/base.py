@@ -1,0 +1,90 @@
+"""Baseline sampler interface and the shared lazy profile store.
+
+Every sampling method consumes a different profiler's output (Table 1).
+:class:`ProfileStore` computes each profile on demand and caches it so an
+experiment comparing four methods on one workload profiles each signature
+exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol
+
+import numpy as np
+
+from ..core.plan import SamplingPlan
+from ..hardware.gpu_config import GPUConfig
+from ..profiling.bbv import BbvProfiler, BbvTable
+from ..profiling.ncu import NcuProfiler, PKA_METRICS
+from ..profiling.nsys import NsysProfiler
+from ..profiling.nvbit import NvbitProfiler
+from ..workloads.workload import Workload
+
+__all__ = ["ProfileStore", "Sampler"]
+
+
+class ProfileStore:
+    """Lazy, cached access to every profiler's view of one workload."""
+
+    def __init__(self, workload: Workload, config: GPUConfig, seed: int = 0):
+        self.workload = workload
+        self.config = config
+        self.seed = seed
+        self._cache: Dict[str, object] = {}
+
+    def execution_times(self) -> np.ndarray:
+        """nsys view: per-invocation execution time (STEM's input)."""
+        if "times" not in self._cache:
+            self._cache["times"] = NsysProfiler(self.config).execution_times(
+                self.workload, seed=self.seed
+            )
+        return self._cache["times"]  # type: ignore[return-value]
+
+    def pka_features(self) -> np.ndarray:
+        """NCU view: (n, 12) PKA metric matrix."""
+        if "pka" not in self._cache:
+            self._cache["pka"] = NcuProfiler(self.config).feature_matrix(
+                self.workload, seed=self.seed
+            )
+        return self._cache["pka"]  # type: ignore[return-value]
+
+    def instruction_counts(self) -> np.ndarray:
+        """NVBit view: dynamic instruction count per invocation."""
+        if "instructions" not in self._cache:
+            profile = NvbitProfiler(self.config).profile(self.workload, seed=self.seed)
+            self._cache["instructions"] = profile.column("instructions")
+            self._cache["cta_size"] = profile.column("cta_size")
+        return self._cache["instructions"]  # type: ignore[return-value]
+
+    def cta_sizes(self) -> np.ndarray:
+        """Threads per block of each invocation (Sieve's tiebreaker)."""
+        if "cta_size" not in self._cache:
+            self.instruction_counts()
+        return self._cache["cta_size"]  # type: ignore[return-value]
+
+    def bbv_table(self) -> BbvTable:
+        """BBV view: per-invocation basic-block vectors (Photon's input)."""
+        if "bbv" not in self._cache:
+            self._cache["bbv"] = BbvProfiler(self.config).collect(
+                self.workload, seed=self.seed
+            )
+        return self._cache["bbv"]  # type: ignore[return-value]
+
+    @property
+    def num_pka_metrics(self) -> int:
+        return len(PKA_METRICS)
+
+
+class Sampler(Protocol):
+    """Common sampling-method interface (STEM and all baselines)."""
+
+    method: str
+
+    def build_plan(
+        self,
+        store: ProfileStore,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ) -> SamplingPlan:
+        """Produce a sampling plan for the store's workload."""
+        ...

@@ -1,0 +1,114 @@
+"""PKA: Principal Kernel Analysis baseline (Avalos Baddouh et al., MICRO '21).
+
+PKA clusters kernels by k-means over 12 instruction-level metrics
+collected with NCU, sweeping ``k`` from 1 to 20 and keeping the best
+clustering, then simulates a *single* kernel per cluster — the first
+chronological one.  Two weaknesses the paper exploits:
+
+* one sample per cluster cannot represent intra-cluster runtime
+  variability (Figure 10's "identical" kernels span 2–11 us);
+* first-chronological selection is biased when early invocations are
+  atypical (Rodinia's ``heartwall``), producing up-to-99.9% errors unless
+  hand-tuned to random selection (the ``select="random"`` mode here).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.clustering import kmeans
+from ..core.plan import PlanCluster, SamplingPlan
+from .base import ProfileStore
+
+__all__ = ["PkaSampler"]
+
+
+class PkaSampler:
+    """k-means over NCU metrics, one chronological sample per cluster."""
+
+    method = "pka"
+
+    def __init__(
+        self,
+        max_k: int = 20,
+        select: str = "first",
+        elbow_threshold: float = 0.10,
+        max_points_for_sweep: int = 200_000,
+    ):
+        if select not in ("first", "random"):
+            raise ValueError("select must be 'first' or 'random'")
+        self.max_k = max_k
+        self.select = select
+        #: Stop increasing k when relative inertia improvement drops below this.
+        self.elbow_threshold = elbow_threshold
+        self.max_points_for_sweep = max_points_for_sweep
+
+    # -- feature handling -------------------------------------------------
+    @staticmethod
+    def normalize(features: np.ndarray) -> np.ndarray:
+        """Z-score each metric column (constant columns become zero)."""
+        mean = features.mean(axis=0)
+        std = features.std(axis=0)
+        std[std == 0] = 1.0
+        return (features - mean) / std
+
+    def choose_k(self, features: np.ndarray, rng: np.random.Generator) -> int:
+        """Sweep k = 1..max_k; keep the elbow of the inertia curve."""
+        inertias: List[float] = []
+        best_k = 1
+        for k in range(1, self.max_k + 1):
+            result = kmeans(features, k, rng=rng, n_init=1)
+            inertias.append(result.inertia)
+            if k == 1:
+                continue
+            prev = inertias[-2]
+            if prev <= 0:
+                break
+            improvement = (prev - inertias[-1]) / prev
+            if improvement < self.elbow_threshold:
+                break
+            best_k = k
+        return best_k
+
+    def build_plan(
+        self,
+        store: ProfileStore,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ) -> SamplingPlan:
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        workload = store.workload
+        n = len(workload)
+        if n > self.max_points_for_sweep:
+            raise RuntimeError(
+                f"PKA is infeasible on {workload.name!r}: NCU profiling of "
+                f"{n} kernels would take months (see Table 5)"
+            )
+        features = self.normalize(store.pka_features())
+        k = self.choose_k(features, rng)
+        result = kmeans(features, k, rng=rng, n_init=3)
+
+        clusters: List[PlanCluster] = []
+        for j, members in enumerate(result.cluster_indices()):
+            if len(members) == 0:
+                continue
+            if self.select == "first":
+                chosen = int(members.min())
+            else:
+                chosen = int(rng.choice(members))
+            clusters.append(
+                PlanCluster(
+                    label=f"pka_cluster_{j}",
+                    member_count=len(members),
+                    sampled_indices=np.array([chosen], dtype=np.int64),
+                )
+            )
+        return SamplingPlan(
+            method=self.method,
+            workload_name=workload.name,
+            clusters=clusters,
+            metadata={"k": k, "select": self.select},
+        )

@@ -1,0 +1,140 @@
+"""Sieve: stratified GPU-compute workload sampling (ISPASS '23).
+
+Sieve's signature is the dynamic instruction count per launch, collected
+with NVBit.  Per kernel-name group it measures the coefficient of
+variation (CoV) of instruction counts and stratifies:
+
+* stable groups (CoV below ``stable_cov``) — one stratum;
+* moderately varying groups — quantile strata over instruction count;
+* highly varying groups — more strata (or KDE-derived strata when
+  ``use_kde`` is on; the paper turned KDE off for CASIO because it
+  oversampled).
+
+From each stratum Sieve simulates the first-chronological launch whose
+CTA size equals the stratum's dominant CTA size.  Like PKA, the single
+chronological sample per stratum is blind to execution-time variability
+within a stratum — instruction counts do not see memory behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.clustering import count_kde_peaks
+from ..core.plan import PlanCluster, SamplingPlan
+from .base import ProfileStore
+
+__all__ = ["SieveSampler"]
+
+
+class SieveSampler:
+    """Instruction-count stratification with first-chronological samples."""
+
+    method = "sieve"
+
+    def __init__(
+        self,
+        stable_cov: float = 0.02,
+        high_cov: float = 0.5,
+        moderate_strata: int = 4,
+        high_strata: int = 16,
+        select: str = "first",
+        use_kde: bool = False,
+        max_kernels: int = 300_000,
+    ):
+        if select not in ("first", "random"):
+            raise ValueError("select must be 'first' or 'random'")
+        if not 0 <= stable_cov < high_cov:
+            raise ValueError("need 0 <= stable_cov < high_cov")
+        #: Beyond this, NVBit instrumentation overhead (~90-300x wall time)
+        #: makes profiling take months — the paper's HuggingFace "N/A".
+        self.max_kernels = max_kernels
+        self.stable_cov = stable_cov
+        self.high_cov = high_cov
+        self.moderate_strata = moderate_strata
+        self.high_strata = high_strata
+        self.select = select
+        self.use_kde = use_kde
+
+    def _num_strata(self, counts: np.ndarray) -> int:
+        mean = counts.mean()
+        cov = counts.std() / mean if mean > 0 else 0.0
+        if cov < self.stable_cov:
+            return 1
+        if self.use_kde:
+            # KDE stratification: one stratum per instruction-count mode.
+            return max(1, count_kde_peaks(counts))
+        return self.moderate_strata if cov < self.high_cov else self.high_strata
+
+    @staticmethod
+    def _quantile_strata(counts: np.ndarray, num_strata: int) -> List[np.ndarray]:
+        """Split positions into quantile buckets of the count distribution."""
+        if num_strata <= 1:
+            return [np.arange(len(counts))]
+        edges = np.quantile(counts, np.linspace(0, 1, num_strata + 1)[1:-1])
+        labels = np.searchsorted(edges, counts, side="right")
+        return [np.flatnonzero(labels == s) for s in range(num_strata)]
+
+    def _pick(
+        self,
+        group_indices: np.ndarray,
+        members: np.ndarray,
+        cta: np.ndarray,
+        rng: np.random.Generator,
+    ) -> int:
+        """First-chronological member with the stratum's dominant CTA size."""
+        member_cta = cta[group_indices[members]]
+        values, counts = np.unique(member_cta, return_counts=True)
+        dominant = values[counts.argmax()]
+        eligible = members[member_cta == dominant]
+        if self.select == "first":
+            return int(group_indices[eligible].min())
+        return int(rng.choice(group_indices[eligible]))
+
+    def build_plan(
+        self,
+        store: ProfileStore,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ) -> SamplingPlan:
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        workload = store.workload
+        if len(workload) > self.max_kernels:
+            raise RuntimeError(
+                f"Sieve is infeasible on {workload.name!r}: NVBit profiling "
+                f"of {len(workload)} kernels would take months (see Table 5)"
+            )
+        counts = store.instruction_counts()
+        cta = store.cta_sizes()
+
+        clusters: List[PlanCluster] = []
+        for name, group_indices in workload.indices_by_name().items():
+            group_counts = counts[group_indices]
+            strata = self._quantile_strata(
+                group_counts, self._num_strata(group_counts)
+            )
+            for s, members in enumerate(strata):
+                if len(members) == 0:
+                    continue
+                chosen = self._pick(group_indices, members, cta, rng)
+                clusters.append(
+                    PlanCluster(
+                        label=f"{name}/stratum{s}",
+                        member_count=len(members),
+                        sampled_indices=np.array([chosen], dtype=np.int64),
+                    )
+                )
+        return SamplingPlan(
+            method=self.method,
+            workload_name=workload.name,
+            clusters=clusters,
+            metadata={
+                "select": self.select,
+                "use_kde": self.use_kde,
+                "stable_cov": self.stable_cov,
+                "high_cov": self.high_cov,
+            },
+        )

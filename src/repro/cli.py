@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``sample``    profile a workload, build a STEM+ROOT plan, report results
+``compare``   run all five methods on one workload
+``suites``    list available suites and workloads
+``report``    transparency report for a freshly built plan
+``trace``     write a sampled-kernel trace file for a plan
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import render_table
+from .baselines import (
+    PhotonSampler,
+    PkaSampler,
+    ProfileStore,
+    RandomSampler,
+    SieveSampler,
+)
+from .core import StemRootSampler, evaluate_plan
+from .core.report import build_report
+from .hardware import PRESETS, get_preset
+from .traces import write_sampled_trace
+from .workloads import load_workload, suite_names
+from .workloads.suites import SUITES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STEM+ROOT kernel-level sampling for GPU simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("suite", choices=suite_names())
+        p.add_argument("workload")
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="workload size scale factor")
+        p.add_argument("--gpu", choices=sorted(PRESETS), default="rtx2080")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--epsilon", type=float, default=0.05,
+                       help="STEM error bound")
+
+    p_sample = sub.add_parser("sample", help="build and evaluate a STEM plan")
+    add_workload_args(p_sample)
+
+    p_compare = sub.add_parser("compare", help="run all five methods")
+    add_workload_args(p_compare)
+    p_compare.add_argument("--random-fraction", type=float, default=0.001)
+
+    sub.add_parser("suites", help="list suites and workloads")
+
+    p_report = sub.add_parser("report", help="plan transparency report")
+    add_workload_args(p_report)
+    p_report.add_argument("--top", type=int, default=15)
+
+    p_trace = sub.add_parser("trace", help="write a sampled-kernel trace")
+    add_workload_args(p_trace)
+    p_trace.add_argument("output", help="output .jsonl path")
+    return parser
+
+
+def _store(args) -> ProfileStore:
+    workload = load_workload(args.suite, args.workload, scale=args.scale, seed=args.seed)
+    return ProfileStore(workload, get_preset(args.gpu), seed=args.seed)
+
+
+def _cmd_sample(args) -> int:
+    store = _store(args)
+    plan = StemRootSampler(epsilon=args.epsilon).build_plan_from_store(
+        store, seed=args.seed
+    )
+    result = evaluate_plan(plan, store.execution_times())
+    print(
+        render_table(
+            ["workload", "launches", "clusters", "samples", "error %", "speedup x", "bound %"],
+            [[
+                store.workload.name,
+                len(store.workload),
+                plan.num_clusters,
+                plan.num_samples,
+                result.error_percent,
+                result.speedup,
+                plan.metadata["predicted_error"] * 100,
+            ]],
+            title="STEM+ROOT sampled simulation",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    store = _store(args)
+    times = store.execution_times()
+    samplers = [
+        RandomSampler(args.random_fraction),
+        PkaSampler(),
+        SieveSampler(),
+        PhotonSampler(),
+        StemRootSampler(epsilon=args.epsilon),
+    ]
+    rows = []
+    for sampler in samplers:
+        try:
+            if hasattr(sampler, "build_plan_from_store"):
+                plan = sampler.build_plan_from_store(store, seed=args.seed)
+            else:
+                plan = sampler.build_plan(store, seed=args.seed)
+        except RuntimeError as err:
+            rows.append([sampler.method, float("nan"), float("nan"), str(err)[:40]])
+            continue
+        result = evaluate_plan(plan, times)
+        rows.append([plan.method, result.error_percent, result.speedup, ""])
+    print(
+        render_table(
+            ["method", "error %", "speedup x", "note"],
+            rows,
+            title=f"Sampling methods on {store.workload.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_suites(_args) -> int:
+    rows = []
+    for suite, registry in sorted(SUITES.items()):
+        for name in registry.names():
+            rows.append([suite, name])
+    print(render_table(["suite", "workload"], rows, title="Available workloads"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    store = _store(args)
+    times = store.execution_times()
+    sampler = StemRootSampler(epsilon=args.epsilon)
+    plan = sampler.build_plan(store.workload, times, seed=args.seed)
+    # Recover cluster membership for exact per-cluster statistics.
+    import numpy as np
+
+    rng = np.random.default_rng(args.seed)
+    labeled = sampler.cluster(store.workload, times, rng=rng)
+    counter = {}
+    members = {}
+    for lc in labeled:
+        i = counter.get(lc.name, 0)
+        counter[lc.name] = i + 1
+        members[f"{lc.name}#{i}"] = lc.indices
+    report = build_report(plan, times, cluster_members=members)
+    print(report.to_text(top=args.top))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    store = _store(args)
+    plan = StemRootSampler(epsilon=args.epsilon).build_plan_from_store(
+        store, seed=args.seed
+    )
+    count = write_sampled_trace(args.output, store.workload, plan)
+    print(
+        f"wrote {count} sampled-kernel records "
+        f"(of {len(store.workload)} launches) to {args.output}"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "sample": _cmd_sample,
+    "compare": _cmd_compare,
+    "suites": _cmd_suites,
+    "report": _cmd_report,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Bootstrap confidence intervals for sampled-simulation estimates.
+
+STEM's CLT bound is *a priori*: it holds for the planned sample sizes
+before any sample is drawn.  After the sampled simulation has run, a
+bootstrap over the collected samples gives an *a posteriori* confidence
+interval on the total-time estimate — a practical companion for users
+who want error bars on a specific run rather than a design-time bound.
+
+The resampling respects the plan's stratification: each cluster's samples
+are resampled with replacement within the cluster, the weighted-sum
+estimate is recomputed, and the interval comes from percentiles of the
+bootstrap distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .plan import SamplingPlan
+
+__all__ = ["BootstrapInterval", "bootstrap_estimate"]
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A bootstrap confidence interval on the estimated total."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+    num_resamples: int
+
+    @property
+    def half_width_percent(self) -> float:
+        """Half-width of the interval relative to the estimate, percent."""
+        if self.estimate == 0:
+            return float("inf")
+        return (self.upper - self.lower) / 2.0 / abs(self.estimate) * 100.0
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+
+def bootstrap_estimate(
+    plan: SamplingPlan,
+    times: np.ndarray,
+    confidence: float = 0.95,
+    num_resamples: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+    seed: int = 0,
+) -> BootstrapInterval:
+    """Stratified bootstrap CI for a plan's total-time estimate.
+
+    Clusters with a single sample contribute no resampling variance
+    (their one observation is pinned) — exactly the blind spot that makes
+    single-sample-per-cluster baselines overconfident, visible here as
+    deceptively tight intervals around possibly-biased estimates.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if num_resamples < 1:
+        raise ValueError("num_resamples must be positive")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+
+    cluster_values = [times[c.sampled_indices] for c in plan.clusters]
+    weights = np.array([c.member_count for c in plan.clusters], dtype=np.float64)
+
+    estimates = np.empty(num_resamples, dtype=np.float64)
+    for b in range(num_resamples):
+        total = 0.0
+        for values, weight in zip(cluster_values, weights):
+            if len(values) == 1:
+                total += weight * float(values[0])
+            else:
+                resample = values[rng.integers(0, len(values), size=len(values))]
+                total += weight * float(resample.mean())
+        estimates[b] = total
+
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(estimates, [alpha, 1.0 - alpha])
+    return BootstrapInterval(
+        estimate=plan.estimate_total(times),
+        lower=float(lower),
+        upper=float(upper),
+        confidence=confidence,
+        num_resamples=num_resamples,
+    )

@@ -1,0 +1,154 @@
+"""Simulation-budget planning: inverting STEM's error/time tradeoff.
+
+STEM answers "how many samples for error bound ε?".  Users often ask the
+inverse: "I can afford to simulate τ microseconds — what error bound is
+achievable, and what plan spends my budget best?"  The KKT solution makes
+the inversion closed-form: with ``a_i = μ_i`` and ``b_i = N_i²σ_i²``, the
+continuous-optimal simulated time at bound ε is
+
+    τ(ε) = Σ_i m_i μ_i = (z/ε)² · (Σ_j √(a_j b_j))² / (Σ_i N_i μ_i)²
+
+so τ scales as 1/ε² and
+
+    ε(τ) = z · Σ_j √(a_j b_j) / (Σ_i N_i μ_i · √(τ · Σ_i N_i μ_i))  —
+
+equivalently ``ε = sqrt(τ(1)/τ)`` relative to any reference point.  The
+per-cluster sample floor (m_i ≥ 1) makes small budgets unreachable; the
+planner reports the floor cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .stem import (
+    DEFAULT_Z,
+    ClusterStats,
+    kkt_sample_sizes,
+    predicted_error_multi,
+    predicted_simulated_time,
+)
+
+__all__ = ["BudgetPlan", "epsilon_for_budget", "plan_for_budget"]
+
+
+@dataclass(frozen=True)
+class BudgetPlan:
+    """Outcome of planning against a simulated-time budget."""
+
+    target_budget: float
+    achievable_epsilon: float
+    sample_sizes: np.ndarray
+    predicted_time: float
+    predicted_error: float
+    #: Minimum possible simulated time (one sample per cluster).
+    floor_time: float
+
+    @property
+    def within_budget(self) -> bool:
+        return self.predicted_time <= self.target_budget * (1 + 1e-9)
+
+
+def epsilon_for_budget(
+    clusters: Sequence[ClusterStats],
+    budget: float,
+    z: float = DEFAULT_Z,
+) -> float:
+    """Smallest error bound whose continuous-optimal time fits ``budget``.
+
+    Ignores the one-sample floor (handled by :func:`plan_for_budget`);
+    returns ``inf``-like 1.0 ceiling-free values are never produced —
+    the result is clamped to (0, 1].
+    """
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    if not clusters:
+        raise ValueError("need at least one cluster")
+    sqrt_ab = sum(math.sqrt(c.mu) * c.n * c.sigma for c in clusters)
+    if sqrt_ab == 0:
+        # All clusters are zero-variance: any epsilon is achievable.
+        return 1e-12
+    total = sum(c.total for c in clusters)
+    epsilon = z * sqrt_ab / (total * math.sqrt(budget))
+    return min(epsilon, 1.0)
+
+
+def plan_for_budget(
+    clusters: Sequence[ClusterStats],
+    budget: float,
+    z: float = DEFAULT_Z,
+    tolerance: float = 1e-3,
+    max_iterations: int = 60,
+) -> BudgetPlan:
+    """Integer sample-size allocation that best uses a time budget.
+
+    Starts from the closed-form epsilon and bisects around the integer
+    effects (ceilings and one-sample floors) so the realized
+    ``Σ m_i μ_i`` lands at or just under the budget.  When even the
+    one-sample floor exceeds the budget, the floor allocation is returned
+    with ``within_budget == False``.
+    """
+    floor_sizes = np.ones(len(clusters), dtype=np.int64)
+    floor_time = predicted_simulated_time(clusters, floor_sizes)
+    if floor_time >= budget:
+        return BudgetPlan(
+            target_budget=budget,
+            achievable_epsilon=predicted_error_multi(clusters, floor_sizes, z=z),
+            sample_sizes=floor_sizes,
+            predicted_time=floor_time,
+            predicted_error=predicted_error_multi(clusters, floor_sizes, z=z),
+            floor_time=floor_time,
+        )
+
+    # Clamp the bracket away from zero: with near-zero variances the
+    # closed-form epsilon underflows, and any positive bound already fits.
+    lo = max(epsilon_for_budget(clusters, budget, z=z) * 0.25, 1e-12)
+    # Integer ceilings and per-cluster caps can keep tau above the budget
+    # even at epsilon = 1; expand the bracket until it fits (the floor
+    # check above guarantees a fitting allocation exists).
+    hi = 1.0
+    best: Optional[BudgetPlan] = None
+    for _ in range(64):
+        sizes = np.minimum(
+            kkt_sample_sizes(clusters, epsilon=hi, z=z), [c.n for c in clusters]
+        )
+        tau = predicted_simulated_time(clusters, sizes)
+        if tau <= budget:
+            # Seed the search with the first feasible endpoint.
+            best = BudgetPlan(
+                target_budget=budget,
+                achievable_epsilon=hi,
+                sample_sizes=sizes,
+                predicted_time=tau,
+                predicted_error=predicted_error_multi(clusters, sizes, z=z),
+                floor_time=floor_time,
+            )
+            break
+        hi *= 2.0
+    for _ in range(max_iterations):
+        epsilon = math.sqrt(lo * hi)
+        sizes = kkt_sample_sizes(clusters, epsilon=epsilon, z=z)
+        sizes = np.minimum(sizes, [c.n for c in clusters])
+        tau = predicted_simulated_time(clusters, sizes)
+        if tau <= budget:
+            candidate = BudgetPlan(
+                target_budget=budget,
+                achievable_epsilon=epsilon,
+                sample_sizes=sizes,
+                predicted_time=tau,
+                predicted_error=predicted_error_multi(clusters, sizes, z=z),
+                floor_time=floor_time,
+            )
+            if best is None or candidate.achievable_epsilon < best.achievable_epsilon:
+                best = candidate
+            hi = epsilon  # try a tighter bound
+        else:
+            lo = epsilon  # over budget: loosen
+        if hi / lo < 1 + tolerance:
+            break
+    assert best is not None  # floor_time < budget guarantees feasibility
+    return best

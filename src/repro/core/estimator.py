@@ -1,0 +1,118 @@
+"""Sampled-simulation evaluation: error and speedup of a sampling plan.
+
+Implements the paper's evaluation definitions (Secs. 3.1 and 5):
+
+* sampling error ``e = |t_total - t*| / t* * 100%`` (Eq. 1), where
+  ``t_total`` is the plan's weighted-sum estimate and ``t*`` the full
+  ground truth;
+* speedup = full-workload cycles / cycles actually simulated (the unique
+  sampled kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..profiling.metrics import COUNT_METRICS, aggregate_metrics
+from .plan import SamplingPlan
+
+__all__ = ["SampledSimulationResult", "evaluate_plan", "estimate_metrics", "sampling_error_percent"]
+
+
+def sampling_error_percent(estimated: float, truth: float) -> float:
+    """Eq. (1): absolute relative error, in percent."""
+    if truth == 0:
+        raise ValueError("ground-truth total must be non-zero")
+    return abs(estimated - truth) / abs(truth) * 100.0
+
+
+@dataclass(frozen=True)
+class SampledSimulationResult:
+    """Outcome of evaluating one plan against ground-truth times."""
+
+    method: str
+    workload: str
+    true_total: float
+    estimated_total: float
+    simulated_time: float
+    num_samples: int
+    num_unique_samples: int
+    num_clusters: int
+
+    @property
+    def error_percent(self) -> float:
+        return sampling_error_percent(self.estimated_total, self.true_total)
+
+    @property
+    def speedup(self) -> float:
+        """Full simulation length over sampled simulation length."""
+        if self.simulated_time <= 0:
+            return float("inf")
+        return self.true_total / self.simulated_time
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "error_percent": self.error_percent,
+            "speedup": self.speedup,
+            "num_samples": float(self.num_samples),
+            "num_unique_samples": float(self.num_unique_samples),
+            "num_clusters": float(self.num_clusters),
+        }
+
+
+def evaluate_plan(plan: SamplingPlan, times: np.ndarray) -> SampledSimulationResult:
+    """Score a sampling plan against per-invocation ground-truth times."""
+    true_total = float(np.sum(times))
+    estimated = plan.estimate_total(times)
+    return SampledSimulationResult(
+        method=plan.method,
+        workload=plan.workload_name,
+        true_total=true_total,
+        estimated_total=estimated,
+        simulated_time=plan.simulated_cost(times),
+        num_samples=plan.num_samples,
+        num_unique_samples=len(plan.unique_indices()),
+        num_clusters=plan.num_clusters,
+    )
+
+
+def estimate_metrics(
+    plan: SamplingPlan, per_invocation: Dict[str, np.ndarray]
+) -> Dict[str, float]:
+    """Weighted-sum estimate of workload-level microarchitectural metrics.
+
+    Count metrics extrapolate by cluster weights (``N_i * mean over the
+    cluster's samples``); rate metrics take the weight-proportional mean —
+    mirroring :func:`repro.profiling.metrics.aggregate_metrics` so the
+    estimate is directly comparable with the full-workload aggregate.
+    """
+    estimates: Dict[str, float] = {}
+    total_represented = float(plan.represented_invocations)
+    for name, values in per_invocation.items():
+        total = plan.estimate_total(values)
+        if name in COUNT_METRICS:
+            estimates[name] = total
+        else:
+            estimates[name] = total / total_represented
+    return estimates
+
+
+def metric_error_percents(
+    full: Dict[str, float], estimated: Dict[str, float]
+) -> Dict[str, float]:
+    """Per-metric sampling error (%) between full and estimated values."""
+    errors: Dict[str, float] = {}
+    for name, truth in full.items():
+        if name not in estimated:
+            continue
+        if truth == 0:
+            errors[name] = 0.0 if estimated[name] == 0 else float("inf")
+        else:
+            errors[name] = abs(estimated[name] - truth) / abs(truth) * 100.0
+    return errors
+
+
+__all__.append("metric_error_percents")

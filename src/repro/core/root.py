@@ -1,0 +1,183 @@
+"""ROOT: recursive fine-grained clustering of kernel execution times.
+
+Section 3.4 of the paper: given the invocations of one kernel, ROOT
+recursively splits them by k-means on execution time (k=2 by default) and
+keeps a split only if STEM predicts the split lowers total simulated time
+(Eqs. 7–8).  The recursion isolates each performance peak into its own
+cluster without knowing the number of peaks a priori, and stops before
+over-partitioning: splitting a unimodal cluster does not reduce variance
+enough to pay for the extra per-cluster samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .clustering import kmeans_1d
+from .stem import (
+    DEFAULT_EPSILON,
+    DEFAULT_Z,
+    ClusterStats,
+    kkt_sample_sizes,
+    predicted_simulated_time,
+    single_cluster_sample_size,
+)
+
+__all__ = ["RootConfig", "RootCluster", "root_split", "RootTreeNode"]
+
+
+@dataclass(frozen=True)
+class RootConfig:
+    """Tuning knobs of the ROOT recursion."""
+
+    epsilon: float = DEFAULT_EPSILON
+    z: float = DEFAULT_Z
+    #: Subclusters per split; the paper uses 2 and notes any k >= 2 works.
+    k: int = 2
+    #: Clusters smaller than this are never split further.
+    min_cluster_size: int = 8
+    #: Hard recursion-depth cap (2^16 leaves is far beyond any real need).
+    max_depth: int = 16
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if self.k < 2:
+            raise ValueError("k must be at least 2")
+        if self.min_cluster_size < 2:
+            raise ValueError("min_cluster_size must be at least 2")
+        if self.max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+
+
+@dataclass(frozen=True)
+class RootCluster:
+    """A leaf cluster: invocation indices plus their time statistics."""
+
+    indices: np.ndarray
+    stats: ClusterStats
+    depth: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.indices)
+
+
+@dataclass
+class RootTreeNode:
+    """Optional record of the recursion tree, for inspection and plots."""
+
+    stats: ClusterStats
+    depth: int
+    accepted_split: bool = False
+    children: List["RootTreeNode"] = field(default_factory=list)
+
+    def leaf_count(self) -> int:
+        if not self.children:
+            return 1
+        return sum(child.leaf_count() for child in self.children)
+
+
+def _split_gain(
+    parent: ClusterStats,
+    children: List[ClusterStats],
+    config: RootConfig,
+) -> bool:
+    """Eqs. (7)–(8): does the split reduce predicted simulated time?
+
+    tau_old uses the single-cluster Eq. (3) sample size; tau_new uses the
+    joint KKT allocation (Eq. 6) over the children.
+    """
+    m_old = single_cluster_sample_size(parent, epsilon=config.epsilon, z=config.z)
+    tau_old = m_old * parent.mu
+    m_new = kkt_sample_sizes(children, epsilon=config.epsilon, z=config.z)
+    tau_new = predicted_simulated_time(children, m_new)
+    return tau_new < tau_old
+
+
+def root_split(
+    times: np.ndarray,
+    indices: Optional[np.ndarray] = None,
+    config: Optional[RootConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+    tree: Optional[RootTreeNode] = None,
+    _depth: int = 0,
+) -> List[RootCluster]:
+    """Recursively cluster one kernel's invocations by execution time.
+
+    Parameters
+    ----------
+    times:
+        Execution times of *all* invocations in this cluster.
+    indices:
+        Workload-level invocation indices corresponding to ``times``
+        (defaults to ``arange(len(times))``).
+    config:
+        Recursion knobs; defaults to the paper's settings.
+    rng:
+        Randomness source for k-means seeding.
+    tree:
+        When given, the recursion records its decisions into this node.
+
+    Returns
+    -------
+    The list of leaf clusters whose union is exactly the input.
+    """
+    t = np.asarray(times, dtype=np.float64)
+    if indices is None:
+        indices = np.arange(len(t), dtype=np.int64)
+    else:
+        indices = np.asarray(indices, dtype=np.int64)
+    if len(t) != len(indices):
+        raise ValueError("times and indices must align")
+    if len(t) == 0:
+        return []
+    if config is None:
+        config = RootConfig()
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    stats = ClusterStats.from_times(t)
+    if tree is not None:
+        tree.stats = stats
+        tree.depth = _depth
+    leaf = RootCluster(indices=indices, stats=stats, depth=_depth)
+
+    if (
+        len(t) < config.min_cluster_size
+        or _depth >= config.max_depth
+        or stats.sigma == 0.0
+    ):
+        return [leaf]
+
+    result = kmeans_1d(t, config.k, rng=rng)
+    member_lists = [m for m in result.cluster_indices() if len(m)]
+    if len(member_lists) < 2:
+        return [leaf]
+    children_stats = [ClusterStats.from_times(t[m]) for m in member_lists]
+
+    if not _split_gain(stats, children_stats, config):
+        return [leaf]
+
+    if tree is not None:
+        tree.accepted_split = True
+    leaves: List[RootCluster] = []
+    for members in member_lists:
+        child_tree = None
+        if tree is not None:
+            child_tree = RootTreeNode(stats=stats, depth=_depth + 1)
+            tree.children.append(child_tree)
+        leaves.extend(
+            root_split(
+                t[members],
+                indices[members],
+                config=config,
+                rng=rng,
+                tree=child_tree,
+                _depth=_depth + 1,
+            )
+        )
+    return leaves

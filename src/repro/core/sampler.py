@@ -1,0 +1,187 @@
+"""The STEM+ROOT sampler: execution-time-driven kernel-level sampling.
+
+End-to-end flow (paper Figure 3):
+
+1. group invocations by kernel name;
+2. ROOT recursively splits each name group by execution time, producing
+   fine-grained leaf clusters (one per performance peak);
+3. STEM's joint KKT solver (Eq. 6) allocates sample sizes across *all*
+   leaf clusters at once under the global error bound;
+4. representatives are drawn by random sampling with replacement (the
+   i.i.d. requirement of the CLT), yielding a :class:`SamplingPlan`.
+
+Ablation switches: ``use_root=False`` collapses step 2 (one cluster per
+kernel name); ``use_kkt=False`` replaces step 3 with the per-cluster
+Eq. (3) bound; ``replacement=False`` draws without replacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..workloads.workload import Workload
+from .plan import PlanCluster, SamplingPlan
+from .root import RootCluster, RootConfig, root_split
+from .stem import (
+    DEFAULT_EPSILON,
+    DEFAULT_Z,
+    ClusterStats,
+    kkt_sample_sizes,
+    per_cluster_sample_sizes,
+    predicted_error_multi,
+)
+
+__all__ = ["StemRootSampler", "LabeledCluster"]
+
+
+@dataclass(frozen=True)
+class LabeledCluster:
+    """A leaf cluster tagged with the kernel name it came from."""
+
+    name: str
+    cluster: RootCluster
+
+    @property
+    def stats(self) -> ClusterStats:
+        return self.cluster.stats
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self.cluster.indices
+
+
+class StemRootSampler:
+    """Builds STEM+ROOT sampling plans from execution-time profiles."""
+
+    method = "stem"
+
+    def __init__(
+        self,
+        epsilon: float = DEFAULT_EPSILON,
+        z: float = DEFAULT_Z,
+        k: int = 2,
+        min_cluster_size: int = 8,
+        use_root: bool = True,
+        use_kkt: bool = True,
+        replacement: bool = True,
+    ):
+        self.epsilon = epsilon
+        self.z = z
+        self.root_config = RootConfig(
+            epsilon=epsilon, z=z, k=k, min_cluster_size=min_cluster_size
+        )
+        self.use_root = use_root
+        self.use_kkt = use_kkt
+        self.replacement = replacement
+
+    # -- pipeline stages -----------------------------------------------------
+    def cluster(
+        self,
+        workload: Workload,
+        times: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[LabeledCluster]:
+        """Stages 1–2: group by name, then ROOT-split each group."""
+        if len(times) != len(workload):
+            raise ValueError("times must have one entry per invocation")
+        if rng is None:
+            rng = np.random.default_rng(0)
+        clusters: List[LabeledCluster] = []
+        for name, indices in workload.indices_by_name().items():
+            group_times = times[indices]
+            if self.use_root:
+                leaves = root_split(
+                    group_times, indices, config=self.root_config, rng=rng
+                )
+            else:
+                leaves = [
+                    RootCluster(
+                        indices=indices,
+                        stats=ClusterStats.from_times(group_times),
+                    )
+                ]
+            clusters.extend(LabeledCluster(name=name, cluster=leaf) for leaf in leaves)
+        return clusters
+
+    def sample_sizes(self, clusters: List[LabeledCluster]) -> np.ndarray:
+        """Stage 3: allocate samples across all leaf clusters."""
+        stats = [c.stats for c in clusters]
+        if self.use_kkt:
+            sizes = kkt_sample_sizes(stats, epsilon=self.epsilon, z=self.z)
+        else:
+            sizes = per_cluster_sample_sizes(stats, epsilon=self.epsilon, z=self.z)
+        # Never request more samples than a cluster holds: simulating every
+        # member once already reproduces the cluster exactly.
+        caps = np.array([c.cluster.size for c in clusters], dtype=np.int64)
+        return np.minimum(sizes, caps)
+
+    def build_plan(
+        self,
+        workload: Workload,
+        times: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ) -> SamplingPlan:
+        """Full pipeline: profile times in, sampling plan out."""
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        clusters = self.cluster(workload, times, rng=rng)
+        sizes = self.sample_sizes(clusters)
+
+        plan_clusters: List[PlanCluster] = []
+        peak_counter: Dict[str, int] = {}
+        for labeled, m in zip(clusters, sizes):
+            peak = peak_counter.get(labeled.name, 0)
+            peak_counter[labeled.name] = peak + 1
+            indices = labeled.indices
+            m = int(m)
+            if self.replacement and m < len(indices):
+                chosen = rng.choice(indices, size=m, replace=True)
+            else:
+                chosen = rng.choice(indices, size=m, replace=False)
+            plan_clusters.append(
+                PlanCluster(
+                    label=f"{labeled.name}#{peak}",
+                    member_count=len(indices),
+                    sampled_indices=np.asarray(chosen, dtype=np.int64),
+                )
+            )
+
+        predicted = predicted_error_multi(
+            [c.stats for c in clusters], sizes, z=self.z
+        )
+        plan = SamplingPlan(
+            method=self.method,
+            workload_name=workload.name,
+            clusters=plan_clusters,
+            metadata={
+                "epsilon": self.epsilon,
+                "z": self.z,
+                "use_root": self.use_root,
+                "use_kkt": self.use_kkt,
+                "replacement": self.replacement,
+                "predicted_error": predicted,
+                "num_leaf_clusters": len(clusters),
+            },
+        )
+        return plan
+
+    def build_plan_from_store(
+        self,
+        store,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ) -> SamplingPlan:
+        """Sampler-protocol entry point used by the experiment runner.
+
+        ``store`` is any object exposing ``workload`` and
+        ``execution_times()`` — in practice a
+        :class:`repro.baselines.base.ProfileStore`, whose nsys view is
+        exactly the lightweight profile STEM consumes.
+        """
+        return self.build_plan(
+            store.workload, store.execution_times(), rng=rng, seed=seed
+        )

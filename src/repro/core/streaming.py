@@ -1,0 +1,241 @@
+"""Streaming (single-pass) profile ingestion for huge workloads.
+
+The paper credits STEM's scalability to needing only kernel execution
+times and a near-linear algorithm (Sec. 5.6: ``O(N log K)`` to
+``O(N log N)``).  For workloads whose profiles do not fit in memory —
+tens of millions of kernel launches streamed from an nsys export — this
+module ingests the profile one chunk at a time:
+
+* per kernel name, a Welford accumulator maintains exact running
+  ``(n, mu, sigma)``;
+* per kernel name, a bounded reservoir keeps a uniform random subsample
+  of (index, time) pairs.
+
+ROOT then clusters the *reservoir* (a consistent estimator of the
+group's distribution), cluster boundaries are derived from it, and every
+streamed invocation can be assigned to its cluster by a second pass — or
+sample selection can simply draw from the reservoir members, which is
+what :meth:`StreamingProfile.build_plan` does.  Memory use is
+``O(#names * reservoir_size)`` regardless of workload length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .plan import PlanCluster, SamplingPlan
+from .root import RootConfig, root_split
+from .stem import DEFAULT_EPSILON, DEFAULT_Z, ClusterStats, kkt_sample_sizes
+
+__all__ = ["WelfordAccumulator", "Reservoir", "StreamingProfile"]
+
+
+class WelfordAccumulator:
+    """Numerically stable running mean/variance."""
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    def add_many(self, values: np.ndarray) -> None:
+        for value in np.asarray(values, dtype=np.float64):
+            self.add(float(value))
+
+    @property
+    def variance(self) -> float:
+        """Population variance (matching ``np.std`` without ddof)."""
+        if self.count == 0:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+    def stats(self) -> ClusterStats:
+        if self.count == 0:
+            raise ValueError("no values accumulated")
+        return ClusterStats(n=self.count, mu=max(self.mean, 1e-300), sigma=self.std)
+
+
+class Reservoir:
+    """Uniform reservoir sample of (index, value) pairs (Algorithm R)."""
+
+    def __init__(self, capacity: int, rng: np.random.Generator):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._rng = rng
+        self.seen = 0
+        self.indices: List[int] = []
+        self.values: List[float] = []
+
+    def offer(self, index: int, value: float) -> None:
+        self.seen += 1
+        if len(self.indices) < self.capacity:
+            self.indices.append(index)
+            self.values.append(value)
+            return
+        slot = int(self._rng.integers(self.seen))
+        if slot < self.capacity:
+            self.indices[slot] = index
+            self.values[slot] = value
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return (
+            np.asarray(self.indices, dtype=np.int64),
+            np.asarray(self.values, dtype=np.float64),
+        )
+
+
+@dataclass
+class StreamingProfile:
+    """One-pass ingestion of a (name, index, time) profile stream."""
+
+    reservoir_size: int = 2048
+    seed: int = 0
+    _accumulators: Dict[str, WelfordAccumulator] = field(default_factory=dict)
+    _reservoirs: Dict[str, Reservoir] = field(default_factory=dict)
+    _total: int = 0
+
+    def _rng_for(self, name: str) -> np.random.Generator:
+        return np.random.default_rng(
+            (hash(name) & 0xFFFFFFFF) ^ (self.seed * 0x9E3779B9 & 0xFFFFFFFF)
+        )
+
+    # -- ingestion ---------------------------------------------------------
+    def ingest(
+        self, names: Iterable[str], indices: np.ndarray, times: np.ndarray
+    ) -> None:
+        """Consume one chunk of the profile stream."""
+        indices = np.asarray(indices)
+        times = np.asarray(times, dtype=np.float64)
+        if len(indices) != len(times):
+            raise ValueError("indices and times must align")
+        for name, index, time in zip(names, indices, times):
+            acc = self._accumulators.get(name)
+            if acc is None:
+                acc = WelfordAccumulator()
+                self._accumulators[name] = acc
+                self._reservoirs[name] = Reservoir(
+                    self.reservoir_size, self._rng_for(name)
+                )
+            acc.add(float(time))
+            self._reservoirs[name].offer(int(index), float(time))
+            self._total += 1
+
+    def ingest_workload_chunked(
+        self, workload, times: np.ndarray, chunk_size: int = 65536
+    ) -> None:
+        """Convenience: stream an in-memory workload chunk by chunk."""
+        name_of_spec = [s.name for s in workload.specs]
+        for start in range(0, len(workload), chunk_size):
+            stop = min(start + chunk_size, len(workload))
+            chunk_names = [
+                name_of_spec[int(sid)] for sid in workload.spec_ids[start:stop]
+            ]
+            self.ingest(chunk_names, np.arange(start, stop), times[start:stop])
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def total_ingested(self) -> int:
+        return self._total
+
+    def kernel_names(self) -> List[str]:
+        return sorted(self._accumulators)
+
+    def group_stats(self, name: str) -> ClusterStats:
+        return self._accumulators[name].stats()
+
+    # -- plan construction -------------------------------------------------------
+    def build_plan(
+        self,
+        epsilon: float = DEFAULT_EPSILON,
+        z: float = DEFAULT_Z,
+        root_config: Optional[RootConfig] = None,
+        seed: int = 0,
+        workload_name: str = "streamed",
+    ) -> SamplingPlan:
+        """STEM+ROOT over the reservoirs.
+
+        Cluster sizes are scaled from reservoir proportions to true group
+        counts, so the plan's weights represent the full stream.  Samples
+        are drawn from reservoir members (a uniform subsample of each
+        group, hence a uniform subsample of each cluster).
+        """
+        rng = np.random.default_rng(seed)
+        config = root_config or RootConfig(epsilon=epsilon, z=z)
+
+        labeled: List[Tuple[str, np.ndarray, ClusterStats]] = []
+        for name in self.kernel_names():
+            indices, values = self._reservoirs[name].as_arrays()
+            group_n = self._accumulators[name].count
+            scale = group_n / max(len(values), 1)
+            leaves = root_split(values, indices, config=config, rng=rng)
+            remaining = group_n
+            for position, leaf in enumerate(leaves):
+                leaves_after = len(leaves) - position - 1
+                if leaves_after == 0:
+                    scaled_n = max(1, remaining)
+                else:
+                    # Leave at least one member for every later leaf, so
+                    # rounding can neither starve them nor overdraw the
+                    # group's true count.
+                    scaled_n = max(
+                        1,
+                        min(
+                            int(round(leaf.size * scale)),
+                            remaining - leaves_after,
+                        ),
+                    )
+                    remaining -= scaled_n
+                labeled.append(
+                    (
+                        name,
+                        leaf.indices,
+                        ClusterStats(
+                            n=scaled_n, mu=leaf.stats.mu, sigma=leaf.stats.sigma
+                        ),
+                    )
+                )
+
+        sizes = kkt_sample_sizes(
+            [stats for _, _, stats in labeled], epsilon=epsilon, z=z
+        )
+        clusters: List[PlanCluster] = []
+        counter: Dict[str, int] = {}
+        for (name, member_indices, stats), m in zip(labeled, sizes):
+            peak = counter.get(name, 0)
+            counter[name] = peak + 1
+            m = int(min(m, len(member_indices)))
+            chosen = rng.choice(member_indices, size=m, replace=(m < len(member_indices)))
+            clusters.append(
+                PlanCluster(
+                    label=f"{name}#{peak}",
+                    member_count=stats.n,
+                    sampled_indices=np.asarray(chosen, dtype=np.int64),
+                )
+            )
+        return SamplingPlan(
+            method="stem-streaming",
+            workload_name=workload_name,
+            clusters=clusters,
+            metadata={
+                "epsilon": epsilon,
+                "z": z,
+                "reservoir_size": self.reservoir_size,
+                "total_ingested": self._total,
+            },
+        )

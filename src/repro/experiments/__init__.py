@@ -1,0 +1,37 @@
+"""Experiment modules, one per paper table/figure (see DESIGN.md index)."""
+
+from . import (
+    cross_gpu,
+    dse,
+    error_bound_sweep,
+    export,
+    figure1,
+    identical_kernels,
+    microarch_metrics,
+    profiling_overhead,
+    scalability,
+    speedup_error,
+    table2,
+    warmup_study,
+)
+from .runner import METHODS, ExperimentConfig, ResultRow, run_suite, run_workload
+
+__all__ = [
+    "METHODS",
+    "ExperimentConfig",
+    "ResultRow",
+    "run_workload",
+    "run_suite",
+    "speedup_error",
+    "error_bound_sweep",
+    "identical_kernels",
+    "microarch_metrics",
+    "cross_gpu",
+    "profiling_overhead",
+    "figure1",
+    "dse",
+    "table2",
+    "warmup_study",
+    "scalability",
+    "export",
+]

@@ -1,0 +1,82 @@
+"""Cross-GPU portability of sampling information (Figure 13).
+
+Builds STEM sampling plans from kernel profiles collected on the H100 and
+scores them against execution times measured on the H200 — a newer part
+whose main upgrades are memory capacity and bandwidth.  The paper reports
+an average error of 5.46%, with the memory-intensive ``dlrm`` workload
+worst because the H200's memory-subsystem upgrade shifts exactly the
+kernels whose behaviour the H100 profile captured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..baselines import ProfileStore
+from ..core import StemRootSampler, evaluate_plan
+from ..hardware import H100, H200, GPUConfig, TimingModel
+from ..workloads import load_suite
+
+__all__ = ["CrossGpuResult", "run_cross_gpu", "PAPER_FIGURE13_MEAN_ERROR"]
+
+#: The paper's average H100->H200 sampling error.
+PAPER_FIGURE13_MEAN_ERROR = 5.46
+
+
+@dataclass(frozen=True)
+class CrossGpuResult:
+    """Per-workload error when H100-derived sampling runs on the H200."""
+
+    workload: str
+    error_percent: float
+    same_gpu_error_percent: float
+    speedup: float
+
+
+def run_cross_gpu(
+    suite: str = "casio",
+    source_gpu: Optional[GPUConfig] = None,
+    target_gpu: Optional[GPUConfig] = None,
+    epsilon: float = 0.05,
+    repetitions: int = 5,
+    seed: int = 0,
+    workload_scale: float = 1.0,
+) -> List[CrossGpuResult]:
+    """Profile on ``source_gpu``, evaluate on ``target_gpu``.
+
+    Returns per-workload mean errors across repetitions, alongside the
+    same-GPU error for reference.
+    """
+    source = source_gpu or H100
+    target = target_gpu or H200
+    workloads = load_suite(suite, scale=workload_scale, seed=seed)
+    results: List[CrossGpuResult] = []
+    for workload in workloads:
+        cross_errors, same_errors, speedups = [], [], []
+        for rep in range(repetitions):
+            rep_seed = seed + rep * 1013 + 1
+            store = ProfileStore(workload, source, seed=rep_seed)
+            source_times = store.execution_times()
+            # Same workload on the target GPU, independent hardware noise.
+            target_times = TimingModel(target).execution_times(
+                workload, seed=rep_seed + 7_777
+            )
+            sampler = StemRootSampler(epsilon=epsilon)
+            plan = sampler.build_plan(workload, source_times, seed=rep_seed)
+            cross = evaluate_plan(plan, target_times)
+            same = evaluate_plan(plan, source_times)
+            cross_errors.append(cross.error_percent)
+            same_errors.append(same.error_percent)
+            speedups.append(cross.speedup)
+        results.append(
+            CrossGpuResult(
+                workload=workload.name,
+                error_percent=float(np.mean(cross_errors)),
+                same_gpu_error_percent=float(np.mean(same_errors)),
+                speedup=float(np.mean(speedups)),
+            )
+        )
+    return results

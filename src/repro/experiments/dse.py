@@ -1,0 +1,180 @@
+"""Design-space exploration on the cycle-level simulator (Table 4, Fig. 12).
+
+Follows the paper's Sec. 5.4 methodology:
+
+1. take reduced-size Rodinia and HuggingFace workloads (small enough to
+   simulate fully);
+2. build each method's sampling plan ONCE, from execution-time profiles
+   collected on the *baseline* hardware — sampling information is never
+   recomputed for the hardware variants;
+3. fully simulate every workload on each microarchitectural variant
+   (baseline, cache x2, cache x1/2, SMs x2, SMs x1/2) with the
+   cycle-level simulator;
+4. score each plan's weighted-sum cycle estimate against the full
+   simulation's cycle count per variant.
+
+The paper's expectation: STEM's error stays low and flat across variants
+(~2%) while PKA/Sieve sit at ~17-28% and Photon ~5-6%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..baselines import ProfileStore
+from ..core import evaluate_plan
+from ..hardware import RTX_2080, GPUConfig, dse_variants
+from ..sim import GpuSimulator
+from ..workloads import load_workload
+from .runner import ExperimentConfig
+
+__all__ = [
+    "DseResult",
+    "DseWorkloadSpec",
+    "default_dse_workloads",
+    "run_dse",
+    "PAPER_TABLE4",
+]
+
+#: Paper Table 4: {variant: {method: error%}}.
+PAPER_TABLE4: Dict[str, Dict[str, float]] = {
+    "baseline": {"pka": 20.06, "sieve": 24.40, "photon": 5.96, "stem": 2.03},
+    "cache_x2": {"pka": 22.66, "sieve": 25.67, "photon": 5.44, "stem": 1.93},
+    "cache_x0.5": {"pka": 16.65, "sieve": 22.61, "photon": 5.33, "stem": 1.96},
+    "sm_x2": {"pka": 17.90, "sieve": 28.18, "photon": 6.49, "stem": 2.28},
+    "sm_x0.5": {"pka": 23.68, "sieve": 23.08, "photon": 5.14, "stem": 2.30},
+}
+
+VARIANT_LABELS = ["baseline", "cache_x2", "cache_x0.5", "sm_x2", "sm_x0.5"]
+
+
+@dataclass(frozen=True)
+class DseWorkloadSpec:
+    """A reduced workload used for full cycle-level simulation."""
+
+    suite: str
+    name: str
+    scale: float
+    max_invocations: int
+
+
+def default_dse_workloads(max_invocations: int = 200) -> List[DseWorkloadSpec]:
+    """11 Rodinia + 6 HuggingFace workloads, reduced (paper Sec. 5.4)."""
+    rodinia = [
+        "backprop", "bfs", "btree", "cfd", "gaussian", "heartwall",
+        "hotspot", "kmeans", "lud", "nw", "pf_naive",
+    ]
+    huggingface = ["bert", "bloom", "deit", "gemma", "gpt2", "resnet50"]
+    specs = [
+        DseWorkloadSpec("rodinia", name, 0.1, max_invocations) for name in rodinia
+    ]
+    specs += [
+        DseWorkloadSpec("huggingface", name, 0.002, max_invocations)
+        for name in huggingface
+    ]
+    return specs
+
+
+@dataclass(frozen=True)
+class DseResult:
+    """One (workload, variant, method) evaluation."""
+
+    workload: str
+    variant: str
+    method: str
+    error_percent: float
+    estimated_cycles: float
+    full_cycles: float
+
+
+def run_dse(
+    workloads: Optional[List[DseWorkloadSpec]] = None,
+    baseline_gpu: Optional[GPUConfig] = None,
+    methods: Optional[List[str]] = None,
+    repetitions: int = 3,
+    seed: int = 0,
+    epsilon: float = 0.05,
+) -> List[DseResult]:
+    """Full DSE grid; returns flat per-(workload, variant, method) rows.
+
+    Sampling plans are built from baseline-hardware profiles and held
+    fixed across variants; repetitions re-draw the random parts of each
+    plan and average the resulting errors.
+    """
+    baseline = baseline_gpu or RTX_2080
+    variants: List[Tuple[str, GPUConfig]] = list(
+        zip(VARIANT_LABELS, dse_variants(baseline))
+    )
+    methods = methods or ["pka", "sieve", "photon", "stem"]
+    config = ExperimentConfig(gpu=baseline, epsilon=epsilon)
+    results: List[DseResult] = []
+
+    for spec in workloads or default_dse_workloads():
+        workload = load_workload(spec.suite, spec.name, scale=spec.scale, seed=seed)
+        if len(workload) > spec.max_invocations:
+            # Strided reduction keeps every kernel type and launch phase
+            # represented (a head() slice would keep only the first ones).
+            picks = np.linspace(0, len(workload) - 1, spec.max_invocations)
+            workload = workload.subset(
+                np.unique(picks.astype(np.int64)), name=spec.name
+            )
+
+        # Full cycle-level simulation per variant (deterministic per seed).
+        variant_cycles: Dict[str, np.ndarray] = {}
+        for label, gpu in variants:
+            simulator = GpuSimulator(gpu)
+            variant_cycles[label] = simulator.cycle_counts(workload, seed=seed)
+
+        # Plans from baseline profiles, evaluated against every variant.
+        error_sums: Dict[Tuple[str, str], List[float]] = {}
+        estimate_sums: Dict[Tuple[str, str], List[float]] = {}
+        for rep in range(repetitions):
+            rep_seed = seed + rep * 1009 + 1
+            store = ProfileStore(workload, baseline, seed=rep_seed)
+            for method in methods:
+                sampler = config.sampler_for(method, workload)
+                try:
+                    if hasattr(sampler, "build_plan_from_store"):
+                        plan = sampler.build_plan_from_store(store, seed=rep_seed)
+                    else:
+                        plan = sampler.build_plan(store, seed=rep_seed)
+                except RuntimeError:
+                    continue
+                for label, _gpu in variants:
+                    outcome = evaluate_plan(plan, variant_cycles[label])
+                    error_sums.setdefault((method, label), []).append(
+                        outcome.error_percent
+                    )
+                    estimate_sums.setdefault((method, label), []).append(
+                        outcome.estimated_total
+                    )
+
+        for (method, label), errors in sorted(error_sums.items()):
+            results.append(
+                DseResult(
+                    workload=spec.name,
+                    variant=label,
+                    method=method,
+                    error_percent=float(np.mean(errors)),
+                    estimated_cycles=float(np.mean(estimate_sums[(method, label)])),
+                    full_cycles=float(variant_cycles[label].sum()),
+                )
+            )
+    return results
+
+
+def table4_summary(results: List[DseResult]) -> Dict[str, Dict[str, float]]:
+    """{variant: {method: mean error%}} — the Table 4 grid."""
+    grouped: Dict[Tuple[str, str], List[float]] = {}
+    for row in results:
+        grouped.setdefault((row.variant, row.method), []).append(row.error_percent)
+    table: Dict[str, Dict[str, float]] = {}
+    for (variant, method), errors in grouped.items():
+        table.setdefault(variant, {})[method] = float(np.mean(errors))
+    return table
+
+
+__all__.append("table4_summary")

@@ -1,0 +1,72 @@
+"""Error-bound sensitivity sweep (Figure 11).
+
+Varies STEM's error bound epsilon over the CASIO suite at a fixed 95%
+confidence level and records the speedup/error tradeoff.  The paper's
+reference points: eps=3% gave 0.18% error at 76.46x speedup; eps=25% gave
+2.00% error at 228.53x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.metrics import harmonic_mean
+from .runner import ExperimentConfig, run_suite
+
+__all__ = ["SweepPoint", "run_error_bound_sweep", "PAPER_FIGURE11", "DEFAULT_EPSILONS"]
+
+DEFAULT_EPSILONS = (0.03, 0.05, 0.10, 0.25)
+
+#: Paper reference points: {epsilon: (speedup, error%)}.
+PAPER_FIGURE11 = {0.03: (76.46, 0.18), 0.25: (228.53, 2.00)}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregate outcome of one epsilon setting."""
+
+    epsilon: float
+    speedup: float
+    error_percent: float
+    mean_samples: float
+
+
+def run_error_bound_sweep(
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    config: Optional[ExperimentConfig] = None,
+    suite: str = "casio",
+) -> List[SweepPoint]:
+    """STEM-only sweep of the error bound over one suite."""
+    if config is None:
+        config = ExperimentConfig()
+    points: List[SweepPoint] = []
+    for epsilon in epsilons:
+        cfg = ExperimentConfig(
+            gpu=config.gpu,
+            repetitions=config.repetitions,
+            base_seed=config.base_seed,
+            epsilon=epsilon,
+            workload_scale=config.workload_scale,
+        )
+        rows = run_suite(suite, config=cfg, methods=["stem"])
+        # Average per workload first, then across workloads.
+        by_workload: Dict[str, List] = {}
+        for row in rows:
+            by_workload.setdefault(row.workload, []).append(row)
+        speeds, errors, samples = [], [], []
+        for reps in by_workload.values():
+            speeds.append(harmonic_mean([r.speedup for r in reps]))
+            errors.append(float(np.mean([r.error_percent for r in reps])))
+            samples.append(float(np.mean([r.num_samples for r in reps])))
+        points.append(
+            SweepPoint(
+                epsilon=epsilon,
+                speedup=harmonic_mean(speeds),
+                error_percent=float(np.mean(errors)),
+                mean_samples=float(np.mean(samples)),
+            )
+        )
+    return points

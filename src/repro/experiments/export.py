@@ -1,0 +1,60 @@
+"""CSV export of experiment results.
+
+The paper's artifact ships per-figure CSV files; this module provides the
+same convenience for every experiment's flat result rows so plots can be
+regenerated outside Python.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Iterable, List, Mapping, Union
+
+__all__ = ["rows_to_dicts", "save_rows_csv", "load_rows_csv"]
+
+
+def rows_to_dicts(rows: Iterable[object]) -> List[dict]:
+    """Normalize result rows (dataclasses or mappings) to dictionaries."""
+    out: List[dict] = []
+    for row in rows:
+        if is_dataclass(row) and not isinstance(row, type):
+            out.append(asdict(row))
+        elif isinstance(row, Mapping):
+            out.append(dict(row))
+        elif hasattr(row, "as_dict"):
+            out.append(dict(row.as_dict()))
+        else:
+            raise TypeError(f"cannot convert {type(row).__name__} to a CSV row")
+    return out
+
+
+def save_rows_csv(rows: Iterable[object], path: Union[str, Path]) -> int:
+    """Write rows to CSV; returns the number of data rows written.
+
+    The header is the union of keys across rows, in first-seen order, so
+    heterogeneous row types can share a file.
+    """
+    dicts = rows_to_dicts(rows)
+    if not dicts:
+        raise ValueError("no rows to write")
+    fields: List[str] = []
+    for row in dicts:
+        for key in row:
+            if key not in fields:
+                fields.append(key)
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields, restval="")
+        writer.writeheader()
+        for row in dicts:
+            writer.writerow(row)
+    return len(dicts)
+
+
+def load_rows_csv(path: Union[str, Path]) -> List[dict]:
+    """Read a CSV written by :func:`save_rows_csv` (values stay strings)."""
+    path = Path(path)
+    with path.open(newline="") as fh:
+        return [dict(row) for row in csv.DictReader(fh)]

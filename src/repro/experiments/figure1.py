@@ -1,0 +1,70 @@
+"""Runtime-heterogeneity histograms (Figure 1).
+
+Collects execution-time distributions of repeatedly invoked kernels from
+CASIO-style ML workloads and classifies each distribution's shape — the
+observation motivating the whole methodology: multi-peak kernels
+(``bn_fw_inf``, ``sgemm_128x64``) and wide memory-bound kernels
+(``max_pool``) coexist in one workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis.histogram import KernelShape, classify_times
+from ..baselines import ProfileStore
+from ..hardware import RTX_2080, GPUConfig
+from ..workloads import load_workload
+
+__all__ = ["KernelHistogram", "run_figure1"]
+
+
+@dataclass(frozen=True)
+class KernelHistogram:
+    """One kernel's execution-time sample and its classified shape."""
+
+    workload: str
+    kernel: str
+    times: np.ndarray
+    shape: KernelShape
+
+
+def run_figure1(
+    workload_names: Optional[List[str]] = None,
+    suite: str = "casio",
+    gpu: Optional[GPUConfig] = None,
+    seed: int = 0,
+    workload_scale: float = 1.0,
+) -> List[KernelHistogram]:
+    """Per-kernel execution-time distributions from ML workloads."""
+    gpu = gpu or RTX_2080
+    histograms: List[KernelHistogram] = []
+    for name in workload_names or ["resnet50_infer", "bert_infer"]:
+        workload = load_workload(suite, name, scale=workload_scale, seed=seed)
+        store = ProfileStore(workload, gpu, seed=seed)
+        times = store.execution_times()
+        for kernel_name, indices in workload.indices_by_name().items():
+            kernel_times = times[indices]
+            histograms.append(
+                KernelHistogram(
+                    workload=name,
+                    kernel=kernel_name,
+                    times=kernel_times,
+                    shape=classify_times(kernel_times),
+                )
+            )
+    return histograms
+
+
+def shape_census(histograms: List[KernelHistogram]) -> Dict[str, int]:
+    """Count of kernels per shape label — the Figure 2 taxonomy summary."""
+    census: Dict[str, int] = {}
+    for h in histograms:
+        census[h.shape.label] = census.get(h.shape.label, 0) + 1
+    return census
+
+
+__all__.append("shape_census")

@@ -1,0 +1,76 @@
+"""Microarchitectural-metric validation (Figure 14).
+
+Compares full-workload aggregates of the 13 microarchitectural metrics
+against the weighted-sum estimate from a STEM-sampled workload, on
+``bert_infer`` (CASIO) at eps = 5%.  The paper observes near-zero
+differences across all metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..baselines import ProfileStore
+from ..core import StemRootSampler, estimate_metrics, metric_error_percents
+from ..hardware import RTX_2080, GPUConfig
+from ..profiling.metrics import MICROARCH_METRICS, MicroarchModel, aggregate_metrics
+from ..workloads import load_workload
+
+__all__ = ["MetricComparison", "run_microarch_validation"]
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """Full-vs-sampled comparison of one metric."""
+
+    metric: str
+    full_value: float
+    estimated_value: float
+    error_percent: float
+
+
+def run_microarch_validation(
+    workload_name: str = "bert_infer",
+    suite: str = "casio",
+    gpu: Optional[GPUConfig] = None,
+    epsilon: float = 0.05,
+    repetitions: int = 5,
+    seed: int = 0,
+    workload_scale: float = 1.0,
+) -> List[MetricComparison]:
+    """Average full-vs-sampled metric comparison over repetitions."""
+    gpu = gpu or RTX_2080
+    workload = load_workload(suite, workload_name, scale=workload_scale, seed=seed)
+    model = MicroarchModel(gpu)
+
+    sums_full: Dict[str, float] = {m: 0.0 for m in MICROARCH_METRICS}
+    sums_est: Dict[str, float] = {m: 0.0 for m in MICROARCH_METRICS}
+    sums_err: Dict[str, float] = {m: 0.0 for m in MICROARCH_METRICS}
+    for rep in range(repetitions):
+        rep_seed = seed + rep * 1013 + 1
+        store = ProfileStore(workload, gpu, seed=rep_seed)
+        times = store.execution_times()
+        per_invocation = model.evaluate(workload, seed=rep_seed)
+        full = aggregate_metrics(per_invocation)
+
+        sampler = StemRootSampler(epsilon=epsilon)
+        plan = sampler.build_plan(workload, times, seed=rep_seed)
+        estimated = estimate_metrics(plan, per_invocation)
+        errors = metric_error_percents(full, estimated)
+        for metric in MICROARCH_METRICS:
+            sums_full[metric] += full[metric]
+            sums_est[metric] += estimated[metric]
+            sums_err[metric] += errors[metric]
+
+    return [
+        MetricComparison(
+            metric=metric,
+            full_value=sums_full[metric] / repetitions,
+            estimated_value=sums_est[metric] / repetitions,
+            error_percent=sums_err[metric] / repetitions,
+        )
+        for metric in MICROARCH_METRICS
+    ]

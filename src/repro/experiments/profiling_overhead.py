@@ -1,0 +1,95 @@
+"""Profiling-overhead comparison (Table 5).
+
+Estimates each method's profiling wall-time overhead (relative to the
+uninstrumented run) on every workload of every suite, using the cost
+models in :mod:`repro.profiling`.  Photon's entry additionally charges its
+BBV-comparison processing, using the representative count from an actual
+Photon run when the workload is small enough and the quadratic upper
+bound otherwise.
+
+Paper reference (Table 5): PKA 35.57x / 3704.23x, Sieve 94.14x / 293.58x,
+Photon 12.81x / 38.58x, STEM 1.54x / 5.53x on Rodinia / CASIO, with all
+prior methods N/A on HuggingFace (up to 78.68 projected days).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..baselines import PhotonSampler, ProfileStore
+from ..hardware import RTX_2080, GPUConfig
+from ..profiling.overhead import INFEASIBLE_DAYS, OverheadModel
+from ..workloads import load_suite
+
+__all__ = ["OverheadRow", "run_profiling_overhead", "PAPER_TABLE5"]
+
+#: Paper Table 5: {method: {suite: overhead factor}} (None = N/A).
+PAPER_TABLE5: Dict[str, Dict[str, Optional[float]]] = {
+    "pka": {"rodinia": 35.57, "casio": 3704.23, "huggingface": None},
+    "sieve": {"rodinia": 94.14, "casio": 293.58, "huggingface": None},
+    "photon": {"rodinia": 12.81, "casio": 38.58, "huggingface": None},
+    "stem": {"rodinia": 1.54, "casio": 5.53, "huggingface": 1.33},
+}
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One method's mean overhead over one suite."""
+
+    method: str
+    suite: str
+    overhead_factor: float
+    projected_days: float
+    feasible: bool
+
+
+def run_profiling_overhead(
+    suites: Optional[List[str]] = None,
+    gpu: Optional[GPUConfig] = None,
+    seed: int = 0,
+    workload_scale: float = 1.0,
+    photon_exact_limit: int = 200_000,
+) -> List[OverheadRow]:
+    """Mean overhead factor of each method per suite."""
+    gpu = gpu or RTX_2080
+    model = OverheadModel(gpu)
+    rows: List[OverheadRow] = []
+    for suite in suites or ["rodinia", "casio", "huggingface"]:
+        workloads = load_suite(suite, scale=workload_scale, seed=seed)
+        per_method: Dict[str, List[float]] = {m: [] for m in model.METHOD_COSTS}
+        per_method_days: Dict[str, List[float]] = {m: [] for m in model.METHOD_COSTS}
+        per_method_feasible: Dict[str, bool] = {m: True for m in model.METHOD_COSTS}
+        for workload in workloads:
+            reps = None
+            if len(workload) <= photon_exact_limit:
+                # Run Photon for its true representative count.
+                store = ProfileStore(workload, gpu, seed=seed)
+                plan = PhotonSampler(max_kernels=photon_exact_limit).build_plan(
+                    store, seed=seed
+                )
+                reps = plan.num_clusters
+            for method in model.METHOD_COSTS:
+                estimate = model.estimate(
+                    method,
+                    workload,
+                    seed=seed,
+                    num_representatives=reps if method == "photon" else None,
+                )
+                per_method[method].append(estimate.overhead_factor)
+                per_method_days[method].append(estimate.profiling_days)
+                per_method_feasible[method] &= estimate.feasible
+        for method in model.METHOD_COSTS:
+            days = float(np.mean(per_method_days[method]))
+            rows.append(
+                OverheadRow(
+                    method=method,
+                    suite=suite,
+                    overhead_factor=float(np.mean(per_method[method])),
+                    projected_days=days,
+                    feasible=per_method_feasible[method] and days <= INFEASIBLE_DAYS,
+                )
+            )
+    return rows

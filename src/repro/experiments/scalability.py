@@ -1,0 +1,85 @@
+"""Scalability of the sampling pipeline itself (paper Sec. 5.6).
+
+The paper claims STEM's post-processing runs in ``O(N log K)`` to
+``O(N log N)`` and scales to millions of kernel calls, unlike Photon's
+quadratic BBV comparison.  This experiment measures the *actual*
+wall-clock time of profiling + clustering + allocation at increasing
+workload sizes and fits a power-law exponent — near-linear means an
+exponent close to 1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import StemRootSampler
+from ..hardware import RTX_2080, GPUConfig, TimingModel
+from ..workloads import load_workload
+
+__all__ = ["ScalePoint", "run_scalability", "fit_exponent"]
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """Pipeline wall time at one workload size."""
+
+    num_invocations: int
+    profile_seconds: float
+    plan_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.profile_seconds + self.plan_seconds
+
+
+def run_scalability(
+    scales: Sequence[float] = (0.02, 0.05, 0.1, 0.2, 0.4),
+    workload_name: str = "gpt2",
+    suite: str = "huggingface",
+    gpu: Optional[GPUConfig] = None,
+    seed: int = 0,
+) -> List[ScalePoint]:
+    """Time the STEM pipeline at several workload sizes."""
+    gpu = gpu or RTX_2080
+    timing = TimingModel(gpu)
+    points: List[ScalePoint] = []
+    for scale in scales:
+        workload = load_workload(suite, workload_name, scale=scale, seed=seed)
+
+        start = time.perf_counter()
+        times = timing.execution_times(workload, seed=seed)
+        profile_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        StemRootSampler().build_plan(workload, times, seed=seed)
+        plan_seconds = time.perf_counter() - start
+
+        points.append(
+            ScalePoint(
+                num_invocations=len(workload),
+                profile_seconds=profile_seconds,
+                plan_seconds=plan_seconds,
+            )
+        )
+    return points
+
+
+def fit_exponent(points: List[ScalePoint]) -> Tuple[float, float]:
+    """Least-squares power-law fit ``time ~ N^p``.
+
+    Returns ``(exponent, r_squared)``.  Near-linear scaling means an
+    exponent around 1; Photon-style quadratic behaviour would show ~2.
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two scale points")
+    log_n = np.log([p.num_invocations for p in points])
+    log_t = np.log([max(p.total_seconds, 1e-9) for p in points])
+    slope, intercept = np.polyfit(log_n, log_t, 1)
+    predicted = slope * log_n + intercept
+    ss_res = float(((log_t - predicted) ** 2).sum())
+    ss_tot = float(((log_t - log_t.mean()) ** 2).sum()) or 1e-12
+    return float(slope), 1.0 - ss_res / ss_tot

@@ -1,0 +1,162 @@
+"""Speedup and sampling-error evaluation (Table 3, Figures 7, 8 and 9).
+
+Runs the five sampling methods over the Rodinia, CASIO and HuggingFace
+suites and aggregates per the paper's conventions.  On HuggingFace only
+STEM and uniform random sampling are feasible — PKA/Sieve/Photon rows
+come back as N/A, exactly as in Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.metrics import harmonic_mean
+from .runner import METHODS, ExperimentConfig, ResultRow, run_suite
+
+__all__ = [
+    "SuiteSummary",
+    "summarize",
+    "per_workload_summary",
+    "run_table3",
+    "run_figure7_8",
+    "run_figure9",
+    "PAPER_TABLE3",
+]
+
+#: Paper Table 3 values for side-by-side comparison:
+#: {suite: {method: (speedup, error%)}}.
+PAPER_TABLE3: Dict[str, Dict[str, Tuple[float, float]]] = {
+    "rodinia": {
+        "random": (7.09, 26.67),
+        "pka": (8.35, 34.85),
+        "sieve": (2.62, 6.63),
+        "photon": (2.84, 2.71),
+        "stem": (3.00, 0.93),
+    },
+    "casio": {
+        "random": (984.87, 28.39),
+        "pka": (1425.01, 29.26),
+        "sieve": (391.09, 23.75),
+        "photon": (168.61, 9.85),
+        "stem": (109.595, 0.36),
+    },
+    "huggingface": {
+        "random": (1004.97, 2.40),
+        "stem": (31719.057, 0.57),
+    },
+}
+
+
+@dataclass
+class SuiteSummary:
+    """Per-method aggregate over one suite (a Table 3 cell pair)."""
+
+    suite: str
+    method: str
+    speedup: float
+    error_percent: float
+    feasible: bool = True
+
+
+def summarize(rows: List[ResultRow]) -> List[SuiteSummary]:
+    """Aggregate flat rows into per-(suite, method) summaries.
+
+    Per the paper: per-workload results are averaged across repetitions
+    first, then suite-level speedup uses the harmonic mean over workloads
+    and suite-level error the arithmetic mean.
+    """
+    grouped: Dict[Tuple[str, str, str], List[ResultRow]] = {}
+    for row in rows:
+        grouped.setdefault((row.suite, row.method, row.workload), []).append(row)
+
+    per_workload: Dict[Tuple[str, str], List[Tuple[float, float, bool]]] = {}
+    for (suite, method, _workload), reps in grouped.items():
+        feasible = all(r.feasible for r in reps)
+        if feasible:
+            err = float(np.mean([r.error_percent for r in reps]))
+            spd = harmonic_mean([r.speedup for r in reps])
+        else:
+            err, spd = float("nan"), float("nan")
+        per_workload.setdefault((suite, method), []).append((spd, err, feasible))
+
+    summaries: List[SuiteSummary] = []
+    for (suite, method), entries in sorted(per_workload.items()):
+        if all(not feasible for _, _, feasible in entries):
+            summaries.append(
+                SuiteSummary(suite, method, float("nan"), float("nan"), feasible=False)
+            )
+            continue
+        speeds = [s for s, _, f in entries if f]
+        errors = [e for _, e, f in entries if f]
+        summaries.append(
+            SuiteSummary(
+                suite=suite,
+                method=method,
+                speedup=harmonic_mean(speeds),
+                error_percent=float(np.mean(errors)),
+            )
+        )
+    return summaries
+
+
+def per_workload_summary(
+    rows: List[ResultRow],
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """{workload: {method: {"speedup", "error_percent"}}} (Figures 7/8)."""
+    grouped: Dict[Tuple[str, str], List[ResultRow]] = {}
+    for row in rows:
+        grouped.setdefault((row.workload, row.method), []).append(row)
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for (workload, method), reps in sorted(grouped.items()):
+        entry = out.setdefault(workload, {})
+        if all(not r.feasible for r in reps):
+            entry[method] = {"speedup": float("nan"), "error_percent": float("nan")}
+        else:
+            entry[method] = {
+                "speedup": harmonic_mean([r.speedup for r in reps if r.feasible]),
+                "error_percent": float(
+                    np.mean([r.error_percent for r in reps if r.feasible])
+                ),
+            }
+    return out
+
+
+def run_table3(
+    config: Optional[ExperimentConfig] = None,
+    suites: Optional[List[str]] = None,
+) -> Tuple[List[ResultRow], List[SuiteSummary]]:
+    """Full Table 3: all methods on all three suites."""
+    if config is None:
+        config = ExperimentConfig()
+    rows: List[ResultRow] = []
+    for suite in suites or ["rodinia", "casio", "huggingface"]:
+        methods = METHODS if suite != "huggingface" else ["random", "pka", "sieve", "photon", "stem"]
+        rows.extend(run_suite(suite, config=config, methods=methods))
+    return rows, summarize(rows)
+
+
+def run_figure7_8(
+    config: Optional[ExperimentConfig] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-workload speedups and errors on Rodinia + CASIO."""
+    if config is None:
+        config = ExperimentConfig()
+    rows: List[ResultRow] = []
+    for suite in ("rodinia", "casio"):
+        rows.extend(run_suite(suite, config=config))
+    return per_workload_summary(rows)
+
+
+def run_figure9(
+    config: Optional[ExperimentConfig] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Scatter data: per-workload (speedup, error) on CASIO + HuggingFace."""
+    if config is None:
+        config = ExperimentConfig()
+    rows: List[ResultRow] = []
+    rows.extend(run_suite("casio", config=config))
+    rows.extend(run_suite("huggingface", config=config, methods=["random", "stem"]))
+    return per_workload_summary(rows)

@@ -1,0 +1,60 @@
+"""Workload-suite summary (paper Table 2).
+
+Reports, per suite: workload count, average modeled execution time, and
+average kernel-call count — the scale axis the whole evaluation story
+moves along (Rodinia ~1.4k calls, CASIO ~64k, HuggingFace millions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..hardware import RTX_2080, GPUConfig, TimingModel
+from ..workloads import load_suite
+
+__all__ = ["SuiteSummaryRow", "run_table2", "PAPER_TABLE2"]
+
+#: Paper Table 2: {suite: (num_workloads, avg_exec_seconds, avg_kernel_calls)}.
+PAPER_TABLE2 = {
+    "rodinia": (13, 6.46, 1403),
+    "casio": (11, 7.26, 64279),
+    "huggingface": (6, 1835.27, 11599870),
+}
+
+
+@dataclass(frozen=True)
+class SuiteSummaryRow:
+    """One suite's scale summary."""
+
+    suite: str
+    num_workloads: int
+    avg_execution_seconds: float
+    avg_kernel_calls: float
+
+
+def run_table2(
+    gpu: Optional[GPUConfig] = None,
+    seed: int = 0,
+    workload_scale: float = 1.0,
+    suites: Optional[List[str]] = None,
+) -> List[SuiteSummaryRow]:
+    """Summarize each suite's scale on the modeled profiling GPU."""
+    gpu = gpu or RTX_2080
+    timing = TimingModel(gpu)
+    rows: List[SuiteSummaryRow] = []
+    for suite in suites or ["rodinia", "casio", "huggingface"]:
+        workloads = load_suite(suite, scale=workload_scale, seed=seed)
+        calls = [len(w) for w in workloads]
+        seconds = [timing.total_time_us(w, seed=seed) / 1e6 for w in workloads]
+        rows.append(
+            SuiteSummaryRow(
+                suite=suite,
+                num_workloads=len(workloads),
+                avg_execution_seconds=float(np.mean(seconds)),
+                avg_kernel_calls=float(np.mean(calls)),
+            )
+        )
+    return rows

@@ -1,0 +1,89 @@
+"""Cache-warmup sensitivity study (paper Sec. 6.2).
+
+The paper quantifies the impact of imperfect inter-kernel cache warmup
+with an extreme-case experiment (flushing L2 between kernels) and finds
+minimal accuracy degradation — error moved by only 0.70% on Rodinia and
+0.07% on CASIO for STEM — because most reuse happens *within* kernels.
+
+This experiment runs the analogous comparison on the cycle-level
+simulator: the same sampling plans are scored against ground truths
+produced under different warmup assumptions (cold caches, proportional
+residual warmup, a short warmup kernel), and the per-strategy sampling
+errors are compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..baselines import ProfileStore
+from ..core import StemRootSampler, evaluate_plan
+from ..hardware import RTX_2080, GPUConfig
+from ..sim import GpuSimulator, NoWarmup, ProportionalWarmup, WarmupKernel
+from ..workloads import load_workload
+
+__all__ = ["WarmupStudyRow", "run_warmup_study", "DEFAULT_STRATEGIES"]
+
+DEFAULT_STRATEGIES = (
+    ("cold", None),
+    ("proportional", ProportionalWarmup(0.5)),
+    ("warmup-kernel", WarmupKernel(0.25)),
+)
+
+
+@dataclass(frozen=True)
+class WarmupStudyRow:
+    """Sampling error under one warmup assumption."""
+
+    workload: str
+    strategy: str
+    error_percent: float
+    total_cycles: float
+
+
+def run_warmup_study(
+    workload_names: Optional[List[str]] = None,
+    gpu: Optional[GPUConfig] = None,
+    epsilon: float = 0.05,
+    repetitions: int = 2,
+    max_invocations: int = 80,
+    seed: int = 0,
+) -> List[WarmupStudyRow]:
+    """Score STEM plans against ground truths per warmup strategy."""
+    gpu = gpu or RTX_2080
+    rows: List[WarmupStudyRow] = []
+    for name in workload_names or ["hotspot", "bfs", "heartwall"]:
+        workload = load_workload("rodinia", name, scale=0.1, seed=seed)
+        if len(workload) > max_invocations:
+            picks = np.linspace(0, len(workload) - 1, max_invocations)
+            workload = workload.subset(np.unique(picks.astype(np.int64)), name=name)
+
+        truths: Dict[str, np.ndarray] = {}
+        for label, strategy in DEFAULT_STRATEGIES:
+            simulator = GpuSimulator(gpu, warmup=strategy)
+            truths[label] = simulator.cycle_counts(workload, seed=seed)
+
+        errors: Dict[str, List[float]] = {label: [] for label, _ in DEFAULT_STRATEGIES}
+        for rep in range(repetitions):
+            rep_seed = seed + rep * 1009 + 1
+            store = ProfileStore(workload, gpu, seed=rep_seed)
+            plan = StemRootSampler(epsilon=epsilon).build_plan_from_store(
+                store, seed=rep_seed
+            )
+            for label, _ in DEFAULT_STRATEGIES:
+                errors[label].append(
+                    evaluate_plan(plan, truths[label]).error_percent
+                )
+        for label, _ in DEFAULT_STRATEGIES:
+            rows.append(
+                WarmupStudyRow(
+                    workload=name,
+                    strategy=label,
+                    error_percent=float(np.mean(errors[label])),
+                    total_cycles=float(truths[label].sum()),
+                )
+            )
+    return rows

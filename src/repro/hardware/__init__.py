@@ -1,0 +1,17 @@
+"""Hardware models: GPU configurations and the analytical timing model."""
+
+from .gpu_config import GPUConfig
+from .presets import H100, H200, PRESETS, RTX_2080, dse_variants, get_preset
+from .timing_model import KernelTimeBreakdown, TimingModel
+
+__all__ = [
+    "GPUConfig",
+    "TimingModel",
+    "KernelTimeBreakdown",
+    "RTX_2080",
+    "H100",
+    "H200",
+    "PRESETS",
+    "get_preset",
+    "dse_variants",
+]

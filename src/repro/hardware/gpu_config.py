@@ -1,0 +1,110 @@
+"""GPU hardware configuration.
+
+:class:`GPUConfig` captures every hardware knob that the analytical timing
+model (:mod:`repro.hardware.timing_model`) and the cycle-level simulator
+(:mod:`repro.sim`) respond to.  The design-space-exploration experiments of
+the paper (Table 4, Figure 12) vary exactly two of them — cache capacity
+and SM count — via :meth:`GPUConfig.scaled`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["GPUConfig"]
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Parameters of a modeled GPU.
+
+    Throughput-style fields use per-SM, per-cycle units so that scaling the
+    SM count scales aggregate throughput the way real hardware does.
+    """
+
+    name: str
+    num_sms: int = 46
+    clock_ghz: float = 1.8
+    #: Per-SM per-cycle arithmetic lanes by operation class.
+    fp32_lanes: int = 64
+    fp16_lanes: int = 128
+    int_lanes: int = 64
+    sfu_lanes: int = 16
+    #: Memory system.
+    l1_kb_per_sm: int = 64
+    l2_mb: float = 4.0
+    dram_bandwidth_gbps: float = 448.0
+    dram_latency_ns: float = 350.0
+    l2_bandwidth_gbps: float = 1800.0
+    l2_latency_ns: float = 120.0
+    cache_line_bytes: int = 128
+    #: Fixed per-launch overhead (driver + dispatch), microseconds.
+    launch_overhead_us: float = 3.0
+    #: Hardware-level run-to-run noise magnitude (lognormal sigma scale).
+    jitter: float = 0.25
+    #: Maximum resident warps per SM (occupancy ceiling).
+    max_warps_per_sm: int = 48
+    #: Maximum resident thread blocks per SM.
+    max_blocks_per_sm: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ValueError("num_sms must be positive")
+        if self.clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+        if min(self.fp32_lanes, self.fp16_lanes, self.int_lanes, self.sfu_lanes) <= 0:
+            raise ValueError("lane counts must be positive")
+        if self.l1_kb_per_sm <= 0 or self.l2_mb <= 0:
+            raise ValueError("cache sizes must be positive")
+        if self.dram_bandwidth_gbps <= 0 or self.l2_bandwidth_gbps <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def l2_bytes(self) -> int:
+        return int(self.l2_mb * (1 << 20))
+
+    @property
+    def l1_bytes_per_sm(self) -> int:
+        return self.l1_kb_per_sm << 10
+
+    def cycles_per_us(self) -> float:
+        return self.clock_ghz * 1e3
+
+    def peak_ops_per_us(self, op_class: str) -> float:
+        """Aggregate peak throughput (operations per microsecond)."""
+        lanes = {
+            "fp32": self.fp32_lanes,
+            "fp16": self.fp16_lanes,
+            "int": self.int_lanes,
+            "sfu": self.sfu_lanes,
+        }[op_class]
+        return lanes * self.num_sms * self.cycles_per_us()
+
+    # -- DSE helpers ----------------------------------------------------------
+    def scaled(
+        self, cache_scale: float = 1.0, sm_scale: float = 1.0, name: str = None
+    ) -> "GPUConfig":
+        """Derive a design-space-exploration variant.
+
+        ``cache_scale`` multiplies both L1 and L2 capacities; ``sm_scale``
+        multiplies the SM count (and hence aggregate compute throughput),
+        matching the paper's Table 4 variants.
+        """
+        if cache_scale <= 0 or sm_scale <= 0:
+            raise ValueError("scale factors must be positive")
+        suffix = []
+        if cache_scale != 1.0:
+            suffix.append(f"cache_x{cache_scale:g}")
+        if sm_scale != 1.0:
+            suffix.append(f"sm_x{sm_scale:g}")
+        new_name = name or (self.name + ("-" + "-".join(suffix) if suffix else ""))
+        return replace(
+            self,
+            name=new_name,
+            l1_kb_per_sm=max(1, int(round(self.l1_kb_per_sm * cache_scale))),
+            l2_mb=self.l2_mb * cache_scale,
+            num_sms=max(1, int(round(self.num_sms * sm_scale))),
+        )

@@ -1,0 +1,93 @@
+"""Preset GPU configurations for the GPUs named in the paper.
+
+The presets track the headline specifications of the NVIDIA RTX 2080
+(profiling machine), H100 (sampling source for the portability study) and
+H200 (portability target with upgraded memory subsystem).  Absolute values
+matter less than the *relationships* the experiments rely on: the H200
+differs from the H100 mainly in memory capacity/bandwidth, which is what
+makes the memory-intensive ``dlrm`` workload the worst portability case in
+Figure 13.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .gpu_config import GPUConfig
+
+__all__ = ["RTX_2080", "H100", "H200", "PRESETS", "dse_variants", "get_preset"]
+
+RTX_2080 = GPUConfig(
+    name="rtx2080",
+    num_sms=46,
+    clock_ghz=1.80,
+    fp32_lanes=64,
+    fp16_lanes=128,
+    int_lanes=64,
+    sfu_lanes=16,
+    l1_kb_per_sm=64,
+    l2_mb=4.0,
+    dram_bandwidth_gbps=448.0,
+    dram_latency_ns=350.0,
+    l2_bandwidth_gbps=1800.0,
+    l2_latency_ns=120.0,
+    launch_overhead_us=3.0,
+    jitter=0.25,
+)
+
+H100 = GPUConfig(
+    name="h100",
+    num_sms=132,
+    clock_ghz=1.98,
+    fp32_lanes=128,
+    fp16_lanes=256,
+    int_lanes=64,
+    sfu_lanes=16,
+    l1_kb_per_sm=256,
+    l2_mb=50.0,
+    dram_bandwidth_gbps=3350.0,
+    dram_latency_ns=280.0,
+    l2_bandwidth_gbps=12000.0,
+    l2_latency_ns=100.0,
+    launch_overhead_us=2.0,
+    jitter=0.20,
+)
+
+H200 = GPUConfig(
+    name="h200",
+    num_sms=132,
+    clock_ghz=1.98,
+    fp32_lanes=128,
+    fp16_lanes=256,
+    int_lanes=64,
+    sfu_lanes=16,
+    l1_kb_per_sm=256,
+    l2_mb=60.0,
+    dram_bandwidth_gbps=4800.0,
+    dram_latency_ns=250.0,
+    l2_bandwidth_gbps=14000.0,
+    l2_latency_ns=95.0,
+    launch_overhead_us=2.0,
+    jitter=0.20,
+)
+
+PRESETS: Dict[str, GPUConfig] = {cfg.name: cfg for cfg in (RTX_2080, H100, H200)}
+
+
+def get_preset(name: str) -> GPUConfig:
+    """Look up a preset by name, raising ``KeyError`` with the options."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown GPU preset {name!r}; available: {sorted(PRESETS)}") from None
+
+
+def dse_variants(base: GPUConfig) -> List[GPUConfig]:
+    """The five Table 4 design points: baseline, cache ×2/×½, SMs ×2/×½."""
+    return [
+        base,
+        base.scaled(cache_scale=2.0),
+        base.scaled(cache_scale=0.5),
+        base.scaled(sm_scale=2.0),
+        base.scaled(sm_scale=0.5),
+    ]

@@ -1,0 +1,25 @@
+"""Multi-GPU workload sampling on execution traces (paper Sec. 6.2).
+
+The paper's named future-work direction, implemented as its suggested
+starting point: Chakra-style execution-trace DAGs, a multi-GPU timeline
+simulator, and STEM+ROOT node sampling that reconstructs full-trace
+timelines from per-cluster representatives.
+"""
+
+from .et import EtNode, ExecutionTrace, OpKind
+from .generators import data_parallel_training, pipeline_parallel_inference
+from .sampling import EtSamplingResult, EtStemSampler
+from .timeline import ClusterConfig, EtSimResult, TimelineSimulator
+
+__all__ = [
+    "OpKind",
+    "EtNode",
+    "ExecutionTrace",
+    "data_parallel_training",
+    "pipeline_parallel_inference",
+    "ClusterConfig",
+    "EtSimResult",
+    "TimelineSimulator",
+    "EtStemSampler",
+    "EtSamplingResult",
+]

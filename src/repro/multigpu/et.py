@@ -1,0 +1,145 @@
+"""Chakra-style execution traces (ETs) for multi-GPU workloads.
+
+The paper's Sec. 6.2 names extending STEM to multi-GPU workloads as
+future work, suggesting Chakra execution traces — DAGs of compute and
+communication operators with explicit dependencies — as the substrate,
+with "node and edge sampling on such DAG-style ETs" as the starting
+point.  This package implements that starting point:
+
+* :class:`EtNode` — one operator: a compute kernel on one GPU, or a
+  collective/point-to-point transfer occupying the interconnect;
+* :class:`ExecutionTrace` — the dependency DAG (backed by networkx),
+  with grouping by operator type for kernel-style clustering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+__all__ = ["OpKind", "EtNode", "ExecutionTrace"]
+
+
+class OpKind:
+    """Operator categories of an execution trace."""
+
+    COMPUTE = "compute"
+    ALLREDUCE = "allreduce"
+    P2P = "p2p"
+
+    ALL = (COMPUTE, ALLREDUCE, P2P)
+
+
+@dataclass(frozen=True)
+class EtNode:
+    """One operator in an execution trace.
+
+    ``group`` is the operator-type label used for clustering (the
+    multi-GPU analogue of a kernel name, e.g. ``"fwd_gemm_layer"``);
+    ``resource`` is what the operator occupies while running (``"gpu3"``
+    for compute, ``"net"`` for communication).  ``work`` is the abstract
+    cost driver — FLOPs for compute, bytes for communication — and
+    ``context`` carries runtime heterogeneity exactly like
+    :class:`~repro.workloads.kernel.LaunchContext` does for kernels.
+    """
+
+    node_id: int
+    group: str
+    kind: str
+    resource: str
+    work: float
+    #: Runtime-context multiplier on the operator's duration (stragglers,
+    #: congestion, input-dependent compute).
+    context_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in OpKind.ALL:
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        if self.work <= 0:
+            raise ValueError("work must be positive")
+        if self.context_scale <= 0:
+            raise ValueError("context_scale must be positive")
+
+
+class ExecutionTrace:
+    """A DAG of :class:`EtNode` operators."""
+
+    def __init__(self, name: str = "et"):
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._nodes: Dict[int, EtNode] = {}
+
+    # -- construction ------------------------------------------------------
+    def add_node(self, node: EtNode) -> EtNode:
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        self._nodes[node.node_id] = node
+        self._graph.add_node(node.node_id)
+        return node
+
+    def add_dependency(self, parent_id: int, child_id: int) -> None:
+        """child cannot start before parent finishes."""
+        if parent_id not in self._nodes or child_id not in self._nodes:
+            raise KeyError("both endpoints must be added before an edge")
+        self._graph.add_edge(parent_id, child_id)
+
+    def validate(self) -> None:
+        """Raise if the trace is not a DAG."""
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise ValueError(f"execution trace {self.name!r} has a cycle")
+
+    # -- access ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, node_id: int) -> EtNode:
+        return self._nodes[node_id]
+
+    def nodes(self) -> Iterator[EtNode]:
+        return iter(self._nodes.values())
+
+    def predecessors(self, node_id: int) -> List[int]:
+        return list(self._graph.predecessors(node_id))
+
+    def successors(self, node_id: int) -> List[int]:
+        return list(self._graph.successors(node_id))
+
+    def topological_order(self) -> List[int]:
+        return list(nx.topological_sort(self._graph))
+
+    def groups(self) -> Dict[str, List[int]]:
+        """Node ids grouped by operator-type label, id-ordered."""
+        grouped: Dict[str, List[int]] = {}
+        for node in self._nodes.values():
+            grouped.setdefault(node.group, []).append(node.node_id)
+        for ids in grouped.values():
+            ids.sort()
+        return grouped
+
+    def resources(self) -> List[str]:
+        return sorted({node.resource for node in self._nodes.values()})
+
+    def critical_path_length(self, durations: Dict[int, float]) -> float:
+        """Longest path under given per-node durations (dependency-only;
+        the timeline simulator additionally models resource contention)."""
+        finish: Dict[int, float] = {}
+        for node_id in self.topological_order():
+            ready = max(
+                (finish[p] for p in self.predecessors(node_id)), default=0.0
+            )
+            finish[node_id] = ready + durations[node_id]
+        return max(finish.values(), default=0.0)
+
+    def describe(self) -> Dict[str, float]:
+        kinds: Dict[str, int] = {}
+        for node in self._nodes.values():
+            kinds[node.kind] = kinds.get(node.kind, 0) + 1
+        return {
+            "num_nodes": float(len(self)),
+            "num_edges": float(self._graph.number_of_edges()),
+            "num_groups": float(len(self.groups())),
+            "num_resources": float(len(self.resources())),
+            **{f"num_{k}": float(v) for k, v in kinds.items()},
+        }

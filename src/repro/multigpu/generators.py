@@ -1,0 +1,179 @@
+"""Synthetic multi-GPU execution-trace generators.
+
+Two canonical parallel-training structures:
+
+* :func:`data_parallel_training` — every GPU runs the full model on its
+  own micro-batch; gradients are all-reduced per layer each step, with
+  backward compute overlapping communication of earlier layers;
+* :func:`pipeline_parallel_inference` — layers are partitioned across
+  GPUs and activations flow stage-to-stage via point-to-point sends.
+
+Runtime heterogeneity mirrors the single-GPU workload model: per-node
+``context_scale`` factors model stragglers (slow input shards), variable
+sequence lengths, and network congestion — heterogeneity that node-level
+sampling has to capture.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .et import EtNode, ExecutionTrace, OpKind
+
+__all__ = ["data_parallel_training", "pipeline_parallel_inference"]
+
+
+def data_parallel_training(
+    num_gpus: int = 4,
+    layers: int = 8,
+    steps: int = 40,
+    seed: int = 0,
+    straggler_probability: float = 0.08,
+) -> ExecutionTrace:
+    """Data-parallel training: fwd+bwd per GPU, per-layer allreduce.
+
+    Dependencies per step: forward layers chain per GPU; backward layers
+    chain in reverse; each layer's allreduce waits for that layer's
+    backward on ALL GPUs; the next step's forward waits on the previous
+    step's allreduces (optimizer update folded in).
+    """
+    if num_gpus < 2:
+        raise ValueError("data-parallel training needs at least 2 GPUs")
+    rng = np.random.default_rng(seed)
+    et = ExecutionTrace(name=f"dp{num_gpus}x{layers}x{steps}")
+    next_id = 0
+
+    def fresh_id() -> int:
+        nonlocal next_id
+        next_id += 1
+        return next_id - 1
+
+    prev_step_allreduce = {}
+    for step in range(steps):
+        fwd = {}
+        bwd = {}
+        for gpu in range(num_gpus):
+            # Straggler shards slow a whole GPU's step.
+            straggle = 1.0 + (
+                rng.uniform(0.4, 1.2) if rng.random() < straggler_probability else 0.0
+            )
+            prev = None
+            for layer in range(layers):
+                node = et.add_node(
+                    EtNode(
+                        node_id=fresh_id(),
+                        group=f"fwd_layer{layer}",
+                        kind=OpKind.COMPUTE,
+                        resource=f"gpu{gpu}",
+                        work=1.0 + 0.5 * (layer % 3),
+                        context_scale=straggle * float(rng.lognormal(0.0, 0.05)),
+                    )
+                )
+                fwd[(gpu, layer)] = node.node_id
+                if prev is not None:
+                    et.add_dependency(prev, node.node_id)
+                elif step > 0:
+                    for ar in prev_step_allreduce.values():
+                        et.add_dependency(ar, node.node_id)
+                prev = node.node_id
+            for layer in reversed(range(layers)):
+                node = et.add_node(
+                    EtNode(
+                        node_id=fresh_id(),
+                        group=f"bwd_layer{layer}",
+                        kind=OpKind.COMPUTE,
+                        resource=f"gpu{gpu}",
+                        work=2.0 + 1.0 * (layer % 3),
+                        context_scale=straggle * float(rng.lognormal(0.0, 0.05)),
+                    )
+                )
+                bwd[(gpu, layer)] = node.node_id
+                et.add_dependency(prev, node.node_id)
+                prev = node.node_id
+
+        step_allreduce = {}
+        for layer in range(layers):
+            congestion = float(rng.lognormal(0.0, 0.15))
+            node = et.add_node(
+                EtNode(
+                    node_id=fresh_id(),
+                    group=f"allreduce_layer{layer}",
+                    kind=OpKind.ALLREDUCE,
+                    resource="net",
+                    work=4.0 * (1.0 + 0.5 * (layer % 2)) * num_gpus,
+                    context_scale=congestion,
+                )
+            )
+            step_allreduce[layer] = node.node_id
+            for gpu in range(num_gpus):
+                et.add_dependency(bwd[(gpu, layer)], node.node_id)
+        prev_step_allreduce = step_allreduce
+
+    et.validate()
+    return et
+
+
+def pipeline_parallel_inference(
+    num_stages: int = 4,
+    requests: int = 60,
+    seed: int = 0,
+    long_request_probability: float = 0.2,
+) -> ExecutionTrace:
+    """Pipeline-parallel inference: stage compute chained by P2P sends.
+
+    Requests vary in length (long sequences cost more at every stage),
+    and stages process requests in order — the pipeline structure makes
+    the makespan sensitive to the slowest stage, which sampling must
+    represent faithfully.
+    """
+    if num_stages < 2:
+        raise ValueError("a pipeline needs at least 2 stages")
+    rng = np.random.default_rng(seed)
+    et = ExecutionTrace(name=f"pp{num_stages}x{requests}")
+    next_id = 0
+
+    def fresh_id() -> int:
+        nonlocal next_id
+        next_id += 1
+        return next_id - 1
+
+    prev_on_stage = [None] * num_stages
+    for _request in range(requests):
+        long_request = rng.random() < long_request_probability
+        length_scale = rng.uniform(3.0, 5.0) if long_request else rng.uniform(0.8, 1.2)
+        carry: Optional[int] = None
+        for stage in range(num_stages):
+            node = et.add_node(
+                EtNode(
+                    node_id=fresh_id(),
+                    group=f"stage{stage}_compute",
+                    kind=OpKind.COMPUTE,
+                    resource=f"gpu{stage}",
+                    work=1.0 + 0.3 * stage,
+                    context_scale=length_scale * float(rng.lognormal(0.0, 0.08)),
+                )
+            )
+            if carry is not None:
+                et.add_dependency(carry, node.node_id)
+            if prev_on_stage[stage] is not None:
+                et.add_dependency(prev_on_stage[stage], node.node_id)
+            prev_on_stage[stage] = node.node_id
+            carry = node.node_id
+            if stage < num_stages - 1:
+                send = et.add_node(
+                    EtNode(
+                        node_id=fresh_id(),
+                        group=f"p2p_stage{stage}to{stage + 1}",
+                        kind=OpKind.P2P,
+                        resource="net",
+                        work=0.5 * length_scale,
+                        context_scale=float(rng.lognormal(0.0, 0.1)),
+                    )
+                )
+                et.add_dependency(carry, send.node_id)
+                carry = send.node_id
+
+    et.validate()
+    return et

@@ -1,0 +1,132 @@
+"""Multi-GPU timeline simulation of execution traces.
+
+A list scheduler over the ET: every operator starts when its dependencies
+have finished AND its resource (a GPU's compute queue, or the
+interconnect) is free; operators on one resource serialize in dependency
+order.  Durations come from a cost model — compute work over device
+throughput, communication bytes over link bandwidth plus latency — times
+the node's runtime-context factor and a lognormal noise term.
+
+This is the multi-GPU "detailed simulator": the sampling extension avoids
+paying its per-node cost for every node by estimating unsampled nodes'
+durations from their cluster statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .et import EtNode, ExecutionTrace, OpKind
+
+__all__ = ["ClusterConfig", "EtSimResult", "TimelineSimulator"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Hardware parameters of the multi-GPU cluster."""
+
+    #: Compute throughput: work units per microsecond per GPU.
+    gpu_throughput: float = 1.0
+    #: Interconnect bandwidth: work (bytes-equivalent) units per us.
+    link_bandwidth: float = 2.0
+    #: Fixed communication latency per transfer, us.
+    link_latency_us: float = 5.0
+    #: Per-operator launch overhead, us.
+    launch_overhead_us: float = 1.0
+    #: Lognormal sigma of run-to-run duration noise.
+    jitter: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.gpu_throughput <= 0 or self.link_bandwidth <= 0:
+            raise ValueError("throughputs must be positive")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+
+@dataclass
+class EtSimResult:
+    """Outcome of one timeline simulation."""
+
+    trace_name: str
+    durations: Dict[int, float]
+    start_times: Dict[int, float]
+    makespan: float
+    #: Busy time per resource, for utilization accounting.
+    busy_time: Dict[str, float] = field(default_factory=dict)
+
+    def total_device_time(self) -> float:
+        return float(sum(self.durations.values()))
+
+    def utilization(self, resource: str) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.busy_time.get(resource, 0.0) / self.makespan
+
+
+class TimelineSimulator:
+    """Simulates an execution trace on a modeled GPU cluster."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None):
+        self.config = config or ClusterConfig()
+
+    # -- durations -------------------------------------------------------
+    def node_duration(
+        self, node: EtNode, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """Modeled duration (us) of one operator."""
+        cfg = self.config
+        if node.kind == OpKind.COMPUTE:
+            base = node.work / cfg.gpu_throughput
+        else:
+            base = node.work / cfg.link_bandwidth + cfg.link_latency_us
+        duration = cfg.launch_overhead_us + base * node.context_scale
+        if rng is not None and cfg.jitter:
+            duration *= float(
+                np.exp(rng.standard_normal() * cfg.jitter - 0.5 * cfg.jitter**2)
+            )
+        return duration
+
+    def profile_durations(
+        self, trace: ExecutionTrace, seed: int = 0
+    ) -> Dict[int, float]:
+        """Per-node durations of one run (the ET profiler's output)."""
+        rng = np.random.default_rng(seed)
+        return {
+            node.node_id: self.node_duration(node, rng) for node in trace.nodes()
+        }
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(
+        self, trace: ExecutionTrace, durations: Dict[int, float]
+    ) -> EtSimResult:
+        """List-schedule the trace under given per-node durations."""
+        resource_free: Dict[str, float] = {}
+        busy: Dict[str, float] = {}
+        start: Dict[int, float] = {}
+        finish: Dict[int, float] = {}
+        for node_id in trace.topological_order():
+            node = trace.node(node_id)
+            duration = durations[node_id]
+            ready = max(
+                (finish[p] for p in trace.predecessors(node_id)), default=0.0
+            )
+            begin = max(ready, resource_free.get(node.resource, 0.0))
+            start[node_id] = begin
+            finish[node_id] = begin + duration
+            resource_free[node.resource] = finish[node_id]
+            busy[node.resource] = busy.get(node.resource, 0.0) + duration
+        makespan = max(finish.values(), default=0.0)
+        return EtSimResult(
+            trace_name=trace.name,
+            durations=dict(durations),
+            start_times=start,
+            makespan=makespan,
+            busy_time=busy,
+        )
+
+    def simulate(self, trace: ExecutionTrace, seed: int = 0) -> EtSimResult:
+        """Full detailed simulation: model every node, then schedule."""
+        return self.schedule(trace, self.profile_durations(trace, seed=seed))

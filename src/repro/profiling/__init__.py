@@ -1,0 +1,38 @@
+"""Profiler models: execution-time, instruction-level, and BBV collection."""
+
+from .base import ProfileResult, ProfilerCost
+from .bbv import BBV_COST, BbvProfiler, BbvTable
+from .metrics import (
+    COUNT_METRICS,
+    MICROARCH_METRICS,
+    RATE_METRICS,
+    MicroarchModel,
+    aggregate_metrics,
+)
+from .ncu import NCU_COST, PKA_METRICS, NcuProfiler
+from .nsys import NSYS_COST, NsysProfiler
+from .nvbit import NVBIT_COST, NvbitProfiler
+from .overhead import INFEASIBLE_DAYS, OverheadEstimate, OverheadModel
+
+__all__ = [
+    "ProfileResult",
+    "ProfilerCost",
+    "NsysProfiler",
+    "NSYS_COST",
+    "NcuProfiler",
+    "NCU_COST",
+    "PKA_METRICS",
+    "NvbitProfiler",
+    "NVBIT_COST",
+    "BbvProfiler",
+    "BbvTable",
+    "BBV_COST",
+    "MicroarchModel",
+    "MICROARCH_METRICS",
+    "COUNT_METRICS",
+    "RATE_METRICS",
+    "aggregate_metrics",
+    "OverheadModel",
+    "OverheadEstimate",
+    "INFEASIBLE_DAYS",
+]

@@ -1,0 +1,87 @@
+"""Common profiling types.
+
+A profiler turns a workload + GPU into a per-invocation data table and an
+accounting of how much wall-clock time collecting that table would cost on
+real hardware.  The cost side is what Table 5 of the paper compares: the
+whole argument for execution-time signatures is that a kernel-level
+timeline (Nsight Systems) is orders of magnitude cheaper to collect than
+per-warp instruction statistics (NCU/NVBit) or basic-block vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..workloads.workload import Workload
+
+__all__ = ["ProfilerCost", "ProfileResult"]
+
+
+@dataclass(frozen=True)
+class ProfilerCost:
+    """Wall-clock cost model of one profiler.
+
+    The modeled profiling wall time for a workload with ``n`` kernel
+    launches and uninstrumented wall time ``w`` seconds is::
+
+        w * slowdown_factor + n * per_kernel_seconds + processing_seconds
+
+    and the Table 5 "overhead" is that divided by ``w``.
+    """
+
+    #: Multiplicative slowdown of the instrumented run.
+    slowdown_factor: float
+    #: Fixed cost per kernel launch (replays, attribution, flushes).
+    per_kernel_seconds: float = 0.0
+    #: One-off post-processing cost (e.g. Photon's BBV comparisons).
+    processing_seconds: float = 0.0
+
+    def wall_seconds(self, base_wall_seconds: float, num_kernels: int) -> float:
+        return (
+            base_wall_seconds * self.slowdown_factor
+            + num_kernels * self.per_kernel_seconds
+            + self.processing_seconds
+        )
+
+    def overhead_factor(self, base_wall_seconds: float, num_kernels: int) -> float:
+        if base_wall_seconds <= 0:
+            raise ValueError("base_wall_seconds must be positive")
+        return self.wall_seconds(base_wall_seconds, num_kernels) / base_wall_seconds
+
+
+@dataclass
+class ProfileResult:
+    """Output of one profiling run.
+
+    ``columns`` maps metric names to per-invocation arrays, all of length
+    ``len(workload)``.  ``cost`` is the modeled collection cost.
+    """
+
+    workload: Workload
+    profiler: str
+    columns: Dict[str, np.ndarray] = field(default_factory=dict)
+    cost: Optional[ProfilerCost] = None
+
+    def __post_init__(self) -> None:
+        n = len(self.workload)
+        for name, arr in self.columns.items():
+            if len(arr) != n:
+                raise ValueError(
+                    f"column {name!r} has length {len(arr)}, expected {n}"
+                )
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(
+                f"profiler {self.profiler!r} produced no column {name!r}; "
+                f"available: {sorted(self.columns)}"
+            ) from None
+
+    def matrix(self, names) -> np.ndarray:
+        """Stack the named columns into an (n_invocations, n_features) array."""
+        return np.column_stack([self.column(n) for n in names])

@@ -1,0 +1,109 @@
+"""GPU Basic-Block-Vector profiler (Photon's input).
+
+Photon identifies representative kernels by comparing per-launch Basic
+Block Vectors: the execution counts of each static basic block.  The
+collection cost is moderate (NVBit-based block counters), but the
+*comparison* cost grows between ``O(N*S*d)`` and ``O(N^2*d)`` with kernel
+count ``N``, representative count ``S`` and BBV dimensionality ``d`` —
+which is what makes Photon infeasible at HuggingFace scale (Sec. 5.6).
+
+BBVs are modeled per the static control-flow profile of each spec
+(:meth:`KernelSpec.base_bbv`), scaled by the invocation's dynamic work and
+perturbed by a small counting noise.  Different kernels occupy disjoint
+block-index subspaces, as distinct functions do in a real binary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..hardware.gpu_config import GPUConfig
+from ..workloads.workload import Workload
+from .base import ProfileResult, ProfilerCost
+
+__all__ = ["BbvProfiler", "BBV_COST", "BbvTable"]
+
+#: Block counters via binary instrumentation: ~12x slowdown, small
+#: per-kernel flush cost.  Comparison cost is accounted separately.
+BBV_COST = ProfilerCost(slowdown_factor=12.0, per_kernel_seconds=1e-4)
+
+
+class BbvTable:
+    """Dense (n_invocations, d) BBV matrix plus block-space layout."""
+
+    def __init__(self, vectors: np.ndarray, spec_slices: List[Tuple[int, int]]):
+        self.vectors = vectors
+        #: Per-spec (start, stop) column ranges in the global block space.
+        self.spec_slices = spec_slices
+
+    @property
+    def dimensionality(self) -> int:
+        return self.vectors.shape[1]
+
+    def normalized(self) -> np.ndarray:
+        """Row-normalized (L1) vectors, as Photon compares profiles."""
+        totals = np.maximum(self.vectors.sum(axis=1, keepdims=True), 1e-12)
+        return self.vectors / totals
+
+
+class BbvProfiler:
+    """Collects one BBV per kernel launch."""
+
+    name = "bbv"
+
+    def __init__(self, config: GPUConfig, cost: ProfilerCost = BBV_COST, noise: float = 0.01):
+        self.config = config
+        self.cost = cost
+        self.noise = noise
+
+    def _layout(self, workload: Workload) -> List[Tuple[int, int]]:
+        slices: List[Tuple[int, int]] = []
+        offset = 0
+        for spec in workload.specs:
+            slices.append((offset, offset + spec.num_basic_blocks))
+            offset += spec.num_basic_blocks
+        return slices
+
+    def collect(self, workload: Workload, seed: int = 0) -> BbvTable:
+        """Build the full BBV table for a workload."""
+        rng = np.random.default_rng(seed)
+        slices = self._layout(workload)
+        d = slices[-1][1] if slices else 0
+        vectors = np.zeros((len(workload), d), dtype=np.float32)
+        for sid, spec in enumerate(workload.specs):
+            mask = workload.spec_ids == sid
+            count = int(mask.sum())
+            if not count:
+                continue
+            start, stop = slices[sid]
+            base = spec.base_bbv().astype(np.float32)
+            scales = workload.work_scales[mask].astype(np.float32)
+            block = np.outer(scales, base)
+            if self.noise:
+                block *= 1.0 + self.noise * rng.standard_normal(block.shape).astype(
+                    np.float32
+                )
+                np.maximum(block, 0.0, out=block)
+            vectors[mask, start:stop] = block
+        return BbvTable(vectors, slices)
+
+    def profile(self, workload: Workload, seed: int = 0) -> ProfileResult:
+        """ProfileResult view: scalar per-invocation summaries only.
+
+        The dense table (for Photon's matcher) comes from :meth:`collect`;
+        the result columns carry totals so generic tooling can reason about
+        collection scale.
+        """
+        table = self.collect(workload, seed=seed)
+        warps = workload.spec_column(lambda sp: sp.num_warps())
+        return ProfileResult(
+            workload=workload,
+            profiler=self.name,
+            columns={
+                "bbv_total": table.vectors.sum(axis=1).astype(np.float64),
+                "num_warps": warps,
+            },
+            cost=self.cost,
+        )

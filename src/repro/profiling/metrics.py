@@ -1,0 +1,145 @@
+"""Microarchitectural metric model (the 13 metrics of Figure 14).
+
+Section 5.5 of the paper validates that a STEM-sampled workload reproduces
+the full workload's microarchitectural behaviour across four categories:
+
+1. shared/global memory access counts,
+2. L1/L2 cache accesses and the L2 read hit rate,
+3. 16/32-bit floating-point operation counts,
+4. warp execution and branch efficiencies.
+
+This module computes those metrics per invocation, analytically, from the
+kernel spec and launch context (the real counterpart would come from NCU
+on the full and sampled workloads).  Count metrics are extensive
+(aggregate = sum); rate metrics are intensive (aggregate = weighted mean).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..hardware.gpu_config import GPUConfig
+from ..workloads.workload import Workload
+
+__all__ = [
+    "MICROARCH_METRICS",
+    "COUNT_METRICS",
+    "RATE_METRICS",
+    "MicroarchModel",
+    "aggregate_metrics",
+]
+
+#: Extensive metrics: totals over the workload.
+COUNT_METRICS: List[str] = [
+    "shared_loads",
+    "shared_stores",
+    "global_loads",
+    "global_stores",
+    "l1_accesses",
+    "l2_read_accesses",
+    "dram_bytes_read",
+    "fp16_ops",
+    "fp32_ops",
+]
+
+#: Intensive metrics: invocation-weighted means over the workload.
+RATE_METRICS: List[str] = [
+    "l2_read_hit_rate",
+    "warp_execution_efficiency",
+    "branch_efficiency",
+    "achieved_occupancy",
+]
+
+#: All 13 metrics of the Figure 14 comparison.
+MICROARCH_METRICS: List[str] = COUNT_METRICS + RATE_METRICS
+
+
+class MicroarchModel:
+    """Per-invocation microarchitectural metrics on a given GPU."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+
+    def evaluate(self, workload: Workload, seed: int = 0) -> Dict[str, np.ndarray]:
+        """Compute all 13 metrics for every invocation (vectorized)."""
+        rng = np.random.default_rng(seed)
+        n = len(workload)
+        out = {name: np.empty(n, dtype=np.float64) for name in MICROARCH_METRICS}
+        resident_capacity = self.config.num_sms * self.config.max_warps_per_sm
+
+        for sid, spec in enumerate(workload.specs):
+            mask = workload.spec_ids == sid
+            count = int(mask.sum())
+            if not count:
+                continue
+            threads = spec.num_threads()
+            mix = spec.mix
+            s = workload.work_scales[mask]
+            locality = workload.localities[mask]
+
+            out["shared_loads"][mask] = mix.load_shared * threads * s
+            out["shared_stores"][mask] = mix.store_shared * threads * s
+            out["global_loads"][mask] = mix.load_global * threads * s
+            out["global_stores"][mask] = mix.store_global * threads * s
+            out["fp16_ops"][mask] = mix.fp16 * threads * s
+            out["fp32_ops"][mask] = mix.fp32 * threads * s
+
+            # Global accesses reach L1 as warp-level transactions.
+            transactions = (
+                mix.memory_ops() * spec.num_warps() * s / spec.memory.coalescing_factor()
+            )
+            out["l1_accesses"][mask] = transactions
+            # L1 captures short-stride reuse; random access defeats it.
+            l1_hit = np.clip(
+                0.35 * locality * (1.0 - spec.memory.random_fraction), 0.0, 0.9
+            )
+            l2_reads = transactions * (1.0 - l1_hit)
+            out["l2_read_accesses"][mask] = l2_reads
+            fit = min(1.0, (self.config.l2_bytes / spec.memory.working_set_bytes) ** 0.5)
+            l2_hit = np.clip(locality * fit, 0.0, 0.98)
+            # Measurement noise correlated with the run (counter sampling).
+            l2_hit = np.clip(l2_hit * (1.0 + 0.01 * rng.standard_normal(count)), 0.0, 1.0)
+            out["l2_read_hit_rate"][mask] = l2_hit
+            out["dram_bytes_read"][mask] = (
+                l2_reads * (1.0 - l2_hit) * self.config.cache_line_bytes
+            )
+
+            divergence = min(0.6, 0.04 * mix.branch + 0.3 * spec.memory.random_fraction)
+            out["warp_execution_efficiency"][mask] = np.clip(
+                1.0 - divergence * (1.1 - locality), 0.2, 1.0
+            )
+            out["branch_efficiency"][mask] = np.clip(
+                1.0 - 0.7 * divergence, 0.3, 1.0
+            )
+            out["achieved_occupancy"][mask] = min(
+                1.0, spec.num_warps() / resident_capacity
+            )
+        return out
+
+
+def aggregate_metrics(
+    per_invocation: Dict[str, np.ndarray],
+    weights: np.ndarray = None,
+) -> Dict[str, float]:
+    """Aggregate per-invocation metrics to workload-level values.
+
+    ``weights`` assigns each invocation a multiplicity (1.0 for a full
+    workload; the sampler's representation weights for a sampled one).
+    Count metrics sum; rate metrics take the weighted mean — the "weighted
+    sum over the sampled kernels" prediction scheme of Sec. 5.5.
+    """
+    any_column = next(iter(per_invocation.values()))
+    if weights is None:
+        weights = np.ones(len(any_column))
+    total_weight = weights.sum()
+    if total_weight <= 0:
+        raise ValueError("weights must have positive total")
+    aggregated: Dict[str, float] = {}
+    for name, values in per_invocation.items():
+        if name in COUNT_METRICS:
+            aggregated[name] = float(np.dot(weights, values))
+        else:
+            aggregated[name] = float(np.dot(weights, values) / total_weight)
+    return aggregated

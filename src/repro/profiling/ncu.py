@@ -1,0 +1,96 @@
+"""Nsight-Compute-style per-kernel metric profiler (PKA's input).
+
+PKA clusters kernels over 12 instruction-level metrics collected with NCU.
+NCU collects them by *replaying* every kernel several times with hardware
+counters multiplexed across passes — the reason its overhead explodes with
+kernel count (Table 5: 35× on Rodinia, 3704× on CASIO, infeasible on
+HuggingFace-scale workloads).
+
+The 12 metrics here mirror PKA's feature classes: instruction counts per
+class, memory traffic, occupancy/efficiency, and cache hit rates.  They
+are deterministic functions of the kernel spec and the invocation's
+*work scale* — dynamic counters see how much work ran, but a handful of
+averaged counters cannot expose the latency variability that locality and
+memory contention induce, which is the blindness Figure 10 illustrates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..hardware.gpu_config import GPUConfig
+from ..workloads.workload import Workload
+from .base import ProfileResult, ProfilerCost
+
+__all__ = ["NcuProfiler", "NCU_COST", "PKA_METRICS"]
+
+#: Counter multiplexing forces ~3 replay passes at ~8x slowdown each, plus
+#: a large fixed replay/attribution cost per kernel.
+NCU_COST = ProfilerCost(slowdown_factor=8.0, per_kernel_seconds=0.01)
+
+#: The 12 instruction-level metrics PKA consumes (Table 1: "12 instr.
+#: level metrics" — launch geometry and instruction-class counts; cache
+#: behaviour is deliberately absent, which is the blindness Sec. 5.2
+#: demonstrates).
+PKA_METRICS: List[str] = [
+    "inst_fp32",
+    "inst_fp16",
+    "inst_int",
+    "inst_sfu",
+    "inst_global_loads",
+    "inst_global_stores",
+    "inst_shared",
+    "inst_control",
+    "inst_total",
+    "inst_per_warp",
+    "num_warps",
+    "achieved_occupancy",
+]
+
+
+class NcuProfiler:
+    """Collects PKA's 12 per-kernel metrics by (modeled) kernel replay."""
+
+    name = "ncu"
+
+    def __init__(self, config: GPUConfig, cost: ProfilerCost = NCU_COST):
+        self.config = config
+        self.cost = cost
+
+    def profile(self, workload: Workload, seed: int = 0) -> ProfileResult:
+        n = len(workload)
+        scales = workload.work_scales
+        cols = {name: np.empty(n, dtype=np.float64) for name in PKA_METRICS}
+        resident_capacity = self.config.num_sms * self.config.max_warps_per_sm
+
+        for sid, spec in enumerate(workload.specs):
+            mask = workload.spec_ids == sid
+            if not mask.any():
+                continue
+            threads = spec.num_threads()
+            s = scales[mask]
+            mix = spec.mix
+            cols["inst_fp32"][mask] = mix.fp32 * threads * s
+            cols["inst_fp16"][mask] = mix.fp16 * threads * s
+            cols["inst_int"][mask] = mix.int_alu * threads * s
+            cols["inst_sfu"][mask] = mix.sfu * threads * s
+            cols["inst_global_loads"][mask] = mix.load_global * threads * s
+            cols["inst_global_stores"][mask] = mix.store_global * threads * s
+            cols["inst_shared"][mask] = mix.shared_ops() * threads * s
+            cols["inst_control"][mask] = mix.branch * threads * s
+            total = mix.total() * threads * s
+            cols["inst_total"][mask] = total
+            cols["inst_per_warp"][mask] = total / max(spec.num_warps(), 1)
+            cols["num_warps"][mask] = spec.num_warps()
+            cols["achieved_occupancy"][mask] = min(
+                1.0, spec.num_warps() / resident_capacity
+            )
+        return ProfileResult(
+            workload=workload, profiler=self.name, columns=cols, cost=self.cost
+        )
+
+    def feature_matrix(self, workload: Workload, seed: int = 0) -> np.ndarray:
+        """(n, 12) matrix in :data:`PKA_METRICS` order."""
+        return self.profile(workload, seed=seed).matrix(PKA_METRICS)

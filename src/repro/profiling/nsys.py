@@ -1,0 +1,49 @@
+"""Nsight-Systems-style kernel timeline profiler (STEM's input).
+
+The only data STEM+ROOT consumes is the per-invocation execution time —
+exactly what ``nsys`` emits from a single uninstrumented-speed pass over
+the workload.  Its cost model therefore has a slowdown factor close to 1
+and a sub-millisecond per-kernel attribution cost, which is what makes
+Table 5's STEM row one to three orders of magnitude cheaper than the
+instruction-level profilers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.gpu_config import GPUConfig
+from ..hardware.timing_model import TimingModel
+from ..workloads.workload import Workload
+from .base import ProfileResult, ProfilerCost
+
+__all__ = ["NsysProfiler", "NSYS_COST"]
+
+#: Timeline collection: ~1.2x run slowdown plus a tiny per-kernel
+#: attribution cost (scaled to this model's microsecond-class kernels).
+NSYS_COST = ProfilerCost(slowdown_factor=1.25, per_kernel_seconds=5e-6)
+
+
+class NsysProfiler:
+    """Collects one execution time per kernel launch."""
+
+    name = "nsys"
+
+    def __init__(self, config: GPUConfig, cost: ProfilerCost = NSYS_COST):
+        self.config = config
+        self.cost = cost
+        self._timing = TimingModel(config)
+
+    def profile(self, workload: Workload, seed: int = 0) -> ProfileResult:
+        """Run the workload once and record each kernel's duration (us)."""
+        times = self._timing.execution_times(workload, seed=seed)
+        return ProfileResult(
+            workload=workload,
+            profiler=self.name,
+            columns={"time_us": times},
+            cost=self.cost,
+        )
+
+    def execution_times(self, workload: Workload, seed: int = 0) -> np.ndarray:
+        """Shorthand for ``profile(...).column("time_us")``."""
+        return self.profile(workload, seed=seed).column("time_us")

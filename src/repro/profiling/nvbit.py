@@ -1,0 +1,46 @@
+"""NVBit-style dynamic instrumentation profiler (Sieve's input).
+
+Sieve's signature is the dynamic instruction count per kernel launch,
+collected by binary instrumentation that increments per-warp counters with
+atomics — hence a large multiplicative slowdown (Table 5: ~94× Rodinia,
+~294× CASIO) even though the per-kernel fixed cost is small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.gpu_config import GPUConfig
+from ..workloads.workload import Workload
+from .base import ProfileResult, ProfilerCost
+
+__all__ = ["NvbitProfiler", "NVBIT_COST"]
+
+#: Per-instruction atomic counting: heavy multiplicative slowdown.
+NVBIT_COST = ProfilerCost(slowdown_factor=89.0, per_kernel_seconds=3e-4)
+
+
+class NvbitProfiler:
+    """Collects dynamic instruction counts (total and per warp)."""
+
+    name = "nvbit"
+
+    def __init__(self, config: GPUConfig, cost: ProfilerCost = NVBIT_COST):
+        self.config = config
+        self.cost = cost
+
+    def profile(self, workload: Workload, seed: int = 0) -> ProfileResult:
+        instructions = workload.dynamic_instruction_counts().astype(np.float64)
+        warps = workload.spec_column(lambda sp: sp.num_warps())
+        cta_sizes = workload.spec_column(lambda sp: sp.threads_per_block())
+        return ProfileResult(
+            workload=workload,
+            profiler=self.name,
+            columns={
+                "instructions": instructions,
+                "instructions_per_warp": instructions / np.maximum(warps, 1),
+                "num_warps": warps,
+                "cta_size": cta_sizes,
+            },
+            cost=self.cost,
+        )

@@ -1,0 +1,140 @@
+"""Profiling-overhead accounting (Table 5).
+
+Collects, for each sampling method's profiler, the modeled wall-clock
+overhead factor on a workload relative to its uninstrumented wall time,
+plus Photon's separate BBV-comparison processing cost with its quadratic
+upper bound.  A workload whose projected profiling time exceeds
+``INFEASIBLE_DAYS`` is reported as infeasible (the paper's "N/A" entries,
+estimated at up to 78.68 days for HuggingFace workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..hardware.gpu_config import GPUConfig
+from ..hardware.timing_model import TimingModel
+from ..workloads.workload import Workload
+from .base import ProfilerCost
+from .bbv import BBV_COST
+from .ncu import NCU_COST
+from .nsys import NSYS_COST
+from .nvbit import NVBIT_COST
+
+__all__ = ["OverheadEstimate", "OverheadModel", "INFEASIBLE_DAYS"]
+
+#: Beyond this projected profiling time, a method is declared infeasible.
+INFEASIBLE_DAYS = 30.0
+
+#: Seconds per (vector element) BBV comparison operation on the host.
+_BBV_COMPARE_SECONDS_PER_ELEMENT = 5e-9
+
+
+@dataclass(frozen=True)
+class OverheadEstimate:
+    """Modeled profiling cost of one method on one workload."""
+
+    method: str
+    workload: str
+    base_wall_seconds: float
+    profiling_wall_seconds: float
+    num_kernels: int = 0
+    kernel_cap: float = float("inf")
+
+    @property
+    def overhead_factor(self) -> float:
+        return self.profiling_wall_seconds / self.base_wall_seconds
+
+    @property
+    def profiling_days(self) -> float:
+        return self.profiling_wall_seconds / 86400.0
+
+    @property
+    def feasible(self) -> bool:
+        """Feasible when the projected time is tolerable AND the kernel
+        count is within the method's practical limit (the same caps the
+        samplers enforce — at paper scale these correspond to the
+        months-of-profiling "N/A" entries of Tables 3 and 5)."""
+        return (
+            self.profiling_days <= INFEASIBLE_DAYS
+            and self.num_kernels <= self.kernel_cap
+        )
+
+
+class OverheadModel:
+    """Estimates each profiler's collection cost for a workload."""
+
+    #: profiler cost models per sampling method.
+    METHOD_COSTS: Dict[str, ProfilerCost] = {
+        "stem": NSYS_COST,
+        "pka": NCU_COST,
+        "sieve": NVBIT_COST,
+        "photon": BBV_COST,
+    }
+
+    #: Kernel-count feasibility caps, aligned with the samplers' limits.
+    METHOD_KERNEL_CAPS: Dict[str, float] = {
+        "stem": float("inf"),
+        "pka": 200_000,
+        "sieve": 300_000,
+        "photon": 500_000,
+    }
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        self._timing = TimingModel(config)
+
+    def base_wall_seconds(self, workload: Workload, seed: int = 0) -> float:
+        """Uninstrumented wall time of the workload on this GPU."""
+        return self._timing.total_time_us(workload, seed=seed) / 1e6
+
+    def photon_processing_seconds(
+        self, workload: Workload, num_representatives: Optional[int] = None
+    ) -> float:
+        """Photon's BBV-comparison cost.
+
+        With a known representative count ``S`` the cost is ``O(N*S*d)``;
+        without one we take the paper's pessimistic ``O(N^2*d)`` bound for
+        scale estimation.
+        """
+        n = len(workload)
+        d = sum(spec.num_basic_blocks for spec in workload.specs)
+        comparisons = n * (num_representatives if num_representatives else n)
+        return comparisons * d * _BBV_COMPARE_SECONDS_PER_ELEMENT
+
+    def estimate(
+        self,
+        method: str,
+        workload: Workload,
+        seed: int = 0,
+        num_representatives: Optional[int] = None,
+    ) -> OverheadEstimate:
+        """Overhead estimate for one method on one workload."""
+        try:
+            cost = self.METHOD_COSTS[method]
+        except KeyError:
+            raise KeyError(
+                f"unknown method {method!r}; available: {sorted(self.METHOD_COSTS)}"
+            ) from None
+        base = self.base_wall_seconds(workload, seed=seed)
+        wall = cost.wall_seconds(base, len(workload))
+        if method == "photon":
+            wall += self.photon_processing_seconds(workload, num_representatives)
+        return OverheadEstimate(
+            method=method,
+            workload=workload.name,
+            base_wall_seconds=base,
+            profiling_wall_seconds=wall,
+            num_kernels=len(workload),
+            kernel_cap=self.METHOD_KERNEL_CAPS[method],
+        )
+
+    def estimate_all(
+        self, workload: Workload, seed: int = 0
+    ) -> Dict[str, OverheadEstimate]:
+        """Overhead estimates of every method on one workload."""
+        return {
+            method: self.estimate(method, workload, seed=seed)
+            for method in self.METHOD_COSTS
+        }

@@ -1,0 +1,37 @@
+"""Cycle-level GPU simulator (the reproduction's MacSim substitute)."""
+
+from .cache import Cache, CacheStats
+from .energy import EnergyBreakdown, EnergyModel
+from .intra_kernel import AdaptiveWaveSimulator, WaveSampleResult
+from .memory import DramModel
+from .multi_sm import MultiSmSimulator
+from .sm import LatencyTable, StreamingMultiprocessor
+from .simulator import GpuSimulator, KernelSimResult, WorkloadSimResult
+from .stats import SimStats
+from .trace import KernelTrace, Op, TraceGenerator, WarpTrace
+from .warmup import NoWarmup, ProportionalWarmup, WarmupKernel, WarmupStrategy
+
+__all__ = [
+    "Cache",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "AdaptiveWaveSimulator",
+    "WaveSampleResult",
+    "CacheStats",
+    "DramModel",
+    "MultiSmSimulator",
+    "LatencyTable",
+    "StreamingMultiprocessor",
+    "SimStats",
+    "Op",
+    "WarpTrace",
+    "KernelTrace",
+    "TraceGenerator",
+    "GpuSimulator",
+    "WarmupStrategy",
+    "NoWarmup",
+    "ProportionalWarmup",
+    "WarmupKernel",
+    "KernelSimResult",
+    "WorkloadSimResult",
+]

@@ -1,0 +1,87 @@
+"""Set-associative cache model with LRU replacement.
+
+Used for the per-SM L1 and the (per-SM slice of the) shared L2 in the
+cycle-level simulator.  Accesses are warp-level transactions: one address
+per coalesced warp access, tagged at cache-line granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["Cache", "CacheStats"]
+
+
+class CacheStats:
+    """Hit/miss counters of one cache instance."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+
+
+class Cache:
+    """A set-associative, write-allocate, LRU cache.
+
+    Implementation note: each set is a list of tags in LRU order (most
+    recent last).  Line fills on miss; no writeback traffic is modeled
+    beyond the allocate itself (GPU L2 write handling guarantees write
+    hits, as the paper notes in Sec. 5.5).
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 128, associativity: int = 8):
+        if size_bytes <= 0 or line_bytes <= 0 or associativity <= 0:
+            raise ValueError("cache geometry must be positive")
+        num_lines = max(1, size_bytes // line_bytes)
+        self.associativity = min(associativity, num_lines)
+        self.num_sets = max(1, num_lines // self.associativity)
+        self.line_bytes = line_bytes
+        self._sets: Dict[int, List[int]] = {}
+        self.stats = CacheStats()
+
+    def access(self, address: int) -> bool:
+        """Access one address; returns True on hit.  Allocates on miss."""
+        line = address // self.line_bytes
+        set_index = line % self.num_sets
+        ways = self._sets.get(set_index)
+        if ways is None:
+            ways = []
+            self._sets[set_index] = ways
+        try:
+            ways.remove(line)
+        except ValueError:
+            self.stats.misses += 1
+            if len(ways) >= self.associativity:
+                ways.pop(0)  # evict LRU
+            ways.append(line)
+            return False
+        ways.append(line)  # refresh recency
+        self.stats.hits += 1
+        return True
+
+    def flush(self) -> None:
+        """Invalidate all lines (the paper's extreme-case L2-flush study)."""
+        self._sets.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (content untouched) — used to keep
+        untimed warmup accesses out of the measured statistics."""
+        self.stats = CacheStats()
+
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets.values())

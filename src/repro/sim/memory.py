@@ -1,0 +1,45 @@
+"""DRAM model: fixed latency plus bandwidth-queueing delay."""
+
+from __future__ import annotations
+
+__all__ = ["DramModel"]
+
+
+class DramModel:
+    """A single-channel abstraction of the GPU memory system.
+
+    Each access occupies the channel for ``service_cycles`` (derived from
+    line size over bandwidth); a request arriving while the channel is
+    busy queues behind it.  Returned latency = queueing + fixed access
+    latency.  This reproduces the first-order behaviours sampling cares
+    about: memory-bound kernels see latencies that *grow with contention*,
+    and halving bandwidth stretches them.
+    """
+
+    def __init__(
+        self,
+        latency_cycles: float,
+        bandwidth_bytes_per_cycle: float,
+        line_bytes: int = 128,
+    ):
+        if latency_cycles < 0 or bandwidth_bytes_per_cycle <= 0:
+            raise ValueError("invalid DRAM parameters")
+        self.latency_cycles = latency_cycles
+        self.service_cycles = line_bytes / bandwidth_bytes_per_cycle
+        self._busy_until = 0.0
+        self.accesses = 0
+        self.bytes_transferred = 0
+        self.line_bytes = line_bytes
+
+    def request(self, now: float) -> float:
+        """Issue one line fill at time ``now``; returns completion time."""
+        start = max(now, self._busy_until)
+        self._busy_until = start + self.service_cycles
+        self.accesses += 1
+        self.bytes_transferred += self.line_bytes
+        return start + self.service_cycles + self.latency_cycles
+
+    def reset(self) -> None:
+        self._busy_until = 0.0
+        self.accesses = 0
+        self.bytes_transferred = 0

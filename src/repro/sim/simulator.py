@@ -1,0 +1,200 @@
+"""Top-level cycle-level GPU simulator.
+
+The reproduction's MacSim stand-in for the design-space-exploration
+experiments (Table 4, Figure 12).  One representative SM is simulated in
+detail per kernel wave and the result extrapolated across waves — a
+standard reduction whose consistency between "full" and "sampled" runs is
+what the sampling-error comparison requires.
+
+Hardware sensitivity enters exactly where the paper's DSE varies it:
+
+* **SM count** — more SMs mean fewer waves (compute side speeds up) but a
+  thinner per-SM slice of L2 capacity and DRAM bandwidth (memory-bound
+  kernels do not);
+* **cache size** — the simulated L1 and the per-SM L2 slice grow or
+  shrink, moving hit rates and hence memory latencies.
+
+Caches cold-start at every kernel launch — the paper's extreme-case
+L2-flush scenario, which its Sec. 6.2 study found costs well under 1%
+accuracy because most reuse happens within kernels rather than across
+them.  Cross-kernel L2 persistence is out of scope for the reduced-trace
+design (the scaled address space differs per kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..hardware.gpu_config import GPUConfig
+from ..workloads.workload import Workload
+from .cache import Cache
+from .memory import DramModel
+from .sm import LatencyTable, StreamingMultiprocessor
+from .stats import SimStats
+from .trace import KernelTrace, TraceGenerator
+
+__all__ = ["KernelSimResult", "WorkloadSimResult", "GpuSimulator"]
+
+
+@dataclass(frozen=True)
+class KernelSimResult:
+    """Outcome of simulating one kernel invocation."""
+
+    invocation_index: int
+    cycles: float
+    wave_cycles: float
+    extrapolation: float
+    stats: SimStats
+
+
+@dataclass
+class WorkloadSimResult:
+    """Outcome of simulating a (subset of a) workload."""
+
+    workload_name: str
+    kernel_results: List[KernelSimResult]
+    aggregate: SimStats
+
+    @property
+    def total_cycles(self) -> float:
+        return float(sum(r.cycles for r in self.kernel_results))
+
+    def cycles_by_index(self) -> dict:
+        return {r.invocation_index: r.cycles for r in self.kernel_results}
+
+
+class GpuSimulator:
+    """Trace-driven cycle-level GPU simulator."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        latencies: Optional[LatencyTable] = None,
+        max_instructions_per_warp: int = 192,
+        max_resident_warps: int = 24,
+        noise: float = 0.02,
+        warmup=None,
+    ):
+        self.config = config
+        self.latencies = latencies or self._derive_latencies(config)
+        self.tracer = TraceGenerator(
+            num_sms=config.num_sms,
+            max_blocks_per_sm=config.max_blocks_per_sm,
+            max_warps_per_sm=config.max_warps_per_sm,
+            max_instructions_per_warp=max_instructions_per_warp,
+            max_resident_warps=max_resident_warps,
+            line_bytes=config.cache_line_bytes,
+        )
+        self.noise = noise
+        #: Optional cache-warmup strategy (see :mod:`repro.sim.warmup`).
+        self.warmup = warmup
+
+    @staticmethod
+    def _derive_latencies(config: GPUConfig) -> LatencyTable:
+        cycles_per_ns = config.clock_ghz
+        return LatencyTable(
+            l2_hit=max(20.0, config.l2_latency_ns * cycles_per_ns),
+            dram=max(100.0, config.dram_latency_ns * cycles_per_ns),
+        )
+
+    def _make_dram(self) -> DramModel:
+        # Per-SM share of DRAM bandwidth, in bytes per core cycle.
+        per_sm_gbps = self.config.dram_bandwidth_gbps / self.config.num_sms
+        bytes_per_cycle = per_sm_gbps / self.config.clock_ghz
+        return DramModel(
+            latency_cycles=0.0,  # fixed latency lives in LatencyTable.dram
+            bandwidth_bytes_per_cycle=max(bytes_per_cycle, 1e-3),
+            line_bytes=self.config.cache_line_bytes,
+        )
+
+    # -- single kernels -----------------------------------------------------
+    def simulate_trace(self, trace: KernelTrace, seed: int = 0) -> KernelSimResult:
+        # Cache capacities are scaled into the trace's reduced address
+        # space so footprint-to-capacity ratios match the full kernel.
+        scale = trace.cache_scale
+        line = self.config.cache_line_bytes
+        l1 = Cache(
+            max(line * 2, int(self.config.l1_bytes_per_sm * scale)),
+            line_bytes=line,
+            associativity=8,
+        )
+        l2 = Cache(
+            max(line * 4, int(self.config.l2_bytes * scale)),
+            line_bytes=line,
+            associativity=16,
+        )
+        if self.warmup is not None:
+            self.warmup.apply(trace, l1, l2)
+            l1.reset_stats()
+            l2.reset_stats()
+        dram = self._make_dram()
+        sm = StreamingMultiprocessor(self.latencies, l1, l2, dram)
+        wave_cycles, stats = sm.execute_wave(trace)
+
+        index = trace.invocation.index
+        rng = np.random.default_rng((seed * 0x9E3779B9 + index) & 0xFFFFFFFF)
+        noise = (
+            float(np.exp(rng.standard_normal() * self.noise - 0.5 * self.noise**2))
+            if self.noise
+            else 1.0
+        )
+        launch_cycles = self.config.launch_overhead_us * self.config.cycles_per_us()
+        cycles = (wave_cycles * trace.extrapolation + launch_cycles) * noise
+        stats.l1_hits = l1.stats.hits
+        stats.l1_misses = l1.stats.misses
+        # Event counters cover the traced wave; scale them by the same
+        # extrapolation as the cycles so stats describe the whole kernel.
+        factor = trace.extrapolation
+        for field_name in (
+            "instructions", "fp32_ops", "fp16_ops", "int_ops", "sfu_ops",
+            "shared_ops", "branches", "global_loads", "global_stores",
+            "l1_hits", "l1_misses", "l2_hits", "l2_misses",
+            "dram_accesses", "dram_bytes",
+        ):
+            setattr(stats, field_name, int(round(getattr(stats, field_name) * factor)))
+        stats.stall_cycles *= factor
+        stats.cycles = cycles
+        return KernelSimResult(
+            invocation_index=index,
+            cycles=cycles,
+            wave_cycles=wave_cycles,
+            extrapolation=trace.extrapolation,
+            stats=stats,
+        )
+
+    def simulate_invocation(self, workload: Workload, index: int, seed: int = 0) -> KernelSimResult:
+        trace = self.tracer.generate(workload.invocation(index), seed=seed)
+        return self.simulate_trace(trace, seed=seed)
+
+    # -- workloads ---------------------------------------------------------
+    def simulate_workload(
+        self,
+        workload: Workload,
+        indices: Optional[Iterable[int]] = None,
+        seed: int = 0,
+    ) -> WorkloadSimResult:
+        """Simulate the workload (or the subset ``indices``), in order."""
+        if indices is None:
+            indices = range(len(workload))
+        results: List[KernelSimResult] = []
+        aggregate = SimStats()
+        for index in indices:
+            result = self.simulate_invocation(workload, int(index), seed=seed)
+            results.append(result)
+            aggregate.merge(result.stats)
+        aggregate.cycles = float(sum(r.cycles for r in results))
+        return WorkloadSimResult(
+            workload_name=workload.name,
+            kernel_results=results,
+            aggregate=aggregate,
+        )
+
+    def cycle_counts(
+        self, workload: Workload, seed: int = 0
+    ) -> np.ndarray:
+        """Per-invocation cycle counts of a full simulation."""
+        result = self.simulate_workload(workload, seed=seed)
+        return np.array([r.cycles for r in result.kernel_results], dtype=np.float64)

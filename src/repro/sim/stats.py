@@ -1,0 +1,57 @@
+"""Simulation statistics: per-kernel and aggregated counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["SimStats"]
+
+
+@dataclass
+class SimStats:
+    """Microarchitectural counters produced by the cycle simulator."""
+
+    cycles: float = 0.0
+    instructions: int = 0
+    fp32_ops: int = 0
+    fp16_ops: int = 0
+    int_ops: int = 0
+    sfu_ops: int = 0
+    shared_ops: int = 0
+    branches: int = 0
+    global_loads: int = 0
+    global_stores: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    dram_accesses: int = 0
+    dram_bytes: int = 0
+    stall_cycles: float = 0.0
+
+    def merge(self, other: "SimStats") -> None:
+        """Accumulate another kernel's counters into this aggregate."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    @property
+    def l1_hit_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        return self.l1_hits / total if total else 0.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        total = self.l2_hits + self.l2_misses
+        return self.l2_hits / total if total else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        out = {name: float(getattr(self, name)) for name in self.__dataclass_fields__}
+        out["l1_hit_rate"] = self.l1_hit_rate
+        out["l2_hit_rate"] = self.l2_hit_rate
+        out["ipc"] = self.ipc
+        return out

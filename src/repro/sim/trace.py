@@ -1,0 +1,247 @@
+"""Warp-level trace generation from kernel descriptors.
+
+The simulator is trace-driven, as MacSim and Accel-Sim are.  A trace for
+one kernel invocation is a per-warp instruction stream plus an address
+stream for its global-memory operations.  Traces are *compact*: the
+per-warp stream is capped at ``max_instructions_per_warp`` and the cycle
+count extrapolated by the work ratio, the standard loop-extrapolation
+reduction for long kernels (the sampled-simulation literature's
+intra-kernel reduction; our ground truth and sampled runs share it, so
+comparisons stay internally consistent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..workloads.kernel import KernelInvocation, WARP_SIZE
+
+__all__ = ["Op", "WarpTrace", "KernelTrace", "TraceGenerator"]
+
+
+class Op:
+    """Instruction-kind opcodes used in warp traces."""
+
+    FP32 = 0
+    FP16 = 1
+    INT = 2
+    SFU = 3
+    SHARED = 4
+    BRANCH = 5
+    LOAD = 6
+    STORE = 7
+
+
+@dataclass
+class WarpTrace:
+    """One warp's instruction stream.
+
+    ``kinds`` holds opcode codes in program order; ``addresses`` holds one
+    transaction address per memory instruction, consumed in order.
+    """
+
+    kinds: np.ndarray
+    addresses: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+
+@dataclass
+class KernelTrace:
+    """Compact trace of one kernel invocation."""
+
+    invocation: KernelInvocation
+    warps: List[WarpTrace]
+    #: Thread blocks per SM wave actually traced.
+    resident_warps: int
+    #: Multiply simulated-wave cycles by this to cover the full kernel:
+    #: (waves across the whole GPU) x (uncaptured loop iterations).
+    extrapolation: float
+    #: Scale caches by this factor when simulating the trace: the trace's
+    #: scaled address space stands in for the real working set.
+    cache_scale: float = 1.0
+
+
+class TraceGenerator:
+    """Builds compact kernel traces from specs and launch contexts."""
+
+    def __init__(
+        self,
+        num_sms: int,
+        max_blocks_per_sm: int = 16,
+        max_warps_per_sm: int = 48,
+        max_instructions_per_warp: int = 192,
+        max_resident_warps: int = 24,
+        line_bytes: int = 128,
+    ):
+        self.num_sms = num_sms
+        self.max_blocks_per_sm = max_blocks_per_sm
+        self.max_warps_per_sm = max_warps_per_sm
+        self.max_instructions_per_warp = max_instructions_per_warp
+        self.max_resident_warps = max_resident_warps
+        self.line_bytes = line_bytes
+
+    # -- instruction-stream synthesis ------------------------------------
+    @staticmethod
+    def _interleave(mix_counts: List[int], kinds: List[int], length: int) -> np.ndarray:
+        """Spread instruction classes evenly through the stream.
+
+        Mirrors how compilers schedule memory operations among arithmetic
+        to hide latency: each class is distributed at its own stride.
+        """
+        total = sum(mix_counts)
+        if total == 0:
+            return np.full(length, Op.INT, dtype=np.int8)
+        stream = np.empty(total, dtype=np.int8)
+        positions = np.argsort(
+            np.concatenate(
+                [
+                    (np.arange(count) + 0.5) / count + 1e-9 * kind
+                    for count, kind in zip(mix_counts, kinds)
+                    if count
+                ]
+            ),
+            kind="stable",
+        )
+        flat_kinds = np.concatenate(
+            [np.full(c, k, dtype=np.int8) for c, k in zip(mix_counts, kinds) if c]
+        )
+        stream[positions.argsort(kind="stable")] = flat_kinds
+        # Tile or trim to the requested traced length.
+        if total >= length:
+            return stream[:length]
+        reps = int(np.ceil(length / total))
+        return np.tile(stream, reps)[:length]
+
+    def _addresses(
+        self,
+        invocation: KernelInvocation,
+        warp_index: int,
+        count: int,
+        ws_lines: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Per-warp coalesced transaction addresses.
+
+        With probability ``locality`` a transaction re-touches a hot
+        region (sized as a fraction of the working set); otherwise it
+        streams through cold addresses or, for ``random_fraction`` of
+        accesses, lands anywhere in the working set — so the hit rate a
+        cache of a given capacity achieves responds to both the locality
+        knob and the cache size, which is what the DSE experiments vary.
+        """
+        spec = invocation.spec
+        context = invocation.context
+
+        # The compact trace works in a *scaled address space*: the trace's
+        # total access count stands in for the full working set, and the
+        # simulator scales cache capacities by the same ratio (see
+        # :meth:`address_space_scale`).  Footprint-to-capacity ratios —
+        # the quantity cache behaviour depends on — are thereby preserved
+        # despite the trace reduction.
+        hot_lines = max(2, int(round(ws_lines * 0.01)))
+        warm_lines = max(4, int(round(ws_lines * 0.2)))
+        warp_lines = max(1, (warp_index * 7919) % ws_lines)
+
+        p_hot = 0.35 * context.locality
+        p_warm = p_hot + 0.55 * context.locality + 0.15
+        u = rng.random(count)
+        hot = u < p_hot
+        warm = ~hot & (u < p_warm)
+        cold = ~hot & ~warm
+        random_access = cold & (rng.random(count) < spec.memory.random_fraction)
+        streaming = cold & ~random_access
+
+        lines = np.empty(count, dtype=np.int64)
+        lines[hot] = rng.integers(0, hot_lines, size=int(hot.sum()))
+        lines[warm] = hot_lines + rng.integers(0, warm_lines, size=int(warm.sum()))
+        lines[random_access] = rng.integers(
+            0, ws_lines, size=int(random_access.sum())
+        )
+        # Streaming accesses: a strided walk from the warp's base line.
+        n_stream = int(streaming.sum())
+        lines[streaming] = (warp_lines + np.arange(n_stream, dtype=np.int64)) % ws_lines
+        return lines * self.line_bytes
+
+    # -- public API -------------------------------------------------------
+    def generate(
+        self, invocation: KernelInvocation, seed: int = 0
+    ) -> KernelTrace:
+        """Build the compact trace of one invocation."""
+        spec = invocation.spec
+        context = invocation.context
+        rng = np.random.default_rng(
+            (seed * 0x9E3779B9 + invocation.index * 0x85EBCA6B) & 0xFFFFFFFF
+        )
+
+        mix = spec.mix
+        per_thread_total = max(mix.total(), 1)
+        scaled_total = max(1, int(round(per_thread_total * context.work_scale)))
+        traced_len = min(self.max_instructions_per_warp, scaled_total)
+
+        kinds = self._interleave(
+            [
+                mix.fp32,
+                mix.fp16,
+                mix.int_alu,
+                mix.sfu,
+                mix.shared_ops(),
+                mix.branch,
+                mix.load_global,
+                mix.store_global,
+            ],
+            [Op.FP32, Op.FP16, Op.INT, Op.SFU, Op.SHARED, Op.BRANCH, Op.LOAD, Op.STORE],
+            traced_len,
+        )
+
+        # Resident warps of one SM wave.  A launch too small to fill every
+        # SM leaves each SM with fewer resident blocks, so adding SMs
+        # still spreads the work (and its memory traffic) thinner.
+        blocks_per_sm = min(
+            self.max_blocks_per_sm,
+            max(1, self.max_warps_per_sm // max(spec.warps_per_block(), 1)),
+        )
+        total_blocks = spec.num_blocks()
+        blocks_per_sm = min(
+            blocks_per_sm, max(1, -(-total_blocks // self.num_sms))
+        )
+        resident = min(
+            self.max_resident_warps, blocks_per_sm * spec.warps_per_block()
+        )
+        resident = min(resident, spec.num_warps())
+
+        warps: List[WarpTrace] = []
+        n_mem = int(np.count_nonzero((kinds == Op.LOAD) | (kinds == Op.STORE)))
+        # Scaled address space: the wave's total transaction count stands
+        # in for the real working set (footprint-to-capacity preserved).
+        ws_lines = max(64, n_mem * max(resident, 1))
+        working_set = max(
+            int(spec.memory.working_set_bytes * min(context.work_scale, 4.0)),
+            self.line_bytes * 4,
+        )
+        cache_scale = ws_lines * self.line_bytes / working_set
+        for w in range(resident):
+            addresses = self._addresses(invocation, w, n_mem, ws_lines, rng)
+            warps.append(WarpTrace(kinds=kinds.copy(), addresses=addresses))
+
+        # Extrapolation: waves across the GPU x untraced loop iterations
+        # x untraced resident warps.
+        blocks_per_wave = max(1, blocks_per_sm * self.num_sms)
+        waves = max(1.0, total_blocks / blocks_per_wave)
+        loop_factor = scaled_total / traced_len
+        warp_factor = max(
+            1.0,
+            min(self.max_warps_per_sm, blocks_per_sm * spec.warps_per_block())
+            / max(resident, 1),
+        )
+        return KernelTrace(
+            invocation=invocation,
+            warps=warps,
+            resident_warps=resident,
+            extrapolation=waves * loop_factor * warp_factor,
+            cache_scale=cache_scale,
+        )

@@ -1,0 +1,29 @@
+"""Workload modeling: kernels, launch contexts, and benchmark suites."""
+
+from .contexts import ContextMixture, ContextMode
+from .kernel import (
+    WARP_SIZE,
+    InstructionMix,
+    KernelInvocation,
+    KernelSpec,
+    LaunchContext,
+    MemoryPattern,
+)
+from .suites import load_suite, load_workload, suite_names
+from .workload import Workload, WorkloadBuilder
+
+__all__ = [
+    "WARP_SIZE",
+    "InstructionMix",
+    "MemoryPattern",
+    "KernelSpec",
+    "LaunchContext",
+    "KernelInvocation",
+    "ContextMode",
+    "ContextMixture",
+    "Workload",
+    "WorkloadBuilder",
+    "suite_names",
+    "load_suite",
+    "load_workload",
+]

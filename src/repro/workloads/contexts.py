@@ -1,0 +1,165 @@
+"""Runtime-context mixtures for kernel launches.
+
+The paper's Figure 1 shows that repeated invocations of one kernel form a
+*mixture* of runtime behaviours: several narrow peaks (distinct launch
+sites / input shapes) and, for memory-bound kernels, wide jittery spreads.
+:class:`ContextMixture` is the generative counterpart — each
+:class:`ContextMode` is one peak, and drawing a launch sequence from the
+mixture yields the per-invocation ``(context_id, work_scale, locality)``
+columns a :class:`~repro.workloads.workload.WorkloadBuilder` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ContextMode", "ContextMixture"]
+
+
+@dataclass(frozen=True)
+class ContextMode:
+    """One runtime context (one execution-time peak) of a kernel.
+
+    Parameters
+    ----------
+    context_id:
+        Launch-site identifier recorded on each invocation.
+    weight:
+        Relative frequency of this context in the launch stream.
+    work_scale / work_jitter:
+        Mean and relative standard deviation of the effective-work
+        multiplier.  ``work_jitter`` widens the peak.
+    locality / locality_jitter:
+        Mean and absolute standard deviation of cache friendliness.
+    efficiency:
+        Compute-pipeline utilization multiplier (tensor layout, memory
+        alignment).  Differs between launch sites of the *same* kernel
+        with identical instruction counts — the paper's sgemm peaks.
+    """
+
+    context_id: int
+    weight: float = 1.0
+    work_scale: float = 1.0
+    work_jitter: float = 0.0
+    locality: float = 0.5
+    locality_jitter: float = 0.0
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if self.work_scale <= 0:
+            raise ValueError("work_scale must be positive")
+        if self.work_jitter < 0 or self.locality_jitter < 0:
+            raise ValueError("jitter values must be non-negative")
+        if not 0.0 <= self.locality <= 1.0:
+            raise ValueError("locality must be within [0, 1]")
+        if self.efficiency <= 0:
+            raise ValueError("efficiency must be positive")
+
+
+@dataclass
+class ContextMixture:
+    """A weighted set of :class:`ContextMode` peaks for one kernel."""
+
+    modes: List[ContextMode] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.modes:
+            raise ValueError("a context mixture needs at least one mode")
+        ids = [m.context_id for m in self.modes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("context_ids within a mixture must be unique")
+
+    @classmethod
+    def single(
+        cls,
+        work_scale: float = 1.0,
+        work_jitter: float = 0.0,
+        locality: float = 0.5,
+        locality_jitter: float = 0.0,
+        context_id: int = 0,
+        efficiency: float = 1.0,
+    ) -> "ContextMixture":
+        """Mixture with one mode — a homogeneous kernel."""
+        return cls(
+            [
+                ContextMode(
+                    context_id=context_id,
+                    work_scale=work_scale,
+                    work_jitter=work_jitter,
+                    locality=locality,
+                    locality_jitter=locality_jitter,
+                    efficiency=efficiency,
+                )
+            ]
+        )
+
+    @property
+    def num_modes(self) -> int:
+        return len(self.modes)
+
+    def weights(self) -> np.ndarray:
+        w = np.array([m.weight for m in self.modes], dtype=np.float64)
+        return w / w.sum()
+
+    def _fill(
+        self, assignment: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Materialize launch columns for a per-launch mode assignment."""
+        n = len(assignment)
+        context_ids = np.empty(n, dtype=np.int32)
+        work_scales = np.empty(n, dtype=np.float64)
+        localities = np.empty(n, dtype=np.float64)
+        efficiencies = np.empty(n, dtype=np.float64)
+        for mode_index, mode in enumerate(self.modes):
+            mask = assignment == mode_index
+            count = int(mask.sum())
+            if not count:
+                continue
+            context_ids[mask] = mode.context_id
+            scales = mode.work_scale * (
+                1.0 + mode.work_jitter * rng.standard_normal(count)
+                if mode.work_jitter
+                else np.ones(count)
+            )
+            work_scales[mask] = np.maximum(scales, mode.work_scale * 0.01)
+            locs = mode.locality + (
+                mode.locality_jitter * rng.standard_normal(count)
+                if mode.locality_jitter
+                else 0.0
+            )
+            localities[mask] = np.clip(locs, 0.0, 1.0)
+            efficiencies[mask] = mode.efficiency
+        return context_ids, work_scales, localities, efficiencies
+
+    def draw(
+        self, n: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Sample ``n`` launches from the mixture.
+
+        Returns ``(context_ids, work_scales, localities, efficiencies)``
+        arrays in launch order.  Work scales are truncated below at 1% of
+        the mode mean and localities are clipped to ``[0, 1]``.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        choice = rng.choice(len(self.modes), size=n, p=self.weights())
+        return self._fill(choice, rng)
+
+    def schedule(
+        self, sequence: Sequence[int], rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Draw launches following an explicit per-launch mode ``sequence``.
+
+        ``sequence`` holds mode indices (positions into :attr:`modes`), not
+        context ids.  Use this for deterministic phase structure — e.g. a
+        kernel whose work shrinks monotonically across iterations.
+        """
+        seq = np.asarray(sequence, dtype=np.int64)
+        if len(seq) and (seq.min() < 0 or seq.max() >= len(self.modes)):
+            raise ValueError("sequence entries must index into modes")
+        return self._fill(seq, rng)

@@ -1,0 +1,14 @@
+"""Benchmark-suite workload generators."""
+
+from . import casio, huggingface, rodinia, synthetic
+from .base import KernelPhase, WorkloadRegistry, assemble
+
+__all__ = [
+    "KernelPhase",
+    "WorkloadRegistry",
+    "assemble",
+    "rodinia",
+    "casio",
+    "huggingface",
+    "synthetic",
+]

@@ -1,0 +1,110 @@
+"""Shared machinery for benchmark-suite generators.
+
+Each suite module (:mod:`rodinia`, :mod:`casio`, :mod:`huggingface`)
+describes its workloads as lists of :class:`KernelPhase` entries — one
+kernel spec, a context mixture, and an invocation count — and the helpers
+here turn those into a :class:`~repro.workloads.workload.Workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..contexts import ContextMixture
+from ..kernel import KernelSpec
+from ..workload import Workload, WorkloadBuilder
+
+__all__ = ["KernelPhase", "assemble", "WorkloadRegistry"]
+
+
+@dataclass(frozen=True)
+class KernelPhase:
+    """A batch of launches of one kernel drawn from one context mixture.
+
+    ``schedule`` optionally fixes the per-launch mode sequence (indices
+    into the mixture's modes) for workloads with deterministic phase
+    structure such as Rodinia's ``gaussian``; when omitted, launches are
+    drawn i.i.d. from the mixture weights.
+    """
+
+    spec: KernelSpec
+    mixture: ContextMixture
+    count: int
+    schedule: Optional[Sequence[int]] = None
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("count must be positive")
+        if self.schedule is not None and len(self.schedule) != self.count:
+            raise ValueError("schedule length must equal count")
+
+
+def assemble(
+    name: str,
+    suite: str,
+    phases: Sequence[KernelPhase],
+    rng: np.random.Generator,
+) -> Workload:
+    """Build a workload from phases, preserving phase order."""
+    builder = WorkloadBuilder(name=name, suite=suite)
+    for phase in phases:
+        if phase.schedule is not None:
+            ctx, scales, locs, effs = phase.mixture.schedule(phase.schedule, rng)
+        else:
+            ctx, scales, locs, effs = phase.mixture.draw(phase.count, rng)
+        builder.launch_bulk(phase.spec, ctx, scales, locs, effs)
+    return builder.build()
+
+
+class WorkloadRegistry:
+    """Name → generator registry for one benchmark suite.
+
+    Generators are callables ``(scale: float, seed: int) -> Workload``.
+    ``scale`` multiplies invocation counts so tests can run miniature
+    versions of every workload.
+    """
+
+    def __init__(self, suite: str):
+        self.suite = suite
+        self._generators: Dict[str, Callable[[float, int], Workload]] = {}
+
+    def register(self, name: str):
+        """Decorator registering a workload generator under ``name``."""
+
+        def wrap(fn: Callable[[float, int], Workload]):
+            if name in self._generators:
+                raise ValueError(f"duplicate workload {name!r} in suite {self.suite!r}")
+            self._generators[name] = fn
+            return fn
+
+        return wrap
+
+    def names(self) -> List[str]:
+        return sorted(self._generators)
+
+    def generate(self, name: str, scale: float = 1.0, seed: int = 0) -> Workload:
+        try:
+            fn = self._generators[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown workload {name!r} in suite {self.suite!r}; "
+                f"available: {self.names()}"
+            ) from None
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        return fn(scale, seed)
+
+    def generate_all(self, scale: float = 1.0, seed: int = 0) -> List[Workload]:
+        """Generate every workload in the suite, seeds offset per name."""
+        return [
+            self.generate(name, scale=scale, seed=seed + offset)
+            for offset, name in enumerate(self.names())
+        ]
+
+
+def scaled_count(base: int, scale: float, minimum: int = 4) -> int:
+    """Scale an invocation count, keeping a usable minimum."""
+    return max(minimum, int(round(base * scale)))

@@ -1,0 +1,357 @@
+"""CASIO-style ML workloads (11 workloads, Table 2 row 2).
+
+Each workload models a deep-learning application compiled from a framework
+compute graph: tens of thousands of launches drawn from a small pool of
+kernel types (GEMMs, convolutions, normalizations, poolings, elementwise
+ops, embedding gathers).  The mixtures encode the runtime heterogeneity of
+Figure 1:
+
+* GEMM kernels (``sgemm_128x64_nn`` etc.) — several *narrow* peaks, one
+  per usage site (QKV projection vs FFN vs output head);
+* ``bn_fw_inf`` — three clearly separated peaks (three distinct feature-map
+  geometries in the network);
+* ``max_pool`` and embedding gathers — *wide* distributions from their
+  memory-bound nature;
+* elementwise ops — stable narrow behaviour.
+
+``dlrm`` is dominated by random-access embedding lookups, which makes it
+the most memory-intensive workload — the property Figure 13 relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..contexts import ContextMixture, ContextMode
+from ..kernel import InstructionMix, KernelSpec, MemoryPattern
+from ..workload import Workload
+from .base import KernelPhase, WorkloadRegistry, assemble, scaled_count
+
+__all__ = ["CASIO", "generate", "workload_names"]
+
+CASIO = WorkloadRegistry("casio")
+
+
+def _spec(
+    name: str,
+    grid: int,
+    block: int = 256,
+    fp32: int = 0,
+    fp16: int = 0,
+    int_alu: int = 12,
+    sfu: int = 0,
+    loads: int = 16,
+    stores: int = 6,
+    shared: int = 0,
+    branch: int = 4,
+    stride: int = 4,
+    random_fraction: float = 0.0,
+    working_set_mb: float = 16.0,
+    memory_boundedness: float = 0.5,
+    basic_blocks: int = 20,
+) -> KernelSpec:
+    """Compact ML kernel-spec factory."""
+    return KernelSpec(
+        name=name,
+        grid_dim=(grid, 1, 1),
+        block_dim=(block, 1, 1),
+        mix=InstructionMix(
+            fp32=fp32,
+            fp16=fp16,
+            int_alu=int_alu,
+            sfu=sfu,
+            load_global=loads,
+            store_global=stores,
+            load_shared=shared,
+            store_shared=shared // 2,
+            branch=branch,
+        ),
+        memory=MemoryPattern(
+            stride_bytes=stride,
+            random_fraction=random_fraction,
+            working_set_bytes=int(working_set_mb * (1 << 20)),
+        ),
+        memory_boundedness=memory_boundedness,
+        num_basic_blocks=basic_blocks,
+    )
+
+
+def _gemm(name: str, fp16: bool = False, grid: int = 512) -> KernelSpec:
+    """Tiled GEMM: compute-bound, heavy shared-memory traffic."""
+    return _spec(
+        name,
+        grid=grid,
+        fp32=0 if fp16 else 180,
+        fp16=220 if fp16 else 0,
+        shared=60,
+        loads=24,
+        stores=6,
+        memory_boundedness=0.2,
+        working_set_mb=24.0,
+        basic_blocks=28,
+    )
+
+
+def _peaks(peak_params: Sequence, work_jitter: float = 0.015) -> ContextMixture:
+    """Mixture of narrow peaks.
+
+    Each entry is ``(weight, work_scale, locality)`` or
+    ``(weight, work_scale, locality, efficiency)``; efficiency defaults
+    to 1.0.
+    """
+    modes = []
+    for i, params in enumerate(peak_params):
+        w, scale, loc = params[:3]
+        eff = params[3] if len(params) > 3 else 1.0
+        modes.append(
+            ContextMode(
+                context_id=i,
+                weight=w,
+                work_scale=scale,
+                work_jitter=work_jitter,
+                locality=loc,
+                locality_jitter=0.02,
+                efficiency=eff,
+            )
+        )
+    return ContextMixture(modes)
+
+
+# -- reusable kernel recipes -------------------------------------------------
+
+def _transformer_phases(
+    prefix: str, layers: int, calls_per_kernel: int, fp16: bool, train: bool
+) -> List[KernelPhase]:
+    """Kernel phases of a transformer encoder/decoder stack.
+
+    GEMMs appear in three usage sites (QKV/attention-out/FFN) with distinct
+    effective shapes — three narrow execution-time peaks per GEMM kernel.
+    """
+    n = calls_per_kernel
+    gemm_128x64 = _gemm(f"{prefix}_sgemm_128x64_nn", fp16=fp16)
+    gemm_128x128 = _gemm(f"{prefix}_sgemm_128x128_tn", fp16=fp16, grid=1024)
+    softmax = _spec(
+        f"{prefix}_softmax_warp_fwd", grid=256, fp32=30, sfu=10, loads=22, stores=10,
+        memory_boundedness=0.65, working_set_mb=4.0,
+    )
+    layernorm = _spec(
+        f"{prefix}_layer_norm_fwd", grid=256, fp32=26, loads=26, stores=14,
+        memory_boundedness=0.8, working_set_mb=5.0,
+    )
+    gelu = _spec(
+        f"{prefix}_gelu_kernel", grid=512, fp32=18, sfu=6, loads=18, stores=16,
+        memory_boundedness=0.85, working_set_mb=16.0,
+    )
+    phases = [
+        KernelPhase(
+            # Three usage sites, identical launch shape and instruction
+            # count: two differ only in tensor-core utilization (layout /
+            # alignment of the operand tensors), the third carries less
+            # effective work.
+            gemm_128x64,
+            _peaks([(0.5, 1.0, 0.75, 1.0), (0.3, 1.0, 0.7, 0.45), (0.2, 0.55, 0.8, 1.0)]),
+            3 * n,
+        ),
+        KernelPhase(
+            gemm_128x128,
+            _peaks([(0.6, 1.0, 0.72, 1.0), (0.4, 1.0, 0.68, 0.5)]),
+            2 * n,
+        ),
+        KernelPhase(
+            # Same shape at every launch site — but the operand tensors
+            # live hot in L2 for some sites and cold for others.  Identical
+            # instruction counts, distinct execution-time peaks.
+            softmax,
+            _peaks([(0.6, 1.0, 0.85), (0.4, 1.0, 0.3)], work_jitter=0.04),
+            n,
+        ),
+        KernelPhase(
+            layernorm,
+            _peaks([(0.55, 1.0, 0.9), (0.45, 1.0, 0.35)], work_jitter=0.03),
+            2 * n,
+        ),
+        KernelPhase(
+            gelu,
+            ContextMixture.single(work_jitter=0.05, locality=0.45, locality_jitter=0.08),
+            n,
+        ),
+    ]
+    if train:
+        gemm_bwd = _gemm(f"{prefix}_sgemm_128x64_nt_bwd", fp16=fp16, grid=1024)
+        reduce_grad = _spec(
+            f"{prefix}_reduce_grad", grid=512, fp32=14, loads=14, stores=6,
+            memory_boundedness=0.85, working_set_mb=32.0,
+        )
+        adam = _spec(
+            f"{prefix}_adam_update", grid=512, fp32=22, sfu=4, loads=12, stores=12,
+            memory_boundedness=0.9, working_set_mb=48.0,
+        )
+        phases += [
+            KernelPhase(
+                gemm_bwd,
+                _peaks([(0.5, 1.0, 0.7, 1.0), (0.3, 1.0, 0.65, 0.5), (0.2, 0.6, 0.75, 1.0)]),
+                3 * n,
+            ),
+            KernelPhase(
+                reduce_grad,
+                ContextMixture.single(work_jitter=0.07, locality=0.4, locality_jitter=0.1),
+                2 * n,
+            ),
+            KernelPhase(
+                adam,
+                ContextMixture.single(work_jitter=0.05, locality=0.35, locality_jitter=0.08),
+                n,
+            ),
+        ]
+    return phases
+
+
+def _cnn_phases(prefix: str, calls_per_kernel: int, train: bool) -> List[KernelPhase]:
+    """Kernel phases of a convolutional network.
+
+    ``bn_fw_inf`` gets three distinct geometry peaks; ``max_pool`` is wide
+    and memory-bound — matching the Figure 1 histograms by name.
+    """
+    n = calls_per_kernel
+    winograd = _spec(
+        f"{prefix}_winograd_fwd_3x3", grid=1024, fp32=200, shared=70, loads=20,
+        stores=8, memory_boundedness=0.25, working_set_mb=20.0, basic_blocks=32,
+    )
+    implicit_gemm = _gemm(f"{prefix}_implicit_gemm_conv", grid=768)
+    bn = _spec(
+        f"{prefix}_bn_fw_inf", grid=512, fp32=20, loads=24, stores=14,
+        memory_boundedness=0.8, working_set_mb=5.0,
+    )
+    pool = _spec(
+        f"{prefix}_max_pool", grid=512, fp32=6, int_alu=18, loads=14, stores=6,
+        memory_boundedness=0.92, working_set_mb=40.0, branch=8,
+    )
+    relu = _spec(
+        f"{prefix}_relu_kernel", grid=512, fp32=6, loads=8, stores=8,
+        memory_boundedness=0.9, working_set_mb=24.0,
+    )
+    phases = [
+        KernelPhase(
+            winograd,
+            _peaks([(0.45, 1.0, 0.75, 1.0), (0.35, 1.0, 0.7, 0.42), (0.2, 0.5, 0.78, 1.0)]),
+            2 * n,
+        ),
+        KernelPhase(
+            implicit_gemm,
+            _peaks([(0.6, 1.0, 0.72, 1.0), (0.4, 1.0, 0.68, 0.55)]),
+            2 * n,
+        ),
+        KernelPhase(
+            bn,
+            # Three clearly separated peaks — the bn_fw_inf of Figure 1.
+            # The feature maps are the same size at every site (identical
+            # instruction counts); what differs is their L2 residency.
+            _peaks([(0.45, 1.0, 0.9), (0.35, 1.0, 0.5), (0.2, 1.0, 0.1)], work_jitter=0.02),
+            2 * n,
+        ),
+        KernelPhase(
+            pool,
+            # One broad mode: heavy memory-bound jitter.
+            ContextMixture.single(work_jitter=0.12, locality=0.3, locality_jitter=0.12),
+            n,
+        ),
+        KernelPhase(
+            relu,
+            ContextMixture.single(work_jitter=0.04, locality=0.5, locality_jitter=0.05),
+            2 * n,
+        ),
+    ]
+    if train:
+        bn_bwd = _spec(
+            f"{prefix}_bn_bw", grid=512, fp32=26, loads=28, stores=16,
+            memory_boundedness=0.8, working_set_mb=6.0,
+        )
+        wgrad = _gemm(f"{prefix}_wgrad_gemm", grid=1024)
+        phases += [
+            KernelPhase(
+                bn_bwd,
+                _peaks([(0.5, 1.0, 0.85), (0.3, 1.0, 0.45), (0.2, 1.0, 0.15)], work_jitter=0.03),
+                2 * n,
+            ),
+            KernelPhase(
+                wgrad,
+                _peaks([(0.6, 1.0, 0.7, 1.0), (0.4, 1.0, 0.62, 0.48)]),
+                2 * n,
+            ),
+        ]
+    return phases
+
+
+def _register_transformer(name: str, calls_per_kernel: int, fp16: bool, train: bool):
+    @CASIO.register(name)
+    def _gen(scale: float, seed: int, _name=name, _n=calls_per_kernel, _fp16=fp16, _train=train) -> Workload:
+        rng = np.random.default_rng(seed)
+        n = scaled_count(_n, scale, minimum=8)
+        return assemble(_name, "casio", _transformer_phases(_name, 12, n, _fp16, _train), rng)
+
+
+def _register_cnn(name: str, calls_per_kernel: int, train: bool):
+    @CASIO.register(name)
+    def _gen(scale: float, seed: int, _name=name, _n=calls_per_kernel, _train=train) -> Workload:
+        rng = np.random.default_rng(seed)
+        n = scaled_count(_n, scale, minimum=8)
+        return assemble(_name, "casio", _cnn_phases(_name, n, _train), rng)
+
+
+_register_transformer("bert_infer", 6000, fp16=True, train=False)
+_register_transformer("bert_train", 4500, fp16=True, train=True)
+_register_transformer("gpt2_infer", 7000, fp16=True, train=False)
+_register_transformer("rnnt_infer", 4000, fp16=False, train=False)
+_register_cnn("resnet50_infer", 7000, train=False)
+_register_cnn("resnet50_train", 5000, train=True)
+_register_cnn("ssdrn34_infer", 6000, train=False)
+_register_cnn("ssdrn34_train", 4500, train=True)
+_register_cnn("unet_infer", 6500, train=False)
+_register_cnn("unet_train", 5000, train=True)
+
+
+@CASIO.register("dlrm")
+def _dlrm(scale: float, seed: int) -> Workload:
+    """DLRM: embedding-gather dominated, random access, high memory pressure."""
+    rng = np.random.default_rng(seed)
+    n = scaled_count(9000, scale, minimum=16)
+    embedding = _spec(
+        "dlrm_embedding_gather", grid=256, int_alu=20, loads=26, stores=8,
+        random_fraction=0.9, memory_boundedness=0.97, working_set_mb=512.0,
+        branch=6, basic_blocks=10,
+    )
+    interact = _spec(
+        "dlrm_interact_features", grid=256, fp32=60, shared=30, loads=14, stores=6,
+        memory_boundedness=0.4, working_set_mb=8.0,
+    )
+    mlp_top = _gemm("dlrm_mlp_top_gemm", grid=384)
+    mlp_bot = _gemm("dlrm_mlp_bot_gemm", grid=256)
+    phases = [
+        KernelPhase(
+            embedding,
+            # Very wide: lookup locality depends on the sparse input batch.
+            ContextMixture(
+                [
+                    ContextMode(context_id=0, weight=0.7, work_scale=1.0, work_jitter=0.25, locality=0.15, locality_jitter=0.12),
+                    ContextMode(context_id=1, weight=0.3, work_scale=2.4, work_jitter=0.25, locality=0.1, locality_jitter=0.08),
+                ]
+            ),
+            3 * n,
+        ),
+        KernelPhase(interact, ContextMixture.single(work_jitter=0.03, locality=0.7), n),
+        KernelPhase(mlp_top, _peaks([(0.6, 1.0, 0.72, 1.0), (0.4, 1.0, 0.68, 0.55)]), n),
+        KernelPhase(mlp_bot, _peaks([(1.0, 1.0, 0.74)]), n),
+    ]
+    return assemble("dlrm", "casio", phases, rng)
+
+
+def workload_names() -> List[str]:
+    """The 11 CASIO-style workload names."""
+    return CASIO.names()
+
+
+def generate(name: str, scale: float = 1.0, seed: int = 0) -> Workload:
+    """Generate one CASIO-style workload by name."""
+    return CASIO.generate(name, scale=scale, seed=seed)

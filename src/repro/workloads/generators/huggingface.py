@@ -1,0 +1,261 @@
+"""HuggingFace-style large-scale LLM/ML workloads (6 workloads, Table 2).
+
+The paper's large-scale suite serves 1000+ generated sentences or 7000+
+classified images per workload, producing millions of kernel launches from
+a handful of kernel types.  The generators below reproduce the structure:
+
+* decoder LLMs (``gpt2``, ``bloom``, ``gemma``) — attention kernels whose
+  work grows with the KV-cache length at every decode step, layered on top
+  of per-site GEMM peaks, yielding the drifting multi-peak distributions
+  that make first-chronological sampling fail;
+* encoder models (``bert``, ``deit``) — fixed sequence length, launch
+  counts dominated by per-layer repetition across many inputs;
+* ``resnet50`` — image classification over thousands of inputs.
+
+Counts default to the hundreds of thousands to low millions; pass
+``scale`` to shrink them for tests.  Generation is fully vectorized —
+building a million-launch workload takes well under a second, which is the
+scalability property STEM's lightweight profiling depends on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..kernel import InstructionMix, KernelSpec, MemoryPattern
+from ..workload import Workload, WorkloadBuilder
+from .base import WorkloadRegistry
+
+__all__ = ["HUGGINGFACE", "generate", "workload_names"]
+
+HUGGINGFACE = WorkloadRegistry("huggingface")
+
+
+def _spec(
+    name: str,
+    grid: int,
+    fp16: int = 0,
+    fp32: int = 0,
+    int_alu: int = 10,
+    sfu: int = 0,
+    loads: int = 16,
+    stores: int = 6,
+    shared: int = 0,
+    random_fraction: float = 0.0,
+    working_set_mb: float = 24.0,
+    memory_boundedness: float = 0.5,
+    basic_blocks: int = 24,
+) -> KernelSpec:
+    return KernelSpec(
+        name=name,
+        grid_dim=(grid, 1, 1),
+        block_dim=(256, 1, 1),
+        mix=InstructionMix(
+            fp32=fp32,
+            fp16=fp16,
+            int_alu=int_alu,
+            sfu=sfu,
+            load_global=loads,
+            store_global=stores,
+            load_shared=shared,
+            store_shared=shared // 2,
+            branch=4,
+        ),
+        memory=MemoryPattern(
+            stride_bytes=4,
+            random_fraction=random_fraction,
+            working_set_bytes=int(working_set_mb * (1 << 20)),
+        ),
+        memory_boundedness=memory_boundedness,
+        num_basic_blocks=basic_blocks,
+    )
+
+
+def _decoder_llm(
+    name: str,
+    scale: float,
+    seed: int,
+    layers: int,
+    sentences: int,
+    tokens: int,
+    hidden_scale: float,
+) -> Workload:
+    """A decode-loop LLM serving workload.
+
+    Per decode step ``t`` the attention kernels process a KV cache of
+    length ``t``, so their effective work grows linearly within each
+    sentence; GEMMs are shape-stable per site.  Total launches:
+    ``sentences * tokens * layers * kernels_per_layer``.
+    """
+    rng = np.random.default_rng(seed)
+    sentences = max(2, int(round(sentences * scale)))
+    builder = WorkloadBuilder(name=name, suite="huggingface")
+
+    qkv = _spec(f"{name}_qkv_gemm", grid=int(512 * hidden_scale), fp16=200, shared=60, loads=22, memory_boundedness=0.2)
+    attn = _spec(
+        f"{name}_flash_attention_fwd", grid=int(256 * hidden_scale), fp16=120,
+        sfu=10, shared=48, loads=26, memory_boundedness=0.55, working_set_mb=48.0,
+    )
+    proj = _spec(f"{name}_out_proj_gemm", grid=int(384 * hidden_scale), fp16=170, shared=56, loads=20, memory_boundedness=0.22)
+    mlp = _spec(f"{name}_mlp_gemm", grid=int(768 * hidden_scale), fp16=230, shared=64, loads=24, memory_boundedness=0.18)
+    norm = _spec(f"{name}_rmsnorm", grid=128, fp32=22, loads=12, stores=8, memory_boundedness=0.8, working_set_mb=8.0)
+    head = _spec(f"{name}_lm_head_gemm", grid=int(1024 * hidden_scale), fp16=240, shared=64, loads=26, memory_boundedness=0.25)
+
+    # Decode-position axis, tiled over sentences (sentence lengths vary).
+    lengths = rng.integers(int(tokens * 0.5), tokens + 1, size=sentences)
+    positions = np.concatenate([np.arange(1, L + 1) for L in lengths]).astype(np.float64)
+    steps = len(positions)
+    rel = positions / tokens  # 0..1 KV-cache fill fraction
+
+    def emit(spec: KernelSpec, per_layer_scale: np.ndarray, locality_mean: float, locality_jit: float, jitter: float, context_base: int) -> None:
+        """Launch ``spec`` once per (decode step x layer), vectorized."""
+        n = steps * layers
+        scales = np.repeat(per_layer_scale, layers)
+        scales = scales * (1.0 + jitter * rng.standard_normal(n))
+        scales = np.maximum(scales, 0.01)
+        # Context id: bucket of the KV-fill fraction, so launch sites with
+        # similar cache state share an id.
+        buckets = np.minimum((np.repeat(rel, layers) * 4).astype(np.int32), 3)
+        localities = np.clip(locality_mean + locality_jit * rng.standard_normal(n), 0.0, 1.0)
+        builder.launch_bulk(spec, context_base + buckets, scales, localities)
+
+    emit(qkv, np.full(steps, 1.0), 0.72, 0.02, 0.015, 0)
+    # Attention work grows with the KV length; its locality degrades as the
+    # cache outgrows L2.
+    emit(attn, 0.15 + 0.85 * rel, 0.55, 0.08, 0.05, 10)
+    emit(proj, np.full(steps, 1.0), 0.72, 0.02, 0.015, 20)
+    emit(mlp, np.full(steps, 1.0), 0.7, 0.02, 0.015, 30)
+    emit(norm, np.full(steps, 1.0), 0.5, 0.06, 0.04, 40)
+    # LM head runs once per decode step (not per layer) — model it as one
+    # extra "layer" worth of launches scaled down accordingly.
+    head_scales = np.ones(steps) * (1.0 + 0.01 * rng.standard_normal(steps))
+    head_loc = np.clip(0.7 + 0.02 * rng.standard_normal(steps), 0.0, 1.0)
+    builder.launch_bulk(head, np.full(steps, 50, dtype=np.int32), np.maximum(head_scales, 0.01), head_loc)
+    return builder.build()
+
+
+def _encoder_model(
+    name: str,
+    scale: float,
+    seed: int,
+    layers: int,
+    inputs: int,
+    hidden_scale: float,
+    vision: bool,
+) -> Workload:
+    """An encoder (BERT/DeiT-style) batch-inference workload."""
+    rng = np.random.default_rng(seed)
+    inputs = max(2, int(round(inputs * scale)))
+    builder = WorkloadBuilder(name=name, suite="huggingface")
+
+    qkv = _spec(f"{name}_qkv_gemm", grid=int(512 * hidden_scale), fp16=190, shared=60, loads=22, memory_boundedness=0.2)
+    attn = _spec(f"{name}_attention_fwd", grid=int(256 * hidden_scale), fp16=110, sfu=8, shared=44, loads=24, memory_boundedness=0.5, working_set_mb=32.0)
+    mlp = _spec(f"{name}_mlp_gemm", grid=int(768 * hidden_scale), fp16=220, shared=64, loads=24, memory_boundedness=0.18)
+    norm = _spec(f"{name}_layer_norm", grid=128, fp32=22, loads=12, stores=8, memory_boundedness=0.8, working_set_mb=8.0)
+
+    # Sequence lengths (or image patch counts) vary by input, creating two
+    # to three quantized shape peaks via padding buckets.
+    bucket_scales = np.array([0.5, 1.0, 2.0]) if not vision else np.array([1.0])
+    bucket_probs = np.array([0.3, 0.5, 0.2]) if not vision else np.array([1.0])
+    buckets = rng.choice(len(bucket_scales), size=inputs, p=bucket_probs)
+    per_input_scale = bucket_scales[buckets]
+
+    def emit(spec: KernelSpec, base: np.ndarray, locality_mean: float, locality_jit: float, jitter: float, context_base: int) -> None:
+        n = inputs * layers
+        scales = np.repeat(base, layers)
+        scales = np.maximum(scales * (1.0 + jitter * rng.standard_normal(n)), 0.01)
+        ctx = context_base + np.repeat(buckets.astype(np.int32), layers)
+        localities = np.clip(locality_mean + locality_jit * rng.standard_normal(n), 0.0, 1.0)
+        builder.launch_bulk(spec, ctx, scales, localities)
+
+    emit(qkv, per_input_scale, 0.72, 0.02, 0.012, 0)
+    emit(attn, per_input_scale**2 / per_input_scale.mean(), 0.6, 0.06, 0.04, 10)
+    emit(mlp, per_input_scale, 0.7, 0.02, 0.012, 20)
+    emit(norm, per_input_scale, 0.5, 0.05, 0.04, 30)
+    if vision:
+        patchify = _spec(f"{name}_patch_embed_conv", grid=256, fp32=160, shared=40, loads=18, memory_boundedness=0.35)
+        scales = np.maximum(1.0 + 0.01 * rng.standard_normal(inputs), 0.01)
+        locs = np.clip(0.75 + 0.02 * rng.standard_normal(inputs), 0.0, 1.0)
+        builder.launch_bulk(patchify, np.full(inputs, 40, dtype=np.int32), scales, locs)
+    return builder.build()
+
+
+@HUGGINGFACE.register("gpt2")
+def _gpt2(scale: float, seed: int) -> Workload:
+    return _decoder_llm("gpt2", scale, seed, layers=12, sentences=1200, tokens=48, hidden_scale=0.75)
+
+
+@HUGGINGFACE.register("bloom")
+def _bloom(scale: float, seed: int) -> Workload:
+    return _decoder_llm("bloom", scale, seed, layers=24, sentences=400, tokens=40, hidden_scale=1.5)
+
+
+@HUGGINGFACE.register("gemma")
+def _gemma(scale: float, seed: int) -> Workload:
+    return _decoder_llm("gemma", scale, seed, layers=18, sentences=600, tokens=44, hidden_scale=1.2)
+
+
+@HUGGINGFACE.register("bert")
+def _bert(scale: float, seed: int) -> Workload:
+    return _encoder_model("bert", scale, seed, layers=12, inputs=24000, hidden_scale=1.0, vision=False)
+
+
+@HUGGINGFACE.register("deit")
+def _deit(scale: float, seed: int) -> Workload:
+    return _encoder_model("deit", scale, seed, layers=12, inputs=20000, hidden_scale=0.75, vision=True)
+
+
+@HUGGINGFACE.register("resnet50")
+def _resnet50(scale: float, seed: int) -> Workload:
+    """ResNet-50 classification of thousands of images."""
+    rng = np.random.default_rng(seed)
+    images = max(2, int(round(15000 * scale)))
+    builder = WorkloadBuilder(name="resnet50", suite="huggingface")
+    conv = _spec("resnet50_implicit_gemm_conv", grid=768, fp32=190, shared=60, loads=22, memory_boundedness=0.25)
+    winograd = _spec("resnet50_winograd_3x3", grid=1024, fp32=210, shared=70, loads=20, memory_boundedness=0.22, basic_blocks=32)
+    bn = _spec("resnet50_bn_fw_inf", grid=512, fp32=20, loads=12, stores=8, memory_boundedness=0.7, working_set_mb=24.0)
+    pool = _spec("resnet50_max_pool", grid=512, fp32=6, int_alu=18, loads=14, memory_boundedness=0.92, working_set_mb=40.0)
+
+    # Per image: 53 conv launches across 4 stage geometries, plus bn/pool.
+    stage_scale = np.array([2.0, 1.0, 0.6, 0.35])
+    stage_counts = np.array([10, 12, 18, 13])
+    conv_scales = np.repeat(stage_scale, stage_counts)
+    conv_ctx = np.repeat(np.arange(4, dtype=np.int32), stage_counts)
+
+    def tile(per_image_scales: np.ndarray, per_image_ctx: np.ndarray, jitter: float):
+        n = images * len(per_image_scales)
+        scales = np.tile(per_image_scales, images)
+        scales = np.maximum(scales * (1.0 + jitter * rng.standard_normal(n)), 0.01)
+        ctx = np.tile(per_image_ctx, images)
+        return scales, ctx, n
+
+    scales, ctx, n = tile(conv_scales, conv_ctx, 0.02)
+    locs = np.clip(0.72 + 0.03 * rng.standard_normal(n), 0.0, 1.0)
+    builder.launch_bulk(conv, ctx, scales, locs)
+
+    scales, ctx, n = tile(conv_scales[:16], conv_ctx[:16] + 10, 0.02)
+    locs = np.clip(0.75 + 0.03 * rng.standard_normal(n), 0.0, 1.0)
+    builder.launch_bulk(winograd, ctx, scales, locs)
+
+    bn_scales = np.array([1.6, 1.0, 0.5])
+    bn_ctx = np.arange(3, dtype=np.int32) + 20
+    scales, ctx, n = tile(np.repeat(bn_scales, 17), np.repeat(bn_ctx, 17), 0.025)
+    locs = np.clip(0.6 + 0.05 * rng.standard_normal(n), 0.0, 1.0)
+    builder.launch_bulk(bn, ctx, scales, locs)
+
+    scales, ctx, n = tile(np.ones(2), np.full(2, 30, dtype=np.int32), 0.1)
+    locs = np.clip(0.3 + 0.1 * rng.standard_normal(n), 0.0, 1.0)
+    builder.launch_bulk(pool, ctx, scales, locs)
+    return builder.build()
+
+
+def workload_names() -> List[str]:
+    """The 6 HuggingFace-style workload names."""
+    return HUGGINGFACE.names()
+
+
+def generate(name: str, scale: float = 1.0, seed: int = 0) -> Workload:
+    """Generate one HuggingFace-style workload by name."""
+    return HUGGINGFACE.generate(name, scale=scale, seed=seed)

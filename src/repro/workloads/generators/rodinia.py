@@ -1,0 +1,386 @@
+"""Rodinia-style GPGPU workloads (13 workloads, Table 2 row 1).
+
+These synthetic counterparts reproduce the *structural* properties the
+paper's Section 5.1 calls out for the Rodinia 3.1 suite:
+
+* ``gaussian`` — one kernel pair invoked thousands of times with steadily
+  shrinking work, approaching zero in late iterations;
+* ``heartwall`` — the first invocation is tiny, subsequent invocations
+  execute ~1500× more instructions (first-chronological samplers
+  underestimate total time by ~99.9%);
+* ``pf_float`` / ``pf_naive`` — some kernels are ~100× longer than others;
+* ``bfs`` — per-level frontier sizes make execution times vary widely;
+* the remaining workloads are regular GPGPU/HPC kernels with modest call
+  counts, included (as in the paper) as a reference for irregular and
+  diverse behaviour.
+
+Invocation counts average ≈1400 per workload, matching Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..contexts import ContextMixture, ContextMode
+from ..kernel import InstructionMix, KernelSpec, MemoryPattern
+from ..workload import Workload
+from .base import KernelPhase, WorkloadRegistry, assemble, scaled_count
+
+__all__ = ["RODINIA", "generate", "workload_names"]
+
+RODINIA = WorkloadRegistry("rodinia")
+
+
+def _spec(
+    name: str,
+    grid: int,
+    block: int = 256,
+    fp32: int = 40,
+    int_alu: int = 20,
+    loads: int = 12,
+    stores: int = 6,
+    shared: int = 0,
+    branch: int = 6,
+    sfu: int = 0,
+    stride: int = 4,
+    random_fraction: float = 0.0,
+    working_set_mb: float = 8.0,
+    memory_boundedness: float = 0.5,
+    basic_blocks: int = 12,
+) -> KernelSpec:
+    """Compact Rodinia kernel-spec factory."""
+    return KernelSpec(
+        name=name,
+        grid_dim=(grid, 1, 1),
+        block_dim=(block, 1, 1),
+        mix=InstructionMix(
+            fp32=fp32,
+            int_alu=int_alu,
+            sfu=sfu,
+            load_global=loads,
+            store_global=stores,
+            load_shared=shared,
+            store_shared=shared // 2,
+            branch=branch,
+        ),
+        memory=MemoryPattern(
+            stride_bytes=stride,
+            random_fraction=random_fraction,
+            working_set_bytes=int(working_set_mb * (1 << 20)),
+        ),
+        memory_boundedness=memory_boundedness,
+        num_basic_blocks=basic_blocks,
+    )
+
+
+def _staircase_modes(
+    num_steps: int, first_scale: float, last_scale: float, locality: float, jitter: float
+) -> ContextMixture:
+    """Mixture whose modes step geometrically from first to last scale."""
+    scales = np.geomspace(first_scale, max(last_scale, 1e-3), num_steps)
+    return ContextMixture(
+        [
+            ContextMode(
+                context_id=i,
+                work_scale=float(s),
+                work_jitter=jitter,
+                locality=locality,
+                locality_jitter=0.03,
+            )
+            for i, s in enumerate(scales)
+        ]
+    )
+
+
+@RODINIA.register("gaussian")
+def _gaussian(scale: float, seed: int) -> Workload:
+    """Gaussian elimination: per-row kernel pair with shrinking work."""
+    rng = np.random.default_rng(seed)
+    n = scaled_count(2048, scale, minimum=32)
+    steps = 32
+    fan1 = _spec("Fan1", grid=8, fp32=20, loads=8, stores=4, memory_boundedness=0.35)
+    fan2 = _spec("Fan2", grid=256, fp32=60, loads=16, stores=8, memory_boundedness=0.45)
+    mixture = _staircase_modes(steps, 1.0, 0.005, locality=0.7, jitter=0.02)
+    # Row i of the elimination touches an (N - i)-sized trailing submatrix:
+    # map launches onto the staircase in order.
+    schedule = np.minimum(
+        (np.arange(n // 2) * steps) // max(n // 2, 1), steps - 1
+    )
+    phases = [
+        KernelPhase(fan1, mixture, n // 2, schedule=schedule),
+        KernelPhase(fan2, mixture, n // 2, schedule=schedule),
+    ]
+    return assemble("gaussian", "rodinia", phases, rng)
+
+
+@RODINIA.register("heartwall")
+def _heartwall(scale: float, seed: int) -> Workload:
+    """Heart-wall tracking: tiny first frame, ~1500× heavier later frames."""
+    rng = np.random.default_rng(seed)
+    n = scaled_count(104, scale, minimum=8)
+    spec = _spec(
+        "heartwall_kernel", grid=51, block=512, fp32=80, loads=30, stores=10,
+        shared=20, memory_boundedness=0.55, working_set_mb=24.0,
+    )
+    mixture = ContextMixture(
+        [
+            ContextMode(context_id=0, work_scale=0.001, locality=0.9),
+            ContextMode(
+                context_id=1, work_scale=1.5, work_jitter=0.04, locality=0.6,
+                locality_jitter=0.05,
+            ),
+        ]
+    )
+    schedule = np.array([0] + [1] * (n - 1))
+    return assemble(
+        "heartwall", "rodinia", [KernelPhase(spec, mixture, n, schedule=schedule)], rng
+    )
+
+
+@RODINIA.register("bfs")
+def _bfs(scale: float, seed: int) -> Workload:
+    """Breadth-first search: frontier size swells then shrinks per level."""
+    rng = np.random.default_rng(seed)
+    n = scaled_count(174, scale, minimum=12)
+    kernel1 = _spec(
+        "bfs_kernel1", grid=128, fp32=4, int_alu=30, loads=18, stores=8,
+        random_fraction=0.6, memory_boundedness=0.9, working_set_mb=64.0, branch=14,
+    )
+    kernel2 = _spec(
+        "bfs_kernel2", grid=128, fp32=2, int_alu=16, loads=10, stores=6,
+        random_fraction=0.5, memory_boundedness=0.85, working_set_mb=64.0, branch=10,
+    )
+    steps = 12
+    # Frontier grows then decays: a log-normal-ish bell over levels.
+    level = np.arange(steps)
+    bell = np.exp(-((level - steps * 0.4) ** 2) / (2 * (steps * 0.22) ** 2))
+    scales = 0.02 + bell * 1.4
+    modes = ContextMixture(
+        [
+            ContextMode(
+                context_id=i, work_scale=float(s), work_jitter=0.10,
+                locality=0.35, locality_jitter=0.08,
+            )
+            for i, s in enumerate(scales)
+        ]
+    )
+    per_kernel = n // 2
+    schedule = np.minimum((np.arange(per_kernel) * steps) // max(per_kernel, 1), steps - 1)
+    phases = [
+        KernelPhase(kernel1, modes, per_kernel, schedule=schedule),
+        KernelPhase(kernel2, modes, per_kernel, schedule=schedule),
+    ]
+    return assemble("bfs", "rodinia", phases, rng)
+
+
+@RODINIA.register("pf_float")
+def _pf_float(scale: float, seed: int) -> Workload:
+    """Particle filter (float): one kernel ~100× longer than the others."""
+    rng = np.random.default_rng(seed)
+    base = scaled_count(4000, scale, minimum=40)
+    likelihood = _spec(
+        "likelihood_kernel", grid=512, fp32=120, sfu=12, loads=20, stores=8,
+        memory_boundedness=0.4, working_set_mb=16.0,
+    )
+    find_index = _spec(
+        "find_index_kernel", grid=64, int_alu=24, fp32=4, loads=12, stores=4,
+        random_fraction=0.3, memory_boundedness=0.8, working_set_mb=16.0,
+    )
+    normalize = _spec(
+        "normalize_weights_kernel", grid=64, fp32=10, loads=6, stores=4,
+        memory_boundedness=0.6, working_set_mb=4.0,
+    )
+    phases = [
+        KernelPhase(likelihood, ContextMixture.single(work_scale=4.0, work_jitter=0.05, locality=0.6), base // 4),
+        KernelPhase(find_index, ContextMixture.single(work_scale=0.04, work_jitter=0.12, locality=0.4, locality_jitter=0.08), base // 2),
+        KernelPhase(normalize, ContextMixture.single(work_scale=0.04, work_jitter=0.06, locality=0.7), base // 4),
+    ]
+    return assemble("pf_float", "rodinia", phases, rng)
+
+
+@RODINIA.register("pf_naive")
+def _pf_naive(scale: float, seed: int) -> Workload:
+    """Particle filter (naive): single kernel, bimodal long/short launches."""
+    rng = np.random.default_rng(seed)
+    n = scaled_count(4000, scale, minimum=32)
+    spec = _spec(
+        "particle_kernel", grid=256, fp32=60, sfu=8, loads=16, stores=8,
+        memory_boundedness=0.5, working_set_mb=12.0,
+    )
+    mixture = ContextMixture(
+        [
+            ContextMode(context_id=0, weight=0.85, work_scale=0.05, work_jitter=0.08, locality=0.6),
+            ContextMode(context_id=1, weight=0.15, work_scale=5.0, work_jitter=0.05, locality=0.55, locality_jitter=0.05),
+        ]
+    )
+    return assemble("pf_naive", "rodinia", [KernelPhase(spec, mixture, n)], rng)
+
+
+@RODINIA.register("backprop")
+def _backprop(scale: float, seed: int) -> Workload:
+    rng = np.random.default_rng(seed)
+    n = scaled_count(48, scale, minimum=8)
+    forward = _spec(
+        "bpnn_layerforward", grid=1024, block=256, fp32=50, shared=16, loads=12,
+        stores=4, memory_boundedness=0.45, working_set_mb=18.0,
+    )
+    adjust = _spec(
+        "bpnn_adjust_weights", grid=1024, block=256, fp32=30, loads=16, stores=12,
+        memory_boundedness=0.7, working_set_mb=18.0,
+    )
+    phases = [
+        KernelPhase(forward, ContextMixture.single(work_jitter=0.03, locality=0.65), n // 2),
+        KernelPhase(adjust, ContextMixture.single(work_jitter=0.05, locality=0.5, locality_jitter=0.05), n // 2),
+    ]
+    return assemble("backprop", "rodinia", phases, rng)
+
+
+@RODINIA.register("btree")
+def _btree(scale: float, seed: int) -> Workload:
+    rng = np.random.default_rng(seed)
+    n = scaled_count(40, scale, minimum=6)
+    find_k = _spec(
+        "findK", grid=512, int_alu=40, fp32=2, loads=20, stores=4,
+        random_fraction=0.8, memory_boundedness=0.9, working_set_mb=96.0, branch=16,
+    )
+    find_range = _spec(
+        "findRangeK", grid=512, int_alu=44, fp32=2, loads=24, stores=6,
+        random_fraction=0.8, memory_boundedness=0.9, working_set_mb=96.0, branch=18,
+    )
+    mix = ContextMixture.single(work_jitter=0.08, locality=0.25, locality_jitter=0.1)
+    phases = [KernelPhase(find_k, mix, n // 2), KernelPhase(find_range, mix, n // 2)]
+    return assemble("btree", "rodinia", phases, rng)
+
+
+@RODINIA.register("cfd")
+def _cfd(scale: float, seed: int) -> Workload:
+    rng = np.random.default_rng(seed)
+    n = scaled_count(3000, scale, minimum=30)
+    flux = _spec(
+        "cuda_compute_flux", grid=759, block=192, fp32=160, sfu=8, loads=36,
+        stores=12, memory_boundedness=0.6, working_set_mb=40.0,
+    )
+    step = _spec(
+        "cuda_time_step", grid=759, block=192, fp32=24, loads=16, stores=16,
+        memory_boundedness=0.8, working_set_mb=40.0,
+    )
+    flux_mix = ContextMixture.single(work_jitter=0.03, locality=0.55, locality_jitter=0.04)
+    step_mix = ContextMixture.single(work_jitter=0.05, locality=0.45, locality_jitter=0.06)
+    phases = [
+        KernelPhase(flux, flux_mix, n // 2),
+        KernelPhase(step, step_mix, n // 2),
+    ]
+    return assemble("cfd", "rodinia", phases, rng)
+
+
+@RODINIA.register("hotspot")
+def _hotspot(scale: float, seed: int) -> Workload:
+    rng = np.random.default_rng(seed)
+    n = scaled_count(1440, scale, minimum=16)
+    spec = _spec(
+        "calculate_temp", grid=1849, block=256, fp32=70, shared=24, loads=10,
+        stores=5, memory_boundedness=0.35, working_set_mb=16.0,
+    )
+    mix = ContextMixture.single(work_jitter=0.02, locality=0.75, locality_jitter=0.03)
+    return assemble("hotspot", "rodinia", [KernelPhase(spec, mix, n)], rng)
+
+
+@RODINIA.register("kmeans")
+def _kmeans(scale: float, seed: int) -> Workload:
+    rng = np.random.default_rng(seed)
+    n = scaled_count(36, scale, minimum=6)
+    assign = _spec(
+        "kmeansPoint", grid=1936, block=256, fp32=90, loads=24, stores=4,
+        memory_boundedness=0.65, working_set_mb=48.0,
+    )
+    swap = _spec(
+        "invert_mapping", grid=1936, block=256, int_alu=10, loads=8, stores=8,
+        memory_boundedness=0.9, working_set_mb=48.0,
+    )
+    phases = [
+        KernelPhase(assign, ContextMixture.single(work_jitter=0.04, locality=0.5, locality_jitter=0.05), n * 2 // 3),
+        KernelPhase(swap, ContextMixture.single(work_jitter=0.05, locality=0.45), n - n * 2 // 3),
+    ]
+    return assemble("kmeans", "rodinia", phases, rng)
+
+
+@RODINIA.register("lavamd")
+def _lavamd(scale: float, seed: int) -> Workload:
+    rng = np.random.default_rng(seed)
+    n = scaled_count(12, scale, minimum=4)
+    spec = _spec(
+        "kernel_gpu_cuda", grid=1000, block=128, fp32=220, sfu=20, shared=40,
+        loads=30, stores=10, memory_boundedness=0.25, working_set_mb=8.0,
+    )
+    mix = ContextMixture.single(work_jitter=0.02, locality=0.8)
+    return assemble("lavamd", "rodinia", [KernelPhase(spec, mix, n)], rng)
+
+
+@RODINIA.register("lud")
+def _lud(scale: float, seed: int) -> Workload:
+    """LU decomposition: per-step kernels over a shrinking trailing matrix."""
+    rng = np.random.default_rng(seed)
+    n = scaled_count(772, scale, minimum=24)
+    diagonal = _spec("lud_diagonal", grid=1, block=256, fp32=60, shared=32, loads=8, stores=8, memory_boundedness=0.3)
+    perimeter = _spec("lud_perimeter", grid=32, block=256, fp32=70, shared=32, loads=12, stores=10, memory_boundedness=0.4)
+    internal = _spec("lud_internal", grid=1024, block=256, fp32=80, shared=24, loads=14, stores=8, memory_boundedness=0.45, working_set_mb=32.0)
+    steps = 16
+    mixture = _staircase_modes(steps, 1.0, 0.01, locality=0.65, jitter=0.03)
+    per_kernel = n // 3
+    schedule = np.minimum((np.arange(per_kernel) * steps) // max(per_kernel, 1), steps - 1)
+    phases = [
+        KernelPhase(diagonal, mixture, per_kernel, schedule=schedule),
+        KernelPhase(perimeter, mixture, per_kernel, schedule=schedule),
+        KernelPhase(internal, mixture, per_kernel, schedule=schedule),
+    ]
+    return assemble("lud", "rodinia", phases, rng)
+
+
+@RODINIA.register("nw")
+def _nw(scale: float, seed: int) -> Workload:
+    """Needleman-Wunsch: anti-diagonal sweep — work ramps up then down."""
+    rng = np.random.default_rng(seed)
+    n = scaled_count(511, scale, minimum=16)
+    spec = _spec(
+        "needle_cuda_shared", grid=128, block=32, fp32=8, int_alu=40, shared=30,
+        loads=12, stores=8, memory_boundedness=0.5, working_set_mb=24.0, branch=12,
+    )
+    steps = 16
+    ramp = np.concatenate([np.linspace(0.1, 1.0, steps // 2), np.linspace(1.0, 0.1, steps - steps // 2)])
+    mixture = ContextMixture(
+        [
+            ContextMode(context_id=i, work_scale=float(s), work_jitter=0.04, locality=0.6)
+            for i, s in enumerate(ramp)
+        ]
+    )
+    schedule = np.minimum((np.arange(n) * steps) // max(n, 1), steps - 1)
+    return assemble("nw", "rodinia", [KernelPhase(spec, mixture, n, schedule=schedule)], rng)
+
+
+@RODINIA.register("srad")
+def _srad(scale: float, seed: int) -> Workload:
+    rng = np.random.default_rng(seed)
+    n = scaled_count(2000, scale, minimum=16)
+    srad1 = _spec(
+        "srad_cuda_1", grid=16384, block=256, fp32=60, sfu=6, loads=20, stores=8,
+        memory_boundedness=0.6, working_set_mb=64.0,
+    )
+    srad2 = _spec(
+        "srad_cuda_2", grid=16384, block=256, fp32=40, loads=18, stores=10,
+        memory_boundedness=0.7, working_set_mb=64.0,
+    )
+    mix = ContextMixture.single(work_jitter=0.04, locality=0.5, locality_jitter=0.05)
+    phases = [KernelPhase(srad1, mix, n // 2), KernelPhase(srad2, mix, n // 2)]
+    return assemble("srad", "rodinia", phases, rng)
+
+
+def workload_names() -> List[str]:
+    """The 13 Rodinia-style workload names."""
+    return RODINIA.names()
+
+
+def generate(name: str, scale: float = 1.0, seed: int = 0) -> Workload:
+    """Generate one Rodinia-style workload by name."""
+    return RODINIA.generate(name, scale=scale, seed=seed)

@@ -1,0 +1,137 @@
+"""Hand-parameterized synthetic workloads for tests and examples.
+
+These are the minimal building blocks the docs use: a single-kernel
+workload with a chosen number of execution-time peaks, a flat homogeneous
+workload, and a mixed workload combining several kernel personalities.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..contexts import ContextMixture, ContextMode
+from ..kernel import InstructionMix, KernelSpec, MemoryPattern
+from ..workload import Workload
+from .base import KernelPhase, assemble
+
+__all__ = [
+    "make_kernel_spec",
+    "multimodal_workload",
+    "flat_workload",
+    "mixed_workload",
+]
+
+
+def make_kernel_spec(
+    name: str = "synthetic_kernel",
+    memory_boundedness: float = 0.5,
+    grid: int = 256,
+    working_set_mb: float = 16.0,
+    random_fraction: float = 0.0,
+) -> KernelSpec:
+    """A generic kernel spec with a balanced instruction mix."""
+    return KernelSpec(
+        name=name,
+        grid_dim=(grid, 1, 1),
+        block_dim=(256, 1, 1),
+        mix=InstructionMix(
+            fp32=60, int_alu=16, load_global=16, store_global=8,
+            load_shared=8, store_shared=4, branch=6,
+        ),
+        memory=MemoryPattern(
+            stride_bytes=4,
+            random_fraction=random_fraction,
+            working_set_bytes=int(working_set_mb * (1 << 20)),
+        ),
+        memory_boundedness=memory_boundedness,
+    )
+
+
+def multimodal_workload(
+    n: int = 2000,
+    peaks: Sequence[Tuple[float, float]] = ((1.0, 0.5), (2.5, 0.5), (5.0, 0.5)),
+    work_jitter: float = 0.02,
+    seed: int = 0,
+    name: str = "multimodal",
+    memory_boundedness: float = 0.5,
+) -> Workload:
+    """One kernel whose execution times form the given peaks.
+
+    ``peaks`` is a sequence of ``(work_scale, locality)`` pairs, equally
+    weighted.  The resulting histogram has ``len(peaks)`` modes — the
+    textbook ROOT test case.
+    """
+    rng = np.random.default_rng(seed)
+    spec = make_kernel_spec(f"{name}_kernel", memory_boundedness=memory_boundedness)
+    mixture = ContextMixture(
+        [
+            ContextMode(
+                context_id=i, work_scale=s, work_jitter=work_jitter,
+                locality=loc, locality_jitter=0.02,
+            )
+            for i, (s, loc) in enumerate(peaks)
+        ]
+    )
+    return assemble(name, "synthetic", [KernelPhase(spec, mixture, n)], rng)
+
+
+def flat_workload(
+    n: int = 1000,
+    work_jitter: float = 0.05,
+    seed: int = 0,
+    name: str = "flat",
+    memory_boundedness: float = 0.5,
+    locality: float = 0.6,
+) -> Workload:
+    """One kernel, one context — a unimodal execution-time distribution."""
+    rng = np.random.default_rng(seed)
+    spec = make_kernel_spec(f"{name}_kernel", memory_boundedness=memory_boundedness)
+    mixture = ContextMixture.single(
+        work_jitter=work_jitter, locality=locality, locality_jitter=0.02
+    )
+    return assemble(name, "synthetic", [KernelPhase(spec, mixture, n)], rng)
+
+
+def mixed_workload(
+    n_per_kernel: int = 1000,
+    seed: int = 0,
+    name: str = "mixed",
+) -> Workload:
+    """Three kernel personalities in one workload.
+
+    A stable compute-bound GEMM-like kernel, a three-peak batch-norm-like
+    kernel, and a wide memory-bound pooling-like kernel — a miniature of
+    the Figure 1 menagerie, useful for end-to-end pipeline tests.
+    """
+    rng = np.random.default_rng(seed)
+    gemm = make_kernel_spec(f"{name}_gemm", memory_boundedness=0.15)
+    bn = make_kernel_spec(f"{name}_bn", memory_boundedness=0.7)
+    pool = make_kernel_spec(
+        f"{name}_pool", memory_boundedness=0.95, working_set_mb=64.0, random_fraction=0.4
+    )
+    phases: List[KernelPhase] = [
+        KernelPhase(
+            gemm,
+            ContextMixture.single(work_jitter=0.01, locality=0.8),
+            n_per_kernel,
+        ),
+        KernelPhase(
+            bn,
+            ContextMixture(
+                [
+                    ContextMode(context_id=0, weight=0.5, work_scale=0.5, work_jitter=0.02, locality=0.7),
+                    ContextMode(context_id=1, weight=0.3, work_scale=1.2, work_jitter=0.02, locality=0.6),
+                    ContextMode(context_id=2, weight=0.2, work_scale=3.0, work_jitter=0.02, locality=0.55),
+                ]
+            ),
+            n_per_kernel,
+        ),
+        KernelPhase(
+            pool,
+            ContextMixture.single(work_jitter=0.15, locality=0.25, locality_jitter=0.12),
+            n_per_kernel,
+        ),
+    ]
+    return assemble(name, "synthetic", phases, rng)

@@ -1,0 +1,267 @@
+"""Static and dynamic descriptions of GPU kernels.
+
+The data model mirrors what the paper's tooling observes about a kernel:
+
+* :class:`KernelSpec` is the *static* view — the compiled kernel code plus
+  its launch configuration.  Everything a code-level profiler (NCU, NVBit,
+  a BBV collector) can derive without timing the kernel lives here.
+* :class:`LaunchContext` is the *dynamic* view — the runtime situation of a
+  single invocation (which site of the compute graph launched it, how much
+  effective work the inputs carry, how cache-friendly the resident data
+  is).  The paper's central observation is that contexts are invisible to
+  static signatures yet dominate execution time.
+* :class:`KernelInvocation` ties one spec to one context at one position in
+  the workload's launch sequence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "InstructionMix",
+    "MemoryPattern",
+    "KernelSpec",
+    "LaunchContext",
+    "KernelInvocation",
+    "WARP_SIZE",
+]
+
+#: Number of threads per warp, fixed across every modeled GPU generation.
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Per-thread instruction counts of one kernel.
+
+    The counts describe a single thread's dynamic instruction stream for a
+    nominal (``work_scale == 1``) invocation.  Dynamic profilers scale these
+    by thread count and by the invocation's work scale.
+    """
+
+    fp32: int = 0
+    fp16: int = 0
+    int_alu: int = 0
+    sfu: int = 0
+    load_global: int = 0
+    store_global: int = 0
+    load_shared: int = 0
+    store_shared: int = 0
+    branch: int = 0
+
+    def total(self) -> int:
+        """Total per-thread instruction count."""
+        return (
+            self.fp32
+            + self.fp16
+            + self.int_alu
+            + self.sfu
+            + self.load_global
+            + self.store_global
+            + self.load_shared
+            + self.store_shared
+            + self.branch
+        )
+
+    def memory_ops(self) -> int:
+        """Per-thread count of global-memory operations."""
+        return self.load_global + self.store_global
+
+    def shared_ops(self) -> int:
+        """Per-thread count of shared-memory operations."""
+        return self.load_shared + self.store_shared
+
+    def compute_ops(self) -> int:
+        """Per-thread count of arithmetic (non-memory) operations."""
+        return self.fp32 + self.fp16 + self.int_alu + self.sfu
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the mix as a plain ``{field: count}`` dictionary."""
+        return dataclasses.asdict(self)
+
+    def scaled(self, factor: float) -> "InstructionMix":
+        """Return a copy with every count scaled by ``factor``.
+
+        Counts are rounded to the nearest integer but never below zero.
+        Used to model workloads (e.g. Rodinia's ``gaussian``) whose dynamic
+        instruction count shrinks or grows across invocations.
+        """
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        return InstructionMix(
+            **{k: max(0, int(round(v * factor))) for k, v in self.as_dict().items()}
+        )
+
+
+@dataclass(frozen=True)
+class MemoryPattern:
+    """How a kernel touches global memory.
+
+    ``stride_bytes`` is the dominant inter-thread access stride;
+    ``random_fraction`` is the share of accesses with no spatial locality
+    (e.g. embedding-table gathers); ``working_set_bytes`` is the footprint
+    an invocation streams through at nominal work scale.
+    """
+
+    stride_bytes: int = 4
+    random_fraction: float = 0.0
+    working_set_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.stride_bytes <= 0:
+            raise ValueError("stride_bytes must be positive")
+        if not 0.0 <= self.random_fraction <= 1.0:
+            raise ValueError("random_fraction must be within [0, 1]")
+        if self.working_set_bytes <= 0:
+            raise ValueError("working_set_bytes must be positive")
+
+    def coalescing_factor(self) -> float:
+        """Fraction of a 128-byte transaction that strided accesses use.
+
+        A unit-stride float access is perfectly coalesced (factor 1.0); a
+        128-byte-or-wider stride wastes the whole line on one element.
+        """
+        useful = min(1.0, 128.0 / max(self.stride_bytes * WARP_SIZE, 128.0) * WARP_SIZE / 32.0)
+        return max(useful, 4.0 / 128.0)
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Static description of a GPU kernel and its launch configuration.
+
+    Two invocations of the same :class:`KernelSpec` are indistinguishable
+    to every code-level signature the baseline samplers use (instruction
+    mix, basic-block vector, launch geometry).  Their runtime behaviour may
+    still differ through their :class:`LaunchContext`.
+    """
+
+    name: str
+    grid_dim: Tuple[int, int, int] = (1, 1, 1)
+    block_dim: Tuple[int, int, int] = (128, 1, 1)
+    mix: InstructionMix = field(default_factory=InstructionMix)
+    memory: MemoryPattern = field(default_factory=MemoryPattern)
+    #: 0 → pure compute-bound, 1 → pure memory-bound.  Drives both the
+    #: analytic timing split and the run-to-run jitter magnitude.
+    memory_boundedness: float = 0.5
+    #: Number of static basic blocks; the BBV profiler derives vector
+    #: dimensionality from this.
+    num_basic_blocks: int = 16
+    #: Seed material so the same spec always produces the same BBV shape.
+    bbv_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("kernel name must be non-empty")
+        if any(d <= 0 for d in self.grid_dim) or any(d <= 0 for d in self.block_dim):
+            raise ValueError("grid/block dimensions must be positive")
+        if not 0.0 <= self.memory_boundedness <= 1.0:
+            raise ValueError("memory_boundedness must be within [0, 1]")
+        if self.num_basic_blocks <= 0:
+            raise ValueError("num_basic_blocks must be positive")
+
+    # -- launch geometry -------------------------------------------------
+    def num_blocks(self) -> int:
+        """Thread blocks (CTAs) per launch."""
+        gx, gy, gz = self.grid_dim
+        return gx * gy * gz
+
+    def threads_per_block(self) -> int:
+        bx, by, bz = self.block_dim
+        return bx * by * bz
+
+    def num_threads(self) -> int:
+        """Total threads per launch."""
+        return self.num_blocks() * self.threads_per_block()
+
+    def warps_per_block(self) -> int:
+        return math.ceil(self.threads_per_block() / WARP_SIZE)
+
+    def num_warps(self) -> int:
+        """Total warps per launch."""
+        return self.num_blocks() * self.warps_per_block()
+
+    # -- derived static features -----------------------------------------
+    def static_instruction_count(self) -> int:
+        """Dynamic instruction count at nominal work scale."""
+        return self.mix.total() * self.num_threads()
+
+    def arithmetic_intensity(self) -> float:
+        """Compute ops per byte of global traffic at nominal scale."""
+        bytes_moved = max(self.mix.memory_ops() * 4, 1)
+        return self.mix.compute_ops() / bytes_moved
+
+    def base_bbv(self) -> np.ndarray:
+        """Deterministic basic-block execution-count vector for this spec.
+
+        The vector models the kernel's control-flow profile: a handful of
+        hot blocks (inner loops) and a tail of cold blocks.  It depends
+        only on the spec, so every invocation of the same kernel yields a
+        near-identical BBV — precisely the blindness of BBV-based
+        signatures that Figure 10 of the paper illustrates.
+        """
+        rng = np.random.default_rng(
+            (hash(self.name) & 0xFFFFFFFF) ^ (self.bbv_seed * 0x9E3779B9 & 0xFFFFFFFF)
+        )
+        weights = rng.pareto(1.5, size=self.num_basic_blocks) + 1.0
+        counts = weights / weights.sum() * max(self.mix.total(), 1)
+        return counts.astype(np.float64)
+
+
+@dataclass(frozen=True)
+class LaunchContext:
+    """Runtime context of a single kernel invocation.
+
+    ``context_id`` identifies the launch site within the program's compute
+    graph (e.g. "attention projection in layer 7" vs "LM head").  The two
+    continuous knobs model the paper's two sources of runtime
+    heterogeneity:
+
+    * ``work_scale`` — relative amount of effective work (input length,
+      sparsity, early-exit iterations).  Distinct values per context create
+      the *multiple peaks* of Figure 1.
+    * ``locality`` — cache friendliness of the data the invocation touches
+      in ``[0, 1]``; low locality means long, variable memory latencies and
+      creates the *wide* distributions of Figure 1.
+    * ``efficiency`` — pipeline utilization of the compute side (tensor
+      layout, memory alignment, dependency chains).  Like locality it is
+      invisible to instruction counts and BBVs: the paper's sgemm peaks
+      occur "with identical code and consistent parameters (e.g., grid
+      size, block size, and instruction count)".
+    """
+
+    context_id: int = 0
+    work_scale: float = 1.0
+    locality: float = 0.5
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.work_scale <= 0:
+            raise ValueError("work_scale must be positive")
+        if not 0.0 <= self.locality <= 1.0:
+            raise ValueError("locality must be within [0, 1]")
+        if self.efficiency <= 0:
+            raise ValueError("efficiency must be positive")
+
+
+@dataclass(frozen=True)
+class KernelInvocation:
+    """One kernel launch: a spec, a context, and its launch-sequence index."""
+
+    index: int
+    spec: KernelSpec
+    context: LaunchContext
+
+    @property
+    def name(self) -> str:
+        """Kernel name, the primary grouping key for every sampler."""
+        return self.spec.name
+
+    def dynamic_instruction_count(self) -> int:
+        """Instructions actually executed, as a dynamic profiler reports."""
+        return max(1, int(round(self.spec.static_instruction_count() * self.context.work_scale)))

@@ -1,0 +1,44 @@
+"""Suite-level access to the three benchmark collections of Table 2."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .generators.base import WorkloadRegistry
+from .generators.casio import CASIO
+from .generators.huggingface import HUGGINGFACE
+from .generators.rodinia import RODINIA
+from .workload import Workload
+
+__all__ = ["SUITES", "suite_names", "load_suite", "load_workload"]
+
+SUITES: Dict[str, WorkloadRegistry] = {
+    "rodinia": RODINIA,
+    "casio": CASIO,
+    "huggingface": HUGGINGFACE,
+}
+
+
+def suite_names() -> List[str]:
+    return sorted(SUITES)
+
+
+def _registry(suite: str) -> WorkloadRegistry:
+    try:
+        return SUITES[suite]
+    except KeyError:
+        raise KeyError(f"unknown suite {suite!r}; available: {suite_names()}") from None
+
+
+def load_suite(suite: str, scale: float = 1.0, seed: int = 0) -> List[Workload]:
+    """Generate every workload of a suite.
+
+    ``scale`` shrinks invocation counts proportionally — experiments use
+    1.0; tests use small fractions.
+    """
+    return _registry(suite).generate_all(scale=scale, seed=seed)
+
+
+def load_workload(suite: str, name: str, scale: float = 1.0, seed: int = 0) -> Workload:
+    """Generate one named workload from a suite."""
+    return _registry(suite).generate(name, scale=scale, seed=seed)

@@ -1,0 +1,65 @@
+"""Shared fixtures: small deterministic workloads and hardware handles."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import RTX_2080, TimingModel
+from repro.workloads.generators.synthetic import (
+    flat_workload,
+    make_kernel_spec,
+    mixed_workload,
+    multimodal_workload,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def spec():
+    return make_kernel_spec()
+
+
+@pytest.fixture
+def flat():
+    """Unimodal single-kernel workload (1000 launches)."""
+    return flat_workload(n=1000, seed=7)
+
+
+@pytest.fixture
+def trimodal():
+    """Single kernel with three well-separated time peaks."""
+    return multimodal_workload(n=1500, seed=11)
+
+
+@pytest.fixture
+def mixed():
+    """Three kernel personalities (GEMM-like, BN-like, pool-like)."""
+    return mixed_workload(n_per_kernel=600, seed=5)
+
+
+@pytest.fixture
+def gpu():
+    return RTX_2080
+
+
+@pytest.fixture
+def timing(gpu):
+    return TimingModel(gpu)
+
+
+@pytest.fixture
+def flat_times(flat, timing):
+    return timing.execution_times(flat, seed=3)
+
+
+@pytest.fixture
+def trimodal_times(trimodal, timing):
+    return timing.execution_times(trimodal, seed=3)
+
+
+@pytest.fixture
+def mixed_times(mixed, timing):
+    return timing.execution_times(mixed, seed=3)

@@ -1,0 +1,195 @@
+"""Tests for aggregation, histograms, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    MethodAggregate,
+    TimeHistogram,
+    aggregate_results,
+    classify_times,
+    format_value,
+    harmonic_mean,
+    peak_ranges,
+    render_histogram,
+    render_series,
+    render_table,
+)
+
+
+class TestHarmonicMean:
+    def test_basic(self):
+        assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_mean([2.0, 6.0]) == pytest.approx(3.0)
+
+    def test_dominated_by_small_values(self):
+        assert harmonic_mean([1.0, 1000.0]) < 2.1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_infinite_entries_ignored_in_reciprocal(self):
+        assert harmonic_mean([float("inf"), 2.0]) == pytest.approx(4.0)
+
+
+class TestMethodAggregate:
+    def test_means(self):
+        agg = MethodAggregate("stem")
+        agg.add(1.0, 10.0)
+        agg.add(3.0, 30.0)
+        assert agg.mean_error == pytest.approx(2.0)
+        assert agg.mean_speedup == pytest.approx(15.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MethodAggregate("x").mean_error
+
+    def test_aggregate_results_groups(self):
+        rows = [
+            {"method": "a", "error_percent": 1.0, "speedup": 2.0},
+            {"method": "a", "error_percent": 3.0, "speedup": 2.0},
+            {"method": "b", "error_percent": 5.0, "speedup": 4.0},
+        ]
+        aggs = aggregate_results(rows)
+        assert set(aggs) == {"a", "b"}
+        assert aggs["a"].mean_error == pytest.approx(2.0)
+
+
+class TestHistogram:
+    def test_counts_sum_to_n(self, rng):
+        times = rng.random(500)
+        hist = TimeHistogram.from_times(times, bins=20)
+        assert hist.counts.sum() == 500
+        assert hist.num_bins == 20
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TimeHistogram.from_times(np.array([]))
+
+    def test_normalized(self, rng):
+        hist = TimeHistogram.from_times(rng.random(100))
+        assert hist.normalized().sum() == pytest.approx(1.0)
+
+    def test_classify_narrow(self, rng):
+        shape = classify_times(rng.normal(100, 1.0, 800))
+        assert shape.label == "narrow"
+        assert shape.num_peaks == 1
+
+    def test_classify_wide(self, rng):
+        times = np.abs(rng.lognormal(3.0, 0.6, 800))
+        shape = classify_times(times)
+        assert shape.label in ("wide", "multi-peak+wide")
+        assert shape.cov > 0.25
+
+    def test_classify_multipeak(self, rng):
+        times = np.concatenate([rng.normal(10, 0.2, 400), rng.normal(20, 0.2, 400)])
+        shape = classify_times(times)
+        assert shape.label.startswith("multi-peak")
+        assert shape.num_peaks >= 2
+
+    def test_render_histogram_lines(self, rng):
+        art = render_histogram(rng.random(100), bins=10, title="demo")
+        lines = art.splitlines()
+        assert lines[0] == "demo"
+        assert len(lines) == 11
+
+    def test_peak_ranges_sorted(self):
+        times = np.array([1.0, 2.0, 10.0, 11.0])
+        labels = np.array([0, 0, 1, 1])
+        ranges = peak_ranges(times, labels)
+        assert ranges == [(1.0, 2.0), (10.0, 11.0)]
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(1.23456) == "1.23"
+        assert format_value(123456.0) == "123,456"
+        assert format_value(float("nan")) == "N/A"
+        assert format_value("abc") == "abc"
+
+    def test_render_table_alignment(self):
+        table = render_table(["name", "v"], [["a", 1.0], ["bb", 22.5]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert all("|" in line for line in lines[1:2] + lines[3:])
+
+    def test_render_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_render_series(self):
+        text = render_series(
+            "eps",
+            {"speedup": {0.03: 70.0, 0.25: 220.0}, "error": {0.03: 0.2}},
+        )
+        assert "eps" in text
+        assert "N/A" in text  # missing error point at 0.25
+
+
+class TestDistributionValidation:
+    def test_identical_distributions_match(self, rng):
+        from repro.analysis import weighted_ks_statistic
+
+        values = rng.lognormal(0, 0.5, 400)
+        assert weighted_ks_statistic(values, values) < 1e-9
+
+    def test_disjoint_distributions_max_gap(self, rng):
+        from repro.analysis import weighted_ks_statistic
+
+        a = rng.normal(0, 0.1, 200)
+        b = rng.normal(100, 0.1, 200)
+        assert weighted_ks_statistic(a, b) > 0.99
+
+    def test_weights_matter(self, rng):
+        from repro.analysis import weighted_ks_statistic
+
+        full = np.concatenate([np.zeros(500), np.ones(500)])
+        samples = np.array([0.0, 1.0])
+        balanced = weighted_ks_statistic(full, samples, np.array([1.0, 1.0]))
+        skewed = weighted_ks_statistic(full, samples, np.array([9.0, 1.0]))
+        assert balanced < skewed
+
+    def test_validation_errors(self, rng):
+        from repro.analysis import weighted_ks_statistic
+
+        with pytest.raises(ValueError):
+            weighted_ks_statistic(np.array([]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            weighted_ks_statistic(np.ones(3), np.ones(2), np.ones(3))
+        with pytest.raises(ValueError):
+            weighted_ks_statistic(np.ones(3), np.ones(2), np.zeros(2))
+
+    def test_stem_plan_matches_distribution(self):
+        """STEM's weighted samples reproduce the full time distribution;
+        this is the Figure 14 claim in distribution form."""
+        from repro.analysis import validate_distribution
+        from repro.baselines import ProfileStore
+        from repro.core import StemRootSampler
+        from repro.hardware import RTX_2080
+        from repro.workloads.generators.synthetic import mixed_workload
+
+        workload = mixed_workload(n_per_kernel=800, seed=3)
+        store = ProfileStore(workload, RTX_2080, seed=3)
+        times = store.execution_times()
+        plan = StemRootSampler(epsilon=0.02).build_plan(workload, times, seed=1)
+        match = validate_distribution(plan, times)
+        assert match.matches, match.ks_statistic
+
+    def test_single_sample_plan_mismatches_multimodal(self):
+        from repro.analysis import validate_distribution
+        from repro.core.plan import PlanCluster, SamplingPlan
+
+        times = np.concatenate([np.full(500, 1.0), np.full(500, 10.0)])
+        plan = SamplingPlan(
+            method="m",
+            workload_name="w",
+            clusters=[PlanCluster("all", 1000, np.array([0]))],
+        )
+        match = validate_distribution(plan, times)
+        assert not match.matches

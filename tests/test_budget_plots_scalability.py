@@ -1,0 +1,182 @@
+"""Tests for budget planning, ASCII plots, and scalability fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import ScatterPoint, render_gantt, render_scatter
+from repro.core.budget import epsilon_for_budget, plan_for_budget
+from repro.core.stem import (
+    ClusterStats,
+    predicted_error_multi,
+    predicted_simulated_time,
+)
+from repro.experiments.scalability import ScalePoint, fit_exponent
+
+
+def example_clusters():
+    return [
+        ClusterStats(n=10_000, mu=5.0, sigma=2.0),
+        ClusterStats(n=2_000, mu=50.0, sigma=20.0),
+        ClusterStats(n=500, mu=200.0, sigma=10.0),
+    ]
+
+
+class TestEpsilonForBudget:
+    def test_inverse_square_scaling(self):
+        clusters = example_clusters()
+        e1 = epsilon_for_budget(clusters, 1000.0)
+        e2 = epsilon_for_budget(clusters, 4000.0)
+        assert e1 / e2 == pytest.approx(2.0, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            epsilon_for_budget(example_clusters(), 0.0)
+        with pytest.raises(ValueError):
+            epsilon_for_budget([], 10.0)
+
+    def test_zero_variance_clusters(self):
+        clusters = [ClusterStats(n=100, mu=1.0, sigma=0.0)]
+        assert epsilon_for_budget(clusters, 10.0) < 1e-6
+
+    def test_clamped_to_one(self):
+        clusters = [ClusterStats(n=1_000_000, mu=1.0, sigma=100.0)]
+        assert epsilon_for_budget(clusters, 1e-9) == 1.0
+
+
+class TestPlanForBudget:
+    def test_plan_fits_budget(self):
+        clusters = example_clusters()
+        plan = plan_for_budget(clusters, budget=5_000.0)
+        assert plan.within_budget
+        assert plan.predicted_time <= 5_000.0 * (1 + 1e-9)
+        assert predicted_error_multi(clusters, plan.sample_sizes) == pytest.approx(
+            plan.predicted_error
+        )
+
+    def test_bigger_budget_smaller_error(self):
+        clusters = example_clusters()
+        small = plan_for_budget(clusters, budget=2_000.0)
+        large = plan_for_budget(clusters, budget=50_000.0)
+        assert large.predicted_error < small.predicted_error
+        assert large.predicted_time > small.predicted_time
+
+    def test_floor_reported_when_budget_too_small(self):
+        clusters = example_clusters()
+        floor = predicted_simulated_time(clusters, [1, 1, 1])
+        plan = plan_for_budget(clusters, budget=floor / 2)
+        assert not plan.within_budget
+        assert plan.predicted_time == pytest.approx(floor)
+        assert (plan.sample_sizes == 1).all()
+
+    def test_sample_sizes_capped_at_cluster_sizes(self):
+        clusters = [ClusterStats(n=5, mu=1.0, sigma=5.0)]
+        plan = plan_for_budget(clusters, budget=1e9)
+        assert plan.sample_sizes[0] <= 5
+
+
+class TestRenderScatter:
+    def points(self):
+        return [
+            ScatterPoint(1.0, 10.0, "stem"),
+            ScatterPoint(100.0, 1.0, "stem"),
+            ScatterPoint(10.0, 5.0, "random"),
+        ]
+
+    def test_renders_with_legend(self):
+        text = render_scatter(self.points(), title="T", x_label="speedup")
+        assert "T" in text
+        assert "legend" in text
+        assert "stem" in text and "random" in text
+
+    def test_log_scale(self):
+        text = render_scatter(self.points(), log_x=True)
+        assert "log scale" in text
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            render_scatter([ScatterPoint(0.0, 1.0, "a")], log_x=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_scatter([])
+
+    def test_grid_dimensions(self):
+        text = render_scatter(self.points(), width=30, height=8)
+        rows = [line for line in text.splitlines() if line.startswith("|")]
+        assert len(rows) == 8
+        assert all(len(r) == 32 for r in rows)
+
+
+class TestRenderGantt:
+    def test_rows_per_resource(self):
+        text = render_gantt(
+            {"gpu0": [(0.0, 5.0)], "net": [(5.0, 8.0)]}, width=40, title="G"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "G"
+        assert any("gpu0" in line for line in lines)
+        assert any("net" in line for line in lines)
+
+    def test_busy_marks_present(self):
+        text = render_gantt({"gpu0": [(0.0, 10.0)]}, width=20)
+        assert "#" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_gantt({})
+
+    def test_zero_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            render_gantt({"gpu0": []})
+
+
+class TestFitExponent:
+    def test_linear_data(self):
+        points = [
+            ScalePoint(num_invocations=n, profile_seconds=0.0, plan_seconds=n * 1e-5)
+            for n in (1_000, 10_000, 100_000)
+        ]
+        exponent, r2 = fit_exponent(points)
+        assert exponent == pytest.approx(1.0, abs=0.01)
+        assert r2 > 0.999
+
+    def test_quadratic_data(self):
+        points = [
+            ScalePoint(num_invocations=n, profile_seconds=0.0, plan_seconds=n**2 * 1e-9)
+            for n in (1_000, 10_000, 100_000)
+        ]
+        exponent, _ = fit_exponent(points)
+        assert exponent == pytest.approx(2.0, abs=0.01)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_exponent([ScalePoint(10, 0.0, 1.0)])
+
+
+class TestBudgetProperties:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    cluster_strategy = st.builds(
+        ClusterStats,
+        n=st.integers(min_value=1, max_value=50_000),
+        mu=st.floats(min_value=0.1, max_value=1e3),
+        sigma=st.floats(min_value=0.0, max_value=1e2),
+    )
+
+    @given(st.lists(cluster_strategy, min_size=1, max_size=6), st.floats(min_value=10.0, max_value=1e7))
+    @settings(max_examples=30, deadline=None)
+    def test_property_plan_never_exceeds_budget_when_feasible(self, clusters, budget):
+        plan = plan_for_budget(clusters, budget)
+        if plan.within_budget:
+            assert plan.predicted_time <= budget * (1 + 1e-9)
+        else:
+            # Infeasible only when even the one-sample floor is too big.
+            assert plan.floor_time >= budget
+
+    @given(st.lists(cluster_strategy, min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_property_epsilon_monotone_in_budget(self, clusters):
+        e_small = epsilon_for_budget(clusters, 100.0)
+        e_large = epsilon_for_budget(clusters, 10_000.0)
+        assert e_large <= e_small + 1e-12

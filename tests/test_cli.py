@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sample_args(self):
+        args = build_parser().parse_args(
+            ["sample", "rodinia", "bfs", "--scale", "0.5", "--epsilon", "0.1"]
+        )
+        assert args.command == "sample"
+        assert args.epsilon == 0.1
+
+    def test_rejects_unknown_suite(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sample", "nope", "bfs"])
+
+    def test_rejects_unknown_gpu(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sample", "rodinia", "bfs", "--gpu", "a100"])
+
+
+class TestCommands:
+    def test_suites(self, capsys):
+        assert main(["suites"]) == 0
+        out = capsys.readouterr().out
+        assert "rodinia" in out and "bert_infer" in out
+
+    def test_sample(self, capsys):
+        assert main(["sample", "rodinia", "heartwall"]) == 0
+        out = capsys.readouterr().out
+        assert "error %" in out
+        assert "heartwall" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "rodinia", "bfs", "--scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        for method in ("random", "pka", "sieve", "photon", "stem"):
+            assert method in out
+
+    def test_report(self, capsys):
+        assert main(["report", "rodinia", "heartwall", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "risk %" in out
+
+    def test_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "t.jsonl"
+        assert main(["trace", "rodinia", "bfs", str(out_file), "--scale", "0.5"]) == 0
+        assert out_file.exists()
+        assert "wrote" in capsys.readouterr().out

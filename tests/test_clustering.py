@@ -1,0 +1,114 @@
+"""Tests for k-means, KDE peak counting, and silhouette diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import (
+    count_kde_peaks,
+    kmeans,
+    kmeans_1d,
+    silhouette_score,
+)
+
+
+class TestKMeans:
+    def test_recovers_two_separated_clusters(self, rng):
+        pts = np.concatenate([rng.normal(0, 0.1, 100), rng.normal(10, 0.1, 50)])
+        result = kmeans_1d(pts, 2, rng=rng)
+        centers = np.sort(result.centers.ravel())
+        assert abs(centers[0] - 0) < 0.5
+        assert abs(centers[1] - 10) < 0.5
+        sizes = sorted(len(m) for m in result.cluster_indices())
+        assert sizes == [50, 100]
+
+    def test_multidimensional(self, rng):
+        a = rng.normal([0, 0], 0.1, size=(60, 2))
+        b = rng.normal([5, 5], 0.1, size=(40, 2))
+        result = kmeans(np.vstack([a, b]), 2, rng=rng)
+        assert result.k == 2
+        labels_a = result.labels[:60]
+        assert len(np.unique(labels_a)) == 1  # all of A in one cluster
+
+    def test_k_greater_than_n(self, rng):
+        pts = np.array([1.0, 2.0])
+        result = kmeans_1d(pts, 5, rng=rng)
+        assert result.centers.shape == (5, 1)
+        assert set(result.labels) <= {0, 1}
+
+    def test_single_point(self, rng):
+        result = kmeans_1d(np.array([3.0]), 2, rng=rng)
+        assert result.labels[0] in (0, 1)
+
+    def test_identical_points(self, rng):
+        result = kmeans_1d(np.full(50, 7.0), 2, rng=rng)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([]), 2, rng=rng)
+
+    def test_invalid_k_rejected(self, rng):
+        with pytest.raises(ValueError):
+            kmeans_1d(np.arange(5.0), 0, rng=rng)
+
+    def test_labels_cover_all_points(self, rng):
+        pts = rng.random(200)
+        result = kmeans_1d(pts, 3, rng=rng)
+        assert len(result.labels) == 200
+        total = sum(len(m) for m in result.cluster_indices())
+        assert total == 200
+
+    def test_inertia_decreases_with_k(self, rng):
+        pts = rng.random(300)
+        i2 = kmeans_1d(pts, 2, rng=np.random.default_rng(0)).inertia
+        i8 = kmeans_1d(pts, 8, rng=np.random.default_rng(0)).inertia
+        assert i8 < i2
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=10, max_value=80))
+    @settings(max_examples=15, deadline=None)
+    def test_property_partition(self, k, n):
+        rng = np.random.default_rng(n * 31 + k)
+        pts = rng.random(n)
+        result = kmeans_1d(pts, k, rng=rng)
+        members = np.concatenate(result.cluster_indices())
+        assert np.array_equal(np.sort(members), np.arange(n))
+
+
+class TestKdePeaks:
+    def test_unimodal(self, rng):
+        assert count_kde_peaks(rng.normal(5, 0.5, 800)) == 1
+
+    def test_bimodal(self, rng):
+        vals = np.concatenate([rng.normal(0, 0.3, 500), rng.normal(10, 0.3, 500)])
+        assert count_kde_peaks(vals) == 2
+
+    def test_trimodal(self, rng):
+        vals = np.concatenate(
+            [rng.normal(0, 0.2, 400), rng.normal(5, 0.2, 400), rng.normal(10, 0.2, 400)]
+        )
+        assert count_kde_peaks(vals) == 3
+
+    def test_constant_sample(self):
+        assert count_kde_peaks(np.full(100, 2.0)) == 1
+
+    def test_tiny_sample(self):
+        assert count_kde_peaks(np.array([1.0, 2.0])) == 1
+        assert count_kde_peaks(np.array([])) == 0
+
+
+class TestSilhouette:
+    def test_separated_clusters_score_high(self, rng):
+        pts = np.concatenate([rng.normal(0, 0.1, 40), rng.normal(10, 0.1, 40)])
+        labels = np.array([0] * 40 + [1] * 40)
+        assert silhouette_score(pts, labels) > 0.9
+
+    def test_random_labels_score_low(self, rng):
+        pts = rng.random(60)
+        labels = rng.integers(0, 2, 60)
+        assert silhouette_score(pts, labels) < 0.5
+
+    def test_single_cluster_returns_zero(self, rng):
+        pts = rng.random(20)
+        assert silhouette_score(pts, np.zeros(20, dtype=int)) == 0.0

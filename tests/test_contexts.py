@@ -1,0 +1,111 @@
+"""Unit tests for context mixtures."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import ContextMixture, ContextMode
+
+
+class TestContextMode:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"weight": 0.0},
+            {"work_scale": -1.0},
+            {"work_jitter": -0.1},
+            {"locality": 1.5},
+            {"locality_jitter": -0.5},
+            {"efficiency": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ContextMode(context_id=0, **kwargs)
+
+
+class TestContextMixture:
+    def test_requires_modes(self):
+        with pytest.raises(ValueError):
+            ContextMixture([])
+
+    def test_duplicate_context_ids_rejected(self):
+        with pytest.raises(ValueError):
+            ContextMixture(
+                [ContextMode(context_id=0), ContextMode(context_id=0, work_scale=2.0)]
+            )
+
+    def test_single_factory(self):
+        m = ContextMixture.single(work_scale=2.0, locality=0.8, efficiency=0.5)
+        assert m.num_modes == 1
+        assert m.modes[0].efficiency == 0.5
+
+    def test_weights_normalized(self):
+        m = ContextMixture(
+            [
+                ContextMode(context_id=0, weight=3.0),
+                ContextMode(context_id=1, weight=1.0, work_scale=2.0),
+            ]
+        )
+        assert np.allclose(m.weights().sum(), 1.0)
+        assert np.allclose(m.weights(), [0.75, 0.25])
+
+    def test_draw_shapes_and_ranges(self, rng):
+        m = ContextMixture(
+            [
+                ContextMode(context_id=0, work_scale=1.0, work_jitter=0.1, locality=0.5, locality_jitter=0.2),
+                ContextMode(context_id=3, work_scale=4.0, locality=0.9, efficiency=0.5),
+            ]
+        )
+        ctx, scales, locs, effs = m.draw(500, rng)
+        assert len(ctx) == len(scales) == len(locs) == len(effs) == 500
+        assert set(np.unique(ctx)) <= {0, 3}
+        assert (scales > 0).all()
+        assert (locs >= 0).all() and (locs <= 1).all()
+        assert set(np.unique(effs)) <= {1.0, 0.5}
+
+    def test_draw_weight_proportions(self, rng):
+        m = ContextMixture(
+            [
+                ContextMode(context_id=0, weight=0.8),
+                ContextMode(context_id=1, weight=0.2, work_scale=2.0),
+            ]
+        )
+        ctx, _, _, _ = m.draw(5000, rng)
+        frac = (ctx == 0).mean()
+        assert 0.74 < frac < 0.86
+
+    def test_draw_zero(self, rng):
+        ctx, scales, locs, effs = ContextMixture.single().draw(0, rng)
+        assert len(ctx) == 0
+
+    def test_draw_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ContextMixture.single().draw(-1, rng)
+
+    def test_schedule_follows_sequence(self, rng):
+        m = ContextMixture(
+            [
+                ContextMode(context_id=10, work_scale=1.0),
+                ContextMode(context_id=20, work_scale=5.0),
+            ]
+        )
+        ctx, scales, _, _ = m.schedule([0, 1, 1, 0], rng)
+        assert list(ctx) == [10, 20, 20, 10]
+        assert scales[1] == pytest.approx(5.0)
+
+    def test_schedule_rejects_out_of_range(self, rng):
+        m = ContextMixture.single()
+        with pytest.raises(ValueError):
+            m.schedule([0, 1], rng)
+
+    def test_work_scale_floor(self, rng):
+        """Huge negative jitter draws are clipped at 1% of the mode mean."""
+        m = ContextMixture.single(work_scale=1.0, work_jitter=5.0)
+        _, scales, _, _ = m.draw(2000, rng)
+        assert scales.min() >= 0.01 - 1e-12
+
+    def test_no_jitter_is_deterministic(self, rng):
+        m = ContextMixture.single(work_scale=2.5, locality=0.4)
+        _, scales, locs, _ = m.draw(100, rng)
+        assert np.allclose(scales, 2.5)
+        assert np.allclose(locs, 0.4)

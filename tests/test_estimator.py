@@ -1,0 +1,109 @@
+"""Tests for plan evaluation and metric estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import (
+    estimate_metrics,
+    evaluate_plan,
+    metric_error_percents,
+    sampling_error_percent,
+)
+from repro.core.plan import PlanCluster, SamplingPlan
+
+
+def exhaustive_plan(n):
+    return SamplingPlan(
+        method="m",
+        workload_name="w",
+        clusters=[PlanCluster("all", n, np.arange(n))],
+    )
+
+
+class TestSamplingError:
+    def test_definition(self):
+        assert sampling_error_percent(110.0, 100.0) == pytest.approx(10.0)
+        assert sampling_error_percent(90.0, 100.0) == pytest.approx(10.0)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ValueError):
+            sampling_error_percent(1.0, 0.0)
+
+
+class TestEvaluatePlan:
+    def test_exhaustive_plan_zero_error(self, rng):
+        times = rng.random(50) + 0.1
+        result = evaluate_plan(exhaustive_plan(50), times)
+        assert result.error_percent == pytest.approx(0.0, abs=1e-9)
+        assert result.speedup == pytest.approx(1.0)
+
+    def test_speedup_reflects_unique_cost(self, rng):
+        times = np.ones(100)
+        plan = SamplingPlan(
+            method="m",
+            workload_name="w",
+            clusters=[PlanCluster("a", 100, np.array([0, 1, 2, 3]))],
+        )
+        result = evaluate_plan(plan, times)
+        assert result.speedup == pytest.approx(25.0)
+        assert result.num_unique_samples == 4
+
+    def test_counts(self, rng):
+        times = np.ones(10)
+        plan = SamplingPlan(
+            method="m",
+            workload_name="w",
+            clusters=[
+                PlanCluster("a", 5, np.array([0, 0])),
+                PlanCluster("b", 5, np.array([1])),
+            ],
+        )
+        result = evaluate_plan(plan, times)
+        assert result.num_samples == 3
+        assert result.num_unique_samples == 2
+        assert result.num_clusters == 2
+
+    def test_summary_keys(self, rng):
+        result = evaluate_plan(exhaustive_plan(5), np.ones(5))
+        summary = result.summary()
+        assert {"error_percent", "speedup", "num_samples"} <= set(summary)
+
+
+class TestMetricEstimation:
+    def test_count_metric_extrapolates(self):
+        values = {"global_loads": np.array([10.0, 10.0, 40.0, 40.0])}
+        plan = SamplingPlan(
+            method="m",
+            workload_name="w",
+            clusters=[
+                PlanCluster("a", 2, np.array([0])),
+                PlanCluster("b", 2, np.array([2])),
+            ],
+        )
+        estimates = estimate_metrics(plan, values)
+        assert estimates["global_loads"] == pytest.approx(100.0)
+
+    def test_rate_metric_weighted_mean(self):
+        values = {"l2_read_hit_rate": np.array([0.2, 0.2, 0.8, 0.8])}
+        plan = SamplingPlan(
+            method="m",
+            workload_name="w",
+            clusters=[
+                PlanCluster("a", 3, np.array([0])),
+                PlanCluster("b", 1, np.array([2])),
+            ],
+        )
+        estimates = estimate_metrics(plan, values)
+        assert estimates["l2_read_hit_rate"] == pytest.approx((3 * 0.2 + 1 * 0.8) / 4)
+
+    def test_metric_error_percents(self):
+        full = {"a": 100.0, "b": 0.0, "c": 2.0}
+        est = {"a": 90.0, "b": 0.0, "c": 3.0}
+        errors = metric_error_percents(full, est)
+        assert errors["a"] == pytest.approx(10.0)
+        assert errors["b"] == 0.0
+        assert errors["c"] == pytest.approx(50.0)
+
+    def test_metric_error_skips_missing(self):
+        errors = metric_error_percents({"a": 1.0, "z": 2.0}, {"a": 1.0})
+        assert "z" not in errors

@@ -1,0 +1,50 @@
+"""Tests for CSV result export."""
+
+import pytest
+
+from repro.experiments.export import load_rows_csv, rows_to_dicts, save_rows_csv
+from repro.experiments.runner import ResultRow
+
+
+def make_rows():
+    return [
+        ResultRow(
+            suite="casio", workload="dlrm", method="stem", repetition=0,
+            error_percent=0.3, speedup=120.0, num_samples=50, num_clusters=20,
+        ),
+        ResultRow(
+            suite="casio", workload="dlrm", method="pka", repetition=0,
+            error_percent=9.0, speedup=900.0, num_samples=12, num_clusters=12,
+        ),
+    ]
+
+
+class TestExport:
+    def test_dataclass_rows(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        assert save_rows_csv(make_rows(), path) == 2
+        rows = load_rows_csv(path)
+        assert rows[0]["method"] == "stem"
+        assert float(rows[1]["error_percent"]) == pytest.approx(9.0)
+
+    def test_mapping_rows(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        save_rows_csv([{"a": 1, "b": 2}, {"a": 3, "c": 4}], path)
+        rows = load_rows_csv(path)
+        assert set(rows[0]) == {"a", "b", "c"}
+        assert rows[1]["b"] == ""
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_rows_csv([], tmp_path / "x.csv")
+
+    def test_bad_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_rows_csv([object()], tmp_path / "x.csv")
+
+    def test_rows_to_dicts_as_dict_hook(self):
+        class WithAsDict:
+            def as_dict(self):
+                return {"k": 1}
+
+        assert rows_to_dicts([WithAsDict()]) == [{"k": 1}]

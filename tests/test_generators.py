@@ -1,0 +1,180 @@
+"""Tests for the benchmark-suite workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import RTX_2080, TimingModel
+from repro.workloads import load_suite, load_workload, suite_names
+from repro.workloads.generators.base import KernelPhase, WorkloadRegistry, scaled_count
+from repro.workloads.generators.casio import CASIO
+from repro.workloads.generators.huggingface import HUGGINGFACE
+from repro.workloads.generators.rodinia import RODINIA
+from repro.workloads.generators.synthetic import (
+    flat_workload,
+    mixed_workload,
+    multimodal_workload,
+)
+
+
+class TestRegistry:
+    def test_suite_names(self):
+        assert suite_names() == ["casio", "huggingface", "rodinia"]
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError):
+            load_workload("nope", "x")
+
+    def test_unknown_workload_lists_options(self):
+        with pytest.raises(KeyError) as err:
+            load_workload("rodinia", "does_not_exist")
+        assert "available" in str(err.value)
+
+    def test_duplicate_registration_rejected(self):
+        reg = WorkloadRegistry("t")
+
+        @reg.register("w")
+        def gen(scale, seed):
+            return flat_workload(n=4)
+
+        with pytest.raises(ValueError):
+            reg.register("w")(gen)
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            load_workload("rodinia", "bfs", scale=0.0)
+
+    def test_scaled_count_minimum(self):
+        assert scaled_count(100, 0.001, minimum=4) == 4
+        assert scaled_count(100, 2.0) == 200
+
+    def test_kernel_phase_validation(self):
+        from repro.workloads.generators.synthetic import make_kernel_spec
+        from repro.workloads import ContextMixture
+
+        with pytest.raises(ValueError):
+            KernelPhase(make_kernel_spec(), ContextMixture.single(), 0)
+        with pytest.raises(ValueError):
+            KernelPhase(
+                make_kernel_spec(), ContextMixture.single(), 5, schedule=[0, 0]
+            )
+
+
+class TestSuiteShapes:
+    def test_rodinia_has_13plus_workloads(self):
+        assert len(RODINIA.names()) >= 13
+
+    def test_casio_has_11_workloads(self):
+        assert len(CASIO.names()) == 11
+
+    def test_huggingface_has_6_workloads(self):
+        assert len(HUGGINGFACE.names()) == 6
+
+    def test_generation_deterministic(self):
+        a = load_workload("rodinia", "bfs", scale=0.2, seed=42)
+        b = load_workload("rodinia", "bfs", scale=0.2, seed=42)
+        assert np.array_equal(a.work_scales, b.work_scales)
+        assert np.array_equal(a.localities, b.localities)
+
+    def test_generation_seed_sensitivity(self):
+        a = load_workload("casio", "dlrm", scale=0.01, seed=1)
+        b = load_workload("casio", "dlrm", scale=0.01, seed=2)
+        assert not np.array_equal(a.work_scales, b.work_scales)
+
+    def test_scale_shrinks_counts(self):
+        big = load_workload("rodinia", "cfd", scale=0.5, seed=0)
+        small = load_workload("rodinia", "cfd", scale=0.1, seed=0)
+        assert len(small) < len(big)
+
+    def test_load_suite_returns_all(self):
+        workloads = load_suite("casio", scale=0.005)
+        assert len(workloads) == 11
+        assert all(w.suite == "casio" for w in workloads)
+
+
+class TestRodiniaIrregularities:
+    """The Sec. 5.1 irregular behaviours must be present by construction."""
+
+    def test_heartwall_first_invocation_is_tiny(self):
+        w = load_workload("rodinia", "heartwall", scale=1.0, seed=0)
+        counts = w.dynamic_instruction_counts()
+        # First launch executes orders of magnitude fewer instructions.
+        assert counts[0] * 100 < np.median(counts[1:])
+
+    def test_gaussian_work_decreases(self):
+        w = load_workload("rodinia", "gaussian", scale=0.25, seed=0)
+        groups = w.indices_by_name()
+        fan1 = groups["Fan1"]
+        scales = w.work_scales[fan1]
+        # Decreasing staircase toward (near) zero, modulo small jitter.
+        assert scales[0] > 50 * scales[-1]
+        third = len(scales) // 3
+        assert scales[:third].mean() > scales[third:2 * third].mean()
+        assert scales[third:2 * third].mean() > scales[2 * third:].mean()
+
+    def test_pf_float_kernel_length_disparity(self, timing):
+        w = load_workload("rodinia", "pf_float", scale=0.05, seed=0)
+        times = timing.execution_times(w, seed=0)
+        by_name = {
+            name: times[idx].mean() for name, idx in w.indices_by_name().items()
+        }
+        assert max(by_name.values()) > 20 * min(by_name.values())
+
+    def test_bfs_wide_variation(self):
+        w = load_workload("rodinia", "bfs", scale=1.0, seed=0)
+        scales = w.work_scales[w.indices_by_name()["bfs_kernel1"]]
+        assert scales.max() > 10 * scales.min()
+
+
+class TestCasioStructure:
+    def test_bn_has_three_contexts(self):
+        w = load_workload("casio", "resnet50_infer", scale=0.02, seed=0)
+        groups = w.indices_by_name()
+        bn = [n for n in groups if "bn_fw_inf" in n][0]
+        assert len(np.unique(w.context_ids[groups[bn]])) == 3
+
+    def test_gemm_efficiency_peaks_share_instruction_count(self):
+        """The paper's premise: GEMM peaks are invisible to instr counts."""
+        w = load_workload("casio", "bert_infer", scale=0.02, seed=0)
+        groups = w.indices_by_name()
+        gemm = [n for n in groups if "sgemm_128x128" in n][0]
+        idx = groups[gemm]
+        effs = w.efficiencies[idx]
+        counts = w.dynamic_instruction_counts()[idx]
+        fast, slow = idx[effs == 1.0], idx[effs < 1.0]
+        assert len(fast) and len(slow)
+        # Same nominal work => overlapping instruction-count distributions.
+        assert abs(np.median(counts[effs == 1.0]) - np.median(counts[effs < 1.0])) < (
+            0.1 * np.median(counts)
+        )
+
+    def test_dlrm_is_memory_intensive(self):
+        w = load_workload("casio", "dlrm", scale=0.02, seed=0)
+        emb = [s for s in w.specs if "embedding" in s.name][0]
+        assert emb.memory_boundedness > 0.9
+        assert emb.memory.random_fraction > 0.5
+
+
+class TestHuggingfaceStructure:
+    def test_decoder_attention_work_grows_with_position(self):
+        w = load_workload("huggingface", "gpt2", scale=0.01, seed=0)
+        groups = w.indices_by_name()
+        attn = [n for n in groups if "attention" in n][0]
+        idx = groups[attn]
+        # KV-fill buckets 0..3 exist and later buckets carry more work.
+        ctx = w.context_ids[idx]
+        scales = w.work_scales[idx]
+        lo = scales[ctx == ctx.min()].mean()
+        hi = scales[ctx == ctx.max()].mean()
+        assert hi > 1.5 * lo
+
+    def test_large_scale_counts(self):
+        w = load_workload("huggingface", "bert", scale=0.05, seed=0)
+        assert len(w) > 10_000
+
+    def test_synthetic_multimodal_peak_count(self):
+        w = multimodal_workload(n=500, peaks=((1.0, 0.5), (4.0, 0.5)), seed=0)
+        assert len(np.unique(w.context_ids)) == 2
+
+    def test_mixed_workload_three_kernels(self):
+        w = mixed_workload(n_per_kernel=50, seed=0)
+        assert len(w.kernel_names()) == 3

@@ -1,0 +1,152 @@
+"""Tests for GPU configs, presets, and the analytical timing model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    H100,
+    H200,
+    PRESETS,
+    RTX_2080,
+    GPUConfig,
+    TimingModel,
+    dse_variants,
+    get_preset,
+)
+from repro.workloads.generators.synthetic import flat_workload, make_kernel_spec
+
+
+class TestGPUConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_sms": 0},
+            {"clock_ghz": -1.0},
+            {"fp32_lanes": 0},
+            {"l2_mb": 0},
+            {"dram_bandwidth_gbps": 0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            GPUConfig(name="bad", **kwargs)
+
+    def test_derived_quantities(self):
+        cfg = GPUConfig(name="g", l2_mb=4.0, l1_kb_per_sm=64, clock_ghz=2.0)
+        assert cfg.l2_bytes == 4 << 20
+        assert cfg.l1_bytes_per_sm == 64 << 10
+        assert cfg.cycles_per_us() == 2000.0
+
+    def test_peak_ops_scales_with_sms(self):
+        one = GPUConfig(name="a", num_sms=10)
+        two = GPUConfig(name="b", num_sms=20)
+        assert two.peak_ops_per_us("fp32") == 2 * one.peak_ops_per_us("fp32")
+
+    def test_scaled_cache(self):
+        v = RTX_2080.scaled(cache_scale=2.0)
+        assert v.l2_mb == RTX_2080.l2_mb * 2
+        assert v.l1_kb_per_sm == RTX_2080.l1_kb_per_sm * 2
+        assert v.num_sms == RTX_2080.num_sms
+        assert "cache_x2" in v.name
+
+    def test_scaled_sms(self):
+        v = RTX_2080.scaled(sm_scale=0.5)
+        assert v.num_sms == RTX_2080.num_sms // 2
+        assert v.l2_mb == RTX_2080.l2_mb
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            RTX_2080.scaled(cache_scale=0.0)
+
+    def test_dse_variants_five_points(self):
+        variants = dse_variants(RTX_2080)
+        assert len(variants) == 5
+        assert variants[0] is RTX_2080
+
+
+class TestPresets:
+    def test_lookup(self):
+        assert get_preset("h100") is H100
+        with pytest.raises(KeyError):
+            get_preset("a100")
+
+    def test_three_presets(self):
+        assert set(PRESETS) == {"rtx2080", "h100", "h200"}
+
+    def test_h200_upgrades_memory_over_h100(self):
+        """Figure 13 relies on the H200 being a memory-subsystem upgrade."""
+        assert H200.dram_bandwidth_gbps > H100.dram_bandwidth_gbps
+        assert H200.l2_mb >= H100.l2_mb
+        assert H200.num_sms == H100.num_sms
+
+
+class TestTimingModel:
+    def test_breakdown_components_positive(self, timing, spec):
+        b = timing.breakdown(spec)
+        assert b.compute_us > 0
+        assert b.memory_us > 0
+        assert b.total_us > b.overhead_us
+
+    def test_work_scale_monotone(self, timing, spec):
+        t1 = timing.breakdown(spec, work_scale=1.0).total_us
+        t2 = timing.breakdown(spec, work_scale=2.0).total_us
+        assert t2 > t1
+
+    def test_locality_reduces_memory_time(self, timing, spec):
+        cold = timing.breakdown(spec, locality=0.1).memory_us
+        warm = timing.breakdown(spec, locality=0.9).memory_us
+        assert warm < cold
+
+    def test_efficiency_lengthens_compute(self, timing, spec):
+        fast = timing.breakdown(spec, efficiency=1.0).compute_us
+        slow = timing.breakdown(spec, efficiency=0.5).compute_us
+        assert slow == pytest.approx(2 * fast)
+
+    def test_execution_times_deterministic_given_seed(self, timing, flat):
+        a = timing.execution_times(flat, seed=9)
+        b = timing.execution_times(flat, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_execution_times_vary_with_seed(self, timing, flat):
+        a = timing.execution_times(flat, seed=1)
+        b = timing.execution_times(flat, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_all_times_positive(self, timing, mixed):
+        assert (timing.execution_times(mixed, seed=0) > 0).all()
+
+    def test_jitter_sigma_higher_for_memory_bound(self, timing):
+        compute = make_kernel_spec("c", memory_boundedness=0.1)
+        memory = make_kernel_spec("m", memory_boundedness=0.9)
+        loc = np.array([0.5])
+        assert timing.jitter_sigma(memory, loc)[0] > timing.jitter_sigma(compute, loc)[0]
+
+    def test_jitter_sigma_higher_for_poor_locality(self, timing, spec):
+        good = timing.jitter_sigma(spec, np.array([0.9]))[0]
+        bad = timing.jitter_sigma(spec, np.array([0.2]))[0]
+        assert bad > good
+
+    def test_faster_gpu_is_faster(self, flat):
+        slow_total = TimingModel(RTX_2080).total_time_us(flat, seed=0)
+        fast_total = TimingModel(H100).total_time_us(flat, seed=0)
+        assert fast_total < slow_total
+
+    def test_total_time_matches_sum(self, timing, flat):
+        times = timing.execution_times(flat, seed=4)
+        assert timing.total_time_us(flat, seed=4) == pytest.approx(times.sum())
+
+    def test_memory_time_scales_with_bandwidth(self, spec):
+        base = GPUConfig(name="b", dram_bandwidth_gbps=400.0)
+        fat = GPUConfig(name="f", dram_bandwidth_gbps=4000.0)
+        mem_base = TimingModel(base).breakdown(spec, locality=0.0).memory_us
+        mem_fat = TimingModel(fat).breakdown(spec, locality=0.0).memory_us
+        assert mem_fat < mem_base
+
+    def test_larger_l2_reduces_memory_time(self):
+        spec = make_kernel_spec("k", working_set_mb=64.0)
+        small = GPUConfig(name="s", l2_mb=2.0)
+        big = GPUConfig(name="b", l2_mb=64.0)
+        mem_small = TimingModel(small).breakdown(spec, locality=0.8).memory_us
+        mem_big = TimingModel(big).breakdown(spec, locality=0.8).memory_us
+        assert mem_big < mem_small

@@ -1,0 +1,135 @@
+"""Cross-module integration tests: the paper's claims end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ProfileStore,
+    RTX_2080,
+    StemRootSampler,
+    evaluate_plan,
+)
+from repro.baselines import PkaSampler, RandomSampler, SieveSampler
+from repro.core import SamplingPlan
+from repro.hardware import H100, TimingModel
+from repro.sim import GpuSimulator
+from repro.workloads import load_workload
+from repro.workloads.generators.synthetic import mixed_workload, multimodal_workload
+
+
+class TestStemBeatsBaselinesOnHeterogeneousWorkloads:
+    @pytest.fixture(scope="class")
+    def casio_outcome(self):
+        """Average method errors over reps on a CASIO-style workload."""
+        workload = load_workload("casio", "resnet50_infer", scale=0.1, seed=0)
+        errors = {"stem": [], "sieve": [], "pka": [], "random": []}
+        for rep in range(5):
+            store = ProfileStore(workload, RTX_2080, seed=rep * 911 + 3)
+            times = store.execution_times()
+            plans = {
+                "stem": StemRootSampler().build_plan_from_store(store, seed=rep),
+                "sieve": SieveSampler().build_plan(store, seed=rep),
+                "pka": PkaSampler().build_plan(store, seed=rep),
+                "random": RandomSampler(0.001).build_plan(store, seed=rep),
+            }
+            for name, plan in plans.items():
+                errors[name].append(evaluate_plan(plan, times).error_percent)
+        return {name: float(np.mean(vals)) for name, vals in errors.items()}
+
+    def test_stem_lowest_error(self, casio_outcome):
+        assert casio_outcome["stem"] == min(casio_outcome.values())
+
+    def test_stem_below_bound(self, casio_outcome):
+        assert casio_outcome["stem"] < 5.0
+
+    def test_meaningful_error_reduction(self, casio_outcome):
+        best_baseline = min(v for k, v in casio_outcome.items() if k != "stem")
+        assert best_baseline / max(casio_outcome["stem"], 1e-9) > 1.5
+
+
+class TestTheoreticalBoundHoldsEmpirically:
+    @pytest.mark.parametrize("epsilon", [0.03, 0.05, 0.10])
+    def test_bound_respected_on_average(self, epsilon):
+        """Empirical error stays below the requested epsilon (95% conf)."""
+        workload = multimodal_workload(n=4000, seed=2)
+        timing = TimingModel(RTX_2080)
+        errors = []
+        for rep in range(10):
+            times = timing.execution_times(workload, seed=rep)
+            plan = StemRootSampler(epsilon=epsilon).build_plan(
+                workload, times, seed=rep
+            )
+            errors.append(evaluate_plan(plan, times).error_percent)
+        assert np.mean(errors) <= epsilon * 100
+
+    def test_predicted_error_conservative(self):
+        """The plan's predicted error upper-bounds typical realized error."""
+        workload = mixed_workload(n_per_kernel=1000, seed=4)
+        timing = TimingModel(RTX_2080)
+        realized, predicted = [], []
+        for rep in range(10):
+            times = timing.execution_times(workload, seed=rep)
+            plan = StemRootSampler().build_plan(workload, times, seed=rep)
+            realized.append(evaluate_plan(plan, times).error_percent)
+            predicted.append(plan.metadata["predicted_error"] * 100)
+        assert np.mean(realized) <= np.mean(predicted) + 0.5
+
+
+class TestPlanPortability:
+    def test_plan_roundtrip_through_json_evaluates_identically(self, mixed, mixed_times):
+        plan = StemRootSampler().build_plan(mixed, mixed_times, seed=0)
+        restored = SamplingPlan.from_json(plan.to_json())
+        a = evaluate_plan(plan, mixed_times)
+        b = evaluate_plan(restored, mixed_times)
+        assert a.estimated_total == pytest.approx(b.estimated_total)
+        assert a.simulated_time == pytest.approx(b.simulated_time)
+
+    def test_plan_built_on_one_gpu_usable_on_another(self):
+        """The Figure 13 flow: H100-built plan scored on other hardware."""
+        workload = load_workload("casio", "bert_infer", scale=0.05, seed=0)
+        h100_times = TimingModel(H100).execution_times(workload, seed=1)
+        plan = StemRootSampler().build_plan(workload, h100_times, seed=1)
+        rtx_times = TimingModel(RTX_2080).execution_times(workload, seed=2)
+        result = evaluate_plan(plan, rtx_times)
+        # Cross-hardware error grows but stays bounded-ish.
+        assert result.error_percent < 20.0
+
+
+class TestSampledCycleSimulation:
+    def test_sampled_simulation_matches_full(self):
+        """End-to-end with the cycle simulator: simulate only the plan's
+        kernels, extrapolate, compare against the full simulation."""
+        workload = load_workload("rodinia", "hotspot", scale=0.05, seed=0).head(60)
+        store = ProfileStore(workload, RTX_2080, seed=0)
+        plan = StemRootSampler().build_plan_from_store(store, seed=0)
+
+        simulator = GpuSimulator(RTX_2080)
+        full_cycles = simulator.cycle_counts(workload, seed=0)
+        result = evaluate_plan(plan, full_cycles)
+        assert result.error_percent < 10.0
+        assert result.speedup > 1.0
+
+    def test_simulated_subset_cheaper_than_full(self):
+        workload = load_workload("rodinia", "hotspot", scale=0.2, seed=0)
+        store = ProfileStore(workload, RTX_2080, seed=0)
+        plan = StemRootSampler().build_plan_from_store(store, seed=0)
+        assert len(plan.unique_indices()) < len(workload)
+
+
+class TestScalability:
+    def test_million_kernel_pipeline_under_seconds(self):
+        """STEM's near-linear pipeline handles LLM-scale workloads fast
+        (the Table 5 scalability claim, in wall-clock form)."""
+        import time
+
+        workload = load_workload("huggingface", "gpt2", scale=0.25, seed=0)
+        assert len(workload) > 400_000
+        store = ProfileStore(workload, RTX_2080, seed=0)
+        t0 = time.perf_counter()
+        times = store.execution_times()
+        plan = StemRootSampler().build_plan(workload, times, seed=0)
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 60.0
+        result = evaluate_plan(plan, times)
+        assert result.error_percent < 5.0
+        assert result.speedup > 100.0

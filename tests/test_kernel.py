@@ -1,0 +1,183 @@
+"""Unit tests for the kernel data model."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    WARP_SIZE,
+    InstructionMix,
+    KernelInvocation,
+    KernelSpec,
+    LaunchContext,
+    MemoryPattern,
+)
+
+
+class TestInstructionMix:
+    def test_total_sums_all_classes(self):
+        mix = InstructionMix(
+            fp32=1, fp16=2, int_alu=3, sfu=4, load_global=5,
+            store_global=6, load_shared=7, store_shared=8, branch=9,
+        )
+        assert mix.total() == 45
+
+    def test_memory_ops_counts_global_only(self):
+        mix = InstructionMix(load_global=5, store_global=3, load_shared=7)
+        assert mix.memory_ops() == 8
+
+    def test_shared_ops(self):
+        mix = InstructionMix(load_shared=7, store_shared=2)
+        assert mix.shared_ops() == 9
+
+    def test_compute_ops_excludes_memory_and_branch(self):
+        mix = InstructionMix(fp32=10, fp16=5, int_alu=3, sfu=2, load_global=9, branch=4)
+        assert mix.compute_ops() == 20
+
+    def test_as_dict_roundtrip(self):
+        mix = InstructionMix(fp32=10, branch=4)
+        d = mix.as_dict()
+        assert d["fp32"] == 10 and d["branch"] == 4
+        assert InstructionMix(**d) == mix
+
+    def test_scaled_rounds_and_floors_at_zero(self):
+        mix = InstructionMix(fp32=10, int_alu=1)
+        scaled = mix.scaled(0.25)
+        assert scaled.fp32 == 2  # round(2.5) banker's rounds to 2
+        assert scaled.int_alu == 0
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            InstructionMix(fp32=1).scaled(-1.0)
+
+    def test_empty_mix_total_zero(self):
+        assert InstructionMix().total() == 0
+
+
+class TestMemoryPattern:
+    def test_defaults_valid(self):
+        p = MemoryPattern()
+        assert p.stride_bytes == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"stride_bytes": 0},
+            {"stride_bytes": -4},
+            {"random_fraction": -0.1},
+            {"random_fraction": 1.5},
+            {"working_set_bytes": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            MemoryPattern(**kwargs)
+
+    def test_coalescing_factor_unit_stride_is_high(self):
+        unit = MemoryPattern(stride_bytes=4)
+        scattered = MemoryPattern(stride_bytes=512)
+        assert unit.coalescing_factor() > scattered.coalescing_factor()
+
+    def test_coalescing_factor_bounded(self):
+        for stride in (1, 4, 64, 128, 4096):
+            f = MemoryPattern(stride_bytes=stride).coalescing_factor()
+            assert 0 < f <= 1.0
+
+
+class TestKernelSpec:
+    def test_geometry_products(self):
+        spec = KernelSpec(name="k", grid_dim=(4, 2, 1), block_dim=(64, 2, 1))
+        assert spec.num_blocks() == 8
+        assert spec.threads_per_block() == 128
+        assert spec.num_threads() == 1024
+        assert spec.warps_per_block() == 128 // WARP_SIZE
+        assert spec.num_warps() == 8 * 4
+
+    def test_warps_round_up_for_partial_warp(self):
+        spec = KernelSpec(name="k", block_dim=(33, 1, 1))
+        assert spec.warps_per_block() == 2
+
+    def test_static_instruction_count(self):
+        spec = KernelSpec(
+            name="k",
+            grid_dim=(2, 1, 1),
+            block_dim=(32, 1, 1),
+            mix=InstructionMix(fp32=10),
+        )
+        assert spec.static_instruction_count() == 10 * 64
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSpec(name="")
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSpec(name="k", grid_dim=(0, 1, 1))
+        with pytest.raises(ValueError):
+            KernelSpec(name="k", block_dim=(1, -1, 1))
+
+    def test_memory_boundedness_range(self):
+        with pytest.raises(ValueError):
+            KernelSpec(name="k", memory_boundedness=1.5)
+
+    def test_bbv_deterministic_per_spec(self):
+        spec = KernelSpec(name="k", num_basic_blocks=16)
+        assert np.allclose(spec.base_bbv(), spec.base_bbv())
+
+    def test_bbv_differs_between_names(self):
+        a = KernelSpec(name="a", num_basic_blocks=16)
+        b = KernelSpec(name="b", num_basic_blocks=16)
+        assert not np.allclose(a.base_bbv(), b.base_bbv())
+
+    def test_bbv_dimension(self):
+        spec = KernelSpec(name="k", num_basic_blocks=24)
+        assert spec.base_bbv().shape == (24,)
+
+    def test_bbv_nonnegative(self):
+        spec = KernelSpec(name="k")
+        assert (spec.base_bbv() >= 0).all()
+
+    def test_arithmetic_intensity_positive(self):
+        spec = KernelSpec(name="k", mix=InstructionMix(fp32=100, load_global=10))
+        assert spec.arithmetic_intensity() > 0
+
+
+class TestLaunchContext:
+    def test_defaults(self):
+        ctx = LaunchContext()
+        assert ctx.work_scale == 1.0
+        assert ctx.efficiency == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"work_scale": 0.0},
+            {"work_scale": -2.0},
+            {"locality": -0.1},
+            {"locality": 1.1},
+            {"efficiency": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            LaunchContext(**kwargs)
+
+
+class TestKernelInvocation:
+    def test_name_delegates_to_spec(self):
+        spec = KernelSpec(name="sgemm")
+        inv = KernelInvocation(index=0, spec=spec, context=LaunchContext())
+        assert inv.name == "sgemm"
+
+    def test_dynamic_instruction_count_scales(self):
+        spec = KernelSpec(
+            name="k", grid_dim=(1, 1, 1), block_dim=(32, 1, 1),
+            mix=InstructionMix(fp32=100),
+        )
+        small = KernelInvocation(0, spec, LaunchContext(work_scale=0.5))
+        big = KernelInvocation(1, spec, LaunchContext(work_scale=2.0))
+        assert big.dynamic_instruction_count() == 4 * small.dynamic_instruction_count()
+
+    def test_dynamic_instruction_count_at_least_one(self):
+        spec = KernelSpec(name="k", mix=InstructionMix(fp32=1))
+        inv = KernelInvocation(0, spec, LaunchContext(work_scale=1e-9))
+        assert inv.dynamic_instruction_count() == 1

@@ -1,0 +1,80 @@
+"""Tests for the 13-metric microarchitectural model (Figure 14 support)."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.metrics import (
+    COUNT_METRICS,
+    MICROARCH_METRICS,
+    RATE_METRICS,
+    MicroarchModel,
+    aggregate_metrics,
+)
+from repro.workloads import WorkloadBuilder
+from repro.workloads.generators.synthetic import make_kernel_spec
+
+
+class TestMicroarchModel:
+    def test_thirteen_metrics(self):
+        assert len(MICROARCH_METRICS) == 13
+        assert set(COUNT_METRICS) | set(RATE_METRICS) == set(MICROARCH_METRICS)
+
+    def test_all_metrics_evaluated(self, mixed, gpu):
+        values = MicroarchModel(gpu).evaluate(mixed, seed=0)
+        assert set(values) == set(MICROARCH_METRICS)
+        for arr in values.values():
+            assert len(arr) == len(mixed)
+
+    def test_rates_bounded(self, mixed, gpu):
+        values = MicroarchModel(gpu).evaluate(mixed, seed=0)
+        for name in RATE_METRICS:
+            assert (values[name] >= 0).all()
+            assert (values[name] <= 1.0).all()
+
+    def test_counts_nonnegative(self, mixed, gpu):
+        values = MicroarchModel(gpu).evaluate(mixed, seed=0)
+        for name in COUNT_METRICS:
+            assert (values[name] >= 0).all()
+
+    def test_locality_improves_hit_rate(self, gpu):
+        builder = WorkloadBuilder(name="w")
+        spec = make_kernel_spec("k", working_set_mb=2.0)
+        builder.launch(spec, locality=0.9)
+        builder.launch(spec, locality=0.1)
+        w = builder.build()
+        values = MicroarchModel(gpu).evaluate(w, seed=0)
+        assert values["l2_read_hit_rate"][0] > values["l2_read_hit_rate"][1]
+
+    def test_counts_scale_with_work(self, gpu):
+        builder = WorkloadBuilder(name="w")
+        spec = make_kernel_spec("k")
+        builder.launch(spec, work_scale=1.0)
+        builder.launch(spec, work_scale=2.0)
+        w = builder.build()
+        values = MicroarchModel(gpu).evaluate(w, seed=0)
+        assert values["fp32_ops"][1] == pytest.approx(2 * values["fp32_ops"][0])
+
+
+class TestAggregateMetrics:
+    def test_counts_sum_rates_average(self):
+        per_invocation = {
+            "fp32_ops": np.array([10.0, 30.0]),
+            "branch_efficiency": np.array([0.5, 1.0]),
+        }
+        agg = aggregate_metrics(per_invocation)
+        assert agg["fp32_ops"] == pytest.approx(40.0)
+        assert agg["branch_efficiency"] == pytest.approx(0.75)
+
+    def test_weighted_aggregation(self):
+        per_invocation = {
+            "fp32_ops": np.array([10.0, 30.0]),
+            "branch_efficiency": np.array([0.5, 1.0]),
+        }
+        weights = np.array([3.0, 1.0])
+        agg = aggregate_metrics(per_invocation, weights)
+        assert agg["fp32_ops"] == pytest.approx(60.0)
+        assert agg["branch_efficiency"] == pytest.approx((1.5 + 1.0) / 4)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_metrics({"fp32_ops": np.ones(2)}, np.zeros(2))

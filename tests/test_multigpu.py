@@ -1,0 +1,216 @@
+"""Tests for the multi-GPU execution-trace extension."""
+
+import numpy as np
+import pytest
+
+from repro.multigpu import (
+    ClusterConfig,
+    EtNode,
+    EtStemSampler,
+    ExecutionTrace,
+    OpKind,
+    TimelineSimulator,
+    data_parallel_training,
+    pipeline_parallel_inference,
+)
+
+
+def tiny_trace():
+    """a -> b -> d, a -> c -> d with b,c on different GPUs."""
+    et = ExecutionTrace(name="tiny")
+    et.add_node(EtNode(0, "load", OpKind.COMPUTE, "gpu0", work=1.0))
+    et.add_node(EtNode(1, "left", OpKind.COMPUTE, "gpu0", work=2.0))
+    et.add_node(EtNode(2, "right", OpKind.COMPUTE, "gpu1", work=3.0))
+    et.add_node(EtNode(3, "join", OpKind.ALLREDUCE, "net", work=1.0))
+    et.add_dependency(0, 1)
+    et.add_dependency(0, 2)
+    et.add_dependency(1, 3)
+    et.add_dependency(2, 3)
+    et.validate()
+    return et
+
+
+class TestEtNode:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "bogus", "work": 1.0},
+            {"kind": OpKind.COMPUTE, "work": 0.0},
+            {"kind": OpKind.COMPUTE, "work": 1.0, "context_scale": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            EtNode(0, "g", resource="gpu0", **kwargs)
+
+
+class TestExecutionTrace:
+    def test_duplicate_node_rejected(self):
+        et = ExecutionTrace()
+        et.add_node(EtNode(0, "g", OpKind.COMPUTE, "gpu0", 1.0))
+        with pytest.raises(ValueError):
+            et.add_node(EtNode(0, "g", OpKind.COMPUTE, "gpu0", 1.0))
+
+    def test_edge_requires_endpoints(self):
+        et = ExecutionTrace()
+        et.add_node(EtNode(0, "g", OpKind.COMPUTE, "gpu0", 1.0))
+        with pytest.raises(KeyError):
+            et.add_dependency(0, 99)
+
+    def test_cycle_detection(self):
+        et = ExecutionTrace()
+        et.add_node(EtNode(0, "g", OpKind.COMPUTE, "gpu0", 1.0))
+        et.add_node(EtNode(1, "g", OpKind.COMPUTE, "gpu0", 1.0))
+        et.add_dependency(0, 1)
+        et.add_dependency(1, 0)
+        with pytest.raises(ValueError):
+            et.validate()
+
+    def test_groups_partition_nodes(self):
+        et = tiny_trace()
+        groups = et.groups()
+        assert sum(len(ids) for ids in groups.values()) == len(et)
+
+    def test_topological_order_respects_deps(self):
+        et = tiny_trace()
+        order = et.topological_order()
+        assert order.index(0) < order.index(1)
+        assert order.index(2) < order.index(3)
+
+    def test_critical_path(self):
+        et = tiny_trace()
+        durations = {0: 1.0, 1: 2.0, 2: 5.0, 3: 1.0}
+        # longest chain: 0 -> 2 -> 3 = 7.
+        assert et.critical_path_length(durations) == pytest.approx(7.0)
+
+    def test_describe(self):
+        d = tiny_trace().describe()
+        assert d["num_nodes"] == 4
+        assert d["num_compute"] == 3
+        assert d["num_allreduce"] == 1
+
+
+class TestGenerators:
+    def test_data_parallel_structure(self):
+        et = data_parallel_training(num_gpus=3, layers=4, steps=5, seed=0)
+        d = et.describe()
+        assert d["num_compute"] == 3 * 4 * 2 * 5
+        assert d["num_allreduce"] == 4 * 5
+        assert "net" in et.resources()
+
+    def test_data_parallel_needs_two_gpus(self):
+        with pytest.raises(ValueError):
+            data_parallel_training(num_gpus=1)
+
+    def test_pipeline_structure(self):
+        et = pipeline_parallel_inference(num_stages=3, requests=10, seed=0)
+        d = et.describe()
+        assert d["num_compute"] == 3 * 10
+        assert d["num_p2p"] == 2 * 10
+
+    def test_generators_deterministic(self):
+        a = data_parallel_training(seed=5)
+        b = data_parallel_training(seed=5)
+        assert [n.context_scale for n in a.nodes()] == [
+            n.context_scale for n in b.nodes()
+        ]
+
+
+class TestTimelineSimulator:
+    def test_durations_positive(self):
+        sim = TimelineSimulator()
+        et = tiny_trace()
+        durations = sim.profile_durations(et, seed=0)
+        assert all(v > 0 for v in durations.values())
+
+    def test_makespan_at_least_critical_path(self):
+        sim = TimelineSimulator()
+        et = data_parallel_training(num_gpus=2, layers=3, steps=4, seed=0)
+        durations = sim.profile_durations(et, seed=0)
+        result = sim.schedule(et, durations)
+        assert result.makespan >= et.critical_path_length(durations) - 1e-9
+
+    def test_resource_serialization(self):
+        """Two independent ops on one GPU cannot overlap."""
+        et = ExecutionTrace()
+        et.add_node(EtNode(0, "a", OpKind.COMPUTE, "gpu0", work=10.0))
+        et.add_node(EtNode(1, "b", OpKind.COMPUTE, "gpu0", work=10.0))
+        sim = TimelineSimulator(ClusterConfig(jitter=0.0))
+        result = sim.simulate(et, seed=0)
+        starts = sorted(result.start_times.values())
+        assert starts[1] >= starts[0] + min(result.durations.values()) - 1e-9
+
+    def test_parallel_ops_overlap(self):
+        et = ExecutionTrace()
+        et.add_node(EtNode(0, "a", OpKind.COMPUTE, "gpu0", work=10.0))
+        et.add_node(EtNode(1, "b", OpKind.COMPUTE, "gpu1", work=10.0))
+        sim = TimelineSimulator(ClusterConfig(jitter=0.0))
+        result = sim.simulate(et, seed=0)
+        assert result.makespan < result.total_device_time()
+
+    def test_communication_includes_latency(self):
+        cfg = ClusterConfig(jitter=0.0, link_latency_us=50.0)
+        sim = TimelineSimulator(cfg)
+        comm = EtNode(0, "c", OpKind.ALLREDUCE, "net", work=1.0)
+        compute = EtNode(1, "k", OpKind.COMPUTE, "gpu0", work=1.0)
+        assert sim.node_duration(comm) > sim.node_duration(compute)
+
+    def test_utilization_bounded(self):
+        sim = TimelineSimulator()
+        result = sim.simulate(data_parallel_training(seed=1), seed=1)
+        for resource in ("gpu0", "net"):
+            assert 0.0 < result.utilization(resource) <= 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(gpu_throughput=0.0)
+
+
+class TestEtStemSampler:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        et = data_parallel_training(num_gpus=4, layers=6, steps=25, seed=0)
+        sampler = EtStemSampler(epsilon=0.05)
+        result = sampler.evaluate(et, TimelineSimulator(), seed=2)
+        return et, sampler, result
+
+    def test_samples_are_a_small_fraction(self, outcome):
+        _, _, result = outcome
+        assert result.detail_fraction < 0.5
+
+    def test_makespan_error_small(self, outcome):
+        _, _, result = outcome
+        assert result.makespan_error_percent < 10.0
+
+    def test_total_time_error_within_bound(self, outcome):
+        _, _, result = outcome
+        assert result.total_time_error_percent < 5.0
+
+    def test_plan_covers_all_nodes(self, outcome):
+        et, sampler, _ = outcome
+        durations = TimelineSimulator().profile_durations(et, seed=9)
+        plan = sampler.build_plan(et, durations, seed=1)
+        assert plan.represented_invocations == len(et)
+        covered = set()
+        for members in sampler.last_membership.values():
+            covered.update(int(i) for i in members)
+        assert covered == {n.node_id for n in et.nodes()}
+
+    def test_estimate_requires_membership(self, outcome):
+        et, sampler, _ = outcome
+        durations = TimelineSimulator().profile_durations(et, seed=3)
+        plan = sampler.build_plan(et, durations, seed=1)
+        detailed = {int(i): durations[int(i)] for i in plan.unique_indices()}
+        with pytest.raises(KeyError):
+            sampler.estimate_durations(plan, detailed, et, membership={})
+
+    def test_stragglers_get_own_clusters(self):
+        """Straggler-inflated compute nodes form separate time peaks that
+        ROOT isolates, so the estimate does not smear them."""
+        et = data_parallel_training(
+            num_gpus=4, layers=4, steps=40, seed=3, straggler_probability=0.3
+        )
+        sampler = EtStemSampler()
+        durations = TimelineSimulator().profile_durations(et, seed=0)
+        plan = sampler.build_plan(et, durations, seed=0)
+        assert plan.num_clusters > len(et.groups())

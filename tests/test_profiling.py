@@ -1,0 +1,197 @@
+"""Tests for the profiler models and overhead accounting."""
+
+import numpy as np
+import pytest
+
+from repro.profiling import (
+    BBV_COST,
+    INFEASIBLE_DAYS,
+    NCU_COST,
+    NSYS_COST,
+    NVBIT_COST,
+    PKA_METRICS,
+    BbvProfiler,
+    NcuProfiler,
+    NsysProfiler,
+    NvbitProfiler,
+    OverheadModel,
+    ProfileResult,
+    ProfilerCost,
+)
+from repro.workloads.generators.synthetic import flat_workload, mixed_workload
+
+
+class TestProfilerCost:
+    def test_wall_seconds_formula(self):
+        cost = ProfilerCost(slowdown_factor=2.0, per_kernel_seconds=0.1, processing_seconds=5.0)
+        assert cost.wall_seconds(10.0, 100) == pytest.approx(20.0 + 10.0 + 5.0)
+
+    def test_overhead_factor(self):
+        cost = ProfilerCost(slowdown_factor=3.0)
+        assert cost.overhead_factor(10.0, 0) == pytest.approx(3.0)
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            ProfilerCost(slowdown_factor=1.0).overhead_factor(0.0, 5)
+
+    def test_cost_ordering_matches_paper(self):
+        """nsys << BBV << NVBit << NCU collection cost (Table 5 shape)."""
+        base, n = 10.0, 100_000
+        nsys = NSYS_COST.wall_seconds(base, n)
+        bbv = BBV_COST.wall_seconds(base, n)
+        nvbit = NVBIT_COST.wall_seconds(base, n)
+        ncu = NCU_COST.wall_seconds(base, n)
+        assert nsys < bbv < nvbit < ncu
+
+
+class TestProfileResult:
+    def test_column_length_checked(self, flat):
+        with pytest.raises(ValueError):
+            ProfileResult(
+                workload=flat, profiler="x", columns={"a": np.ones(3)}
+            )
+
+    def test_missing_column_lists_available(self, flat):
+        result = ProfileResult(
+            workload=flat, profiler="x", columns={"a": np.ones(len(flat))}
+        )
+        with pytest.raises(KeyError) as err:
+            result.column("b")
+        assert "available" in str(err.value)
+
+    def test_matrix_stacks(self, flat):
+        result = ProfileResult(
+            workload=flat,
+            profiler="x",
+            columns={"a": np.ones(len(flat)), "b": np.zeros(len(flat))},
+        )
+        m = result.matrix(["a", "b"])
+        assert m.shape == (len(flat), 2)
+
+
+class TestNsysProfiler:
+    def test_times_match_timing_model(self, flat, gpu, timing):
+        profiler = NsysProfiler(gpu)
+        times = profiler.execution_times(flat, seed=3)
+        assert np.array_equal(times, timing.execution_times(flat, seed=3))
+
+    def test_profile_result_columns(self, flat, gpu):
+        result = NsysProfiler(gpu).profile(flat, seed=0)
+        assert set(result.columns) == {"time_us"}
+        assert result.cost is NSYS_COST
+
+
+class TestNcuProfiler:
+    def test_twelve_metrics(self, mixed, gpu):
+        result = NcuProfiler(gpu).profile(mixed)
+        assert len(PKA_METRICS) == 12
+        assert set(result.columns) == set(PKA_METRICS)
+
+    def test_metrics_blind_to_locality_and_efficiency(self, gpu):
+        """The Sec. 5.2 blindness: identical instruction counts for
+        contexts that differ only in locality/efficiency."""
+        from repro.workloads import WorkloadBuilder
+        from repro.workloads.generators.synthetic import make_kernel_spec
+
+        builder = WorkloadBuilder(name="w")
+        spec = make_kernel_spec("k")
+        builder.launch(spec, work_scale=1.0, locality=0.9, efficiency=1.0)
+        builder.launch(spec, work_scale=1.0, locality=0.1, efficiency=0.4)
+        w = builder.build()
+        features = NcuProfiler(gpu).feature_matrix(w)
+        assert np.allclose(features[0], features[1])
+
+    def test_metrics_see_work_scale(self, gpu):
+        from repro.workloads import WorkloadBuilder
+        from repro.workloads.generators.synthetic import make_kernel_spec
+
+        builder = WorkloadBuilder(name="w")
+        spec = make_kernel_spec("k")
+        builder.launch(spec, work_scale=1.0)
+        builder.launch(spec, work_scale=2.0)
+        w = builder.build()
+        features = NcuProfiler(gpu).feature_matrix(w)
+        inst_total = PKA_METRICS.index("inst_total")
+        assert features[1, inst_total] == pytest.approx(2 * features[0, inst_total])
+
+
+class TestNvbitProfiler:
+    def test_columns(self, mixed, gpu):
+        result = NvbitProfiler(gpu).profile(mixed)
+        assert {"instructions", "instructions_per_warp", "cta_size"} <= set(
+            result.columns
+        )
+
+    def test_instruction_counts_match_workload(self, mixed, gpu):
+        result = NvbitProfiler(gpu).profile(mixed)
+        assert np.array_equal(
+            result.column("instructions"),
+            mixed.dynamic_instruction_counts().astype(np.float64),
+        )
+
+
+class TestBbvProfiler:
+    def test_disjoint_subspaces(self, mixed, gpu):
+        table = BbvProfiler(gpu).collect(mixed, seed=0)
+        assert table.dimensionality == sum(s.num_basic_blocks for s in mixed.specs)
+        # A kernel's vectors are zero outside its own slice.
+        sid = 0
+        start, stop = table.spec_slices[sid]
+        rows = np.flatnonzero(mixed.spec_ids == sid)[:5]
+        outside = np.delete(table.vectors[rows], np.s_[start:stop], axis=1)
+        assert np.allclose(outside, 0.0)
+
+    def test_vectors_scale_with_work(self, gpu):
+        from repro.workloads import WorkloadBuilder
+        from repro.workloads.generators.synthetic import make_kernel_spec
+
+        builder = WorkloadBuilder(name="w")
+        spec = make_kernel_spec("k")
+        builder.launch(spec, work_scale=1.0)
+        builder.launch(spec, work_scale=3.0)
+        w = builder.build()
+        table = BbvProfiler(gpu, noise=0.0).collect(w)
+        assert table.vectors[1].sum() == pytest.approx(3 * table.vectors[0].sum(), rel=1e-5)
+
+    def test_normalized_rows_sum_to_one(self, mixed, gpu):
+        table = BbvProfiler(gpu).collect(mixed, seed=0)
+        norms = table.normalized().sum(axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-5)
+
+    def test_profile_summary_columns(self, flat, gpu):
+        result = BbvProfiler(gpu).profile(flat, seed=0)
+        assert {"bbv_total", "num_warps"} == set(result.columns)
+
+
+class TestOverheadModel:
+    def test_stem_cheapest(self, mixed, gpu):
+        model = OverheadModel(gpu)
+        estimates = model.estimate_all(mixed)
+        factors = {m: e.overhead_factor for m, e in estimates.items()}
+        assert factors["stem"] == min(factors.values())
+        assert factors["pka"] == max(factors.values())
+
+    def test_overhead_grows_with_kernel_count(self, gpu):
+        model = OverheadModel(gpu)
+        small = flat_workload(n=100, seed=0)
+        large = flat_workload(n=5000, seed=0)
+        f_small = model.estimate("pka", small).overhead_factor
+        f_large = model.estimate("pka", large).overhead_factor
+        assert f_large > f_small
+
+    def test_unknown_method(self, flat, gpu):
+        with pytest.raises(KeyError):
+            OverheadModel(gpu).estimate("nope", flat)
+
+    def test_photon_processing_quadratic_bound(self, flat, gpu):
+        model = OverheadModel(gpu)
+        exact = model.photon_processing_seconds(flat, num_representatives=10)
+        bound = model.photon_processing_seconds(flat)
+        assert bound > exact
+
+    def test_infeasibility_flag(self, gpu):
+        model = OverheadModel(gpu)
+        w = flat_workload(n=50, seed=0)
+        estimate = model.estimate("stem", w)
+        assert estimate.feasible
+        assert estimate.profiling_days < INFEASIBLE_DAYS

@@ -1,0 +1,171 @@
+"""Property-based tests on core invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.clustering import count_kde_peaks, kmeans_1d
+from repro.core.plan import PlanCluster, SamplingPlan
+from repro.core.root import RootConfig, root_split
+from repro.core.sampler import StemRootSampler
+from repro.core.stem import ClusterStats, kkt_sample_sizes, predicted_error_multi
+
+positive_times = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=400),
+    elements=st.floats(min_value=0.1, max_value=1e4),
+)
+
+
+class TestRootProperties:
+    @given(positive_times, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_leaves_always_partition(self, times, seed):
+        rng = np.random.default_rng(seed)
+        leaves = root_split(times, rng=rng)
+        merged = np.sort(np.concatenate([l.indices for l in leaves]))
+        assert np.array_equal(merged, np.arange(len(times)))
+
+    @given(positive_times)
+    @settings(max_examples=40, deadline=None)
+    def test_leaf_stats_consistent(self, times):
+        leaves = root_split(times, rng=np.random.default_rng(0))
+        for leaf in leaves:
+            member_times = times[leaf.indices]
+            assert leaf.stats.n == len(member_times)
+            assert leaf.stats.mu == pytest.approx(member_times.mean())
+
+    @given(positive_times, st.integers(min_value=2, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_total_time_preserved(self, times, k):
+        config = RootConfig(k=k)
+        leaves = root_split(times, config=config, rng=np.random.default_rng(1))
+        total = sum(l.stats.total for l in leaves)
+        assert total == pytest.approx(times.sum(), rel=1e-9)
+
+
+class TestPlanProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=1000),  # member_count
+                st.lists(st.integers(min_value=0, max_value=99), min_size=1, max_size=10),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_estimate_is_weighted_sum(self, cluster_specs, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.random(100) + 0.01
+        clusters = [
+            PlanCluster(f"c{i}", members, np.asarray(samples, dtype=np.int64))
+            for i, (members, samples) in enumerate(cluster_specs)
+        ]
+        plan = SamplingPlan(method="m", workload_name="w", clusters=clusters)
+        manual = sum(
+            members * values[np.asarray(samples)].mean()
+            for members, samples in cluster_specs
+        )
+        assert plan.estimate_total(values) == pytest.approx(manual)
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_json_roundtrip_preserves_estimates(self, n, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.random(n) + 0.01
+        samples = rng.integers(0, n, size=min(5, n))
+        plan = SamplingPlan(
+            method="m",
+            workload_name="w",
+            clusters=[PlanCluster("c", n, samples.astype(np.int64))],
+        )
+        restored = SamplingPlan.from_json(plan.to_json())
+        assert restored.estimate_total(values) == pytest.approx(
+            plan.estimate_total(values)
+        )
+
+
+class TestSamplerProperties:
+    @given(
+        st.floats(min_value=0.01, max_value=0.5),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_plan_always_covers_workload(self, epsilon, seed):
+        from repro.hardware import RTX_2080, TimingModel
+        from repro.workloads.generators.synthetic import multimodal_workload
+
+        workload = multimodal_workload(n=300, seed=seed % 7)
+        times = TimingModel(RTX_2080).execution_times(workload, seed=seed)
+        plan = StemRootSampler(epsilon=epsilon).build_plan(workload, times, seed=seed)
+        plan.validate(len(workload))
+        # Predicted error never exceeds the requested bound.
+        assert plan.metadata["predicted_error"] <= epsilon + 1e-9
+
+
+class TestStemScaleInvariance:
+    @given(
+        st.lists(
+            st.builds(
+                ClusterStats,
+                n=st.integers(min_value=1, max_value=10_000),
+                mu=st.floats(min_value=0.1, max_value=100.0),
+                sigma=st.floats(min_value=0.0, max_value=30.0),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        st.floats(min_value=0.1, max_value=1000.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sample_sizes_invariant_to_time_units(self, clusters, unit):
+        """Rescaling all times (us -> ns, another GPU's clock) leaves the
+        allocation unchanged — STEM depends only on CoV structure."""
+        scaled = [
+            ClusterStats(n=c.n, mu=c.mu * unit, sigma=c.sigma * unit)
+            for c in clusters
+        ]
+        original = kkt_sample_sizes(clusters)
+        rescaled = kkt_sample_sizes(scaled)
+        # Allow an off-by-one per cluster from floating point at the
+        # ceiling boundary; the allocation is otherwise unit-free.
+        assert np.abs(original - rescaled).max() <= 1
+
+    @given(
+        st.lists(
+            st.builds(
+                ClusterStats,
+                n=st.integers(min_value=1, max_value=10_000),
+                mu=st.floats(min_value=0.1, max_value=100.0),
+                sigma=st.floats(min_value=0.0, max_value=30.0),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_extra_samples_never_hurt_the_bound(self, clusters):
+        sizes = kkt_sample_sizes(clusters)
+        bigger = [int(m) + 5 for m in sizes]
+        assert predicted_error_multi(clusters, bigger) <= predicted_error_multi(
+            clusters, [int(m) for m in sizes]
+        )
+
+
+class TestClusteringProperties:
+    @given(positive_times)
+    @settings(max_examples=30, deadline=None)
+    def test_kmeans_centers_within_data_range(self, times):
+        result = kmeans_1d(times, 2, rng=np.random.default_rng(0))
+        assert result.centers.min() >= times.min() - 1e-9
+        assert result.centers.max() <= times.max() + 1e-9
+
+    @given(positive_times)
+    @settings(max_examples=30, deadline=None)
+    def test_kde_peaks_at_least_one(self, times):
+        assert count_kde_peaks(times) >= 1

@@ -1,0 +1,118 @@
+"""Tests for ROOT's recursive hierarchical clustering."""
+
+import numpy as np
+import pytest
+
+from repro.core.root import RootConfig, RootTreeNode, root_split
+from repro.core.stem import ClusterStats, predicted_simulated_time, kkt_sample_sizes
+
+
+def trimodal_sample(rng, n=1200, centers=(10.0, 50.0, 250.0), rel_width=0.02):
+    parts = [rng.normal(c, c * rel_width, n // len(centers)) for c in centers]
+    return np.abs(np.concatenate(parts))
+
+
+class TestRootConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epsilon": 0.0},
+            {"k": 1},
+            {"min_cluster_size": 1},
+            {"max_depth": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RootConfig(**kwargs)
+
+
+class TestRootSplit:
+    def test_separates_three_peaks(self, rng):
+        times = trimodal_sample(rng)
+        leaves = root_split(times, rng=rng)
+        assert len(leaves) >= 3
+        # Every leaf should be a narrow slice of one peak.
+        for leaf in leaves:
+            assert leaf.stats.cov < 0.2
+
+    def test_leaves_partition_input(self, rng):
+        times = trimodal_sample(rng)
+        leaves = root_split(times, rng=rng)
+        merged = np.sort(np.concatenate([l.indices for l in leaves]))
+        assert np.array_equal(merged, np.arange(len(times)))
+
+    def test_narrow_unimodal_stays_single(self, rng):
+        times = np.abs(rng.normal(100.0, 0.5, 500))
+        leaves = root_split(times, rng=rng)
+        assert len(leaves) == 1
+
+    def test_zero_variance_stays_single(self, rng):
+        leaves = root_split(np.full(100, 3.0), rng=rng)
+        assert len(leaves) == 1
+        assert leaves[0].stats.sigma == 0.0
+
+    def test_small_cluster_never_split(self, rng):
+        times = np.array([1.0, 100.0, 1.0, 100.0])
+        leaves = root_split(times, config=RootConfig(min_cluster_size=8), rng=rng)
+        assert len(leaves) == 1
+
+    def test_empty_input(self, rng):
+        assert root_split(np.array([]), rng=rng) == []
+
+    def test_indices_are_propagated(self, rng):
+        times = trimodal_sample(rng, n=300)
+        offset_indices = np.arange(len(times)) + 5000
+        leaves = root_split(times, indices=offset_indices, rng=rng)
+        for leaf in leaves:
+            assert leaf.indices.min() >= 5000
+
+    def test_mismatched_indices_rejected(self, rng):
+        with pytest.raises(ValueError):
+            root_split(np.arange(5.0), indices=np.arange(3), rng=rng)
+
+    def test_max_depth_caps_recursion(self, rng):
+        times = trimodal_sample(rng)
+        leaves = root_split(times, config=RootConfig(max_depth=0), rng=rng)
+        assert len(leaves) == 1
+
+    def test_split_reduces_simulated_time(self, rng):
+        """Accepted splits must beat the unsplit cluster (Eqs. 7-8)."""
+        times = trimodal_sample(rng)
+        config = RootConfig()
+        leaves = root_split(times, config=config, rng=rng)
+        parent = ClusterStats.from_times(times)
+        m_parent = kkt_sample_sizes([parent], epsilon=config.epsilon)
+        tau_parent = predicted_simulated_time([parent], m_parent)
+        leaf_stats = [l.stats for l in leaves]
+        m_leaves = kkt_sample_sizes(leaf_stats, epsilon=config.epsilon)
+        tau_leaves = predicted_simulated_time(leaf_stats, m_leaves)
+        assert tau_leaves < tau_parent
+
+    def test_tree_recording(self, rng):
+        times = trimodal_sample(rng)
+        tree = RootTreeNode(stats=ClusterStats.from_times(times), depth=0)
+        leaves = root_split(times, tree=tree, rng=rng)
+        assert tree.accepted_split
+        assert tree.leaf_count() == len(leaves)
+
+    def test_k3_splits_work(self, rng):
+        """Paper: 'any number above 2 works well'."""
+        times = trimodal_sample(rng)
+        leaves = root_split(times, config=RootConfig(k=3), rng=rng)
+        assert len(leaves) >= 3
+        for leaf in leaves:
+            assert leaf.stats.cov < 0.2
+
+    def test_depth_recorded_on_leaves(self, rng):
+        times = trimodal_sample(rng)
+        leaves = root_split(times, rng=rng)
+        assert any(l.depth > 0 for l in leaves)
+
+    def test_deterministic_given_rng_seed(self):
+        times = trimodal_sample(np.random.default_rng(3))
+        a = root_split(times, rng=np.random.default_rng(9))
+        b = root_split(times, rng=np.random.default_rng(9))
+        assert len(a) == len(b)
+        for la, lb in zip(a, b):
+            assert np.array_equal(la.indices, lb.indices)

@@ -1,0 +1,121 @@
+"""Tests for the end-to-end STEM+ROOT sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core import StemRootSampler, evaluate_plan
+from repro.core.stem import ClusterStats
+
+
+class TestClusterStage:
+    def test_groups_by_name_then_splits(self, mixed, mixed_times, rng):
+        sampler = StemRootSampler()
+        clusters = sampler.cluster(mixed, mixed_times, rng=rng)
+        names = {c.name for c in clusters}
+        assert names == set(mixed.kernel_names())
+        # The bn-like kernel has three peaks: more than one leaf for it.
+        bn_leaves = [c for c in clusters if "bn" in c.name]
+        assert len(bn_leaves) >= 3
+
+    def test_use_root_false_one_cluster_per_name(self, mixed, mixed_times, rng):
+        sampler = StemRootSampler(use_root=False)
+        clusters = sampler.cluster(mixed, mixed_times, rng=rng)
+        assert len(clusters) == len(mixed.kernel_names())
+
+    def test_times_length_mismatch(self, mixed, rng):
+        sampler = StemRootSampler()
+        with pytest.raises(ValueError):
+            sampler.cluster(mixed, np.ones(3), rng=rng)
+
+    def test_cluster_indices_partition_workload(self, mixed, mixed_times, rng):
+        clusters = StemRootSampler().cluster(mixed, mixed_times, rng=rng)
+        merged = np.sort(np.concatenate([c.indices for c in clusters]))
+        assert np.array_equal(merged, np.arange(len(mixed)))
+
+
+class TestSampleSizes:
+    def test_sizes_capped_at_cluster_size(self, flat, flat_times, rng):
+        sampler = StemRootSampler(epsilon=0.0001)  # absurdly tight bound
+        clusters = sampler.cluster(flat, flat_times, rng=rng)
+        sizes = sampler.sample_sizes(clusters)
+        for labeled, m in zip(clusters, sizes):
+            assert 1 <= m <= labeled.cluster.size
+
+    def test_kkt_at_most_per_cluster_total(self, mixed, mixed_times, rng):
+        joint = StemRootSampler(use_kkt=True)
+        indep = StemRootSampler(use_kkt=False)
+        clusters = joint.cluster(mixed, mixed_times, rng=rng)
+        tau_joint = sum(
+            m * c.stats.mu for c, m in zip(clusters, joint.sample_sizes(clusters))
+        )
+        tau_indep = sum(
+            m * c.stats.mu for c, m in zip(clusters, indep.sample_sizes(clusters))
+        )
+        assert tau_joint <= tau_indep + 1e-9
+
+
+class TestBuildPlan:
+    def test_plan_covers_workload(self, mixed, mixed_times):
+        plan = StemRootSampler().build_plan(mixed, mixed_times, seed=0)
+        plan.validate(len(mixed))
+
+    def test_error_below_bound_on_average(self, mixed, timing):
+        errors = []
+        for rep in range(8):
+            times = timing.execution_times(mixed, seed=rep)
+            plan = StemRootSampler(epsilon=0.05).build_plan(mixed, times, seed=rep)
+            errors.append(evaluate_plan(plan, times).error_percent)
+        assert np.mean(errors) < 5.0
+
+    def test_metadata_records_settings(self, flat, flat_times):
+        plan = StemRootSampler(epsilon=0.1, use_root=False).build_plan(
+            flat, flat_times, seed=1
+        )
+        assert plan.metadata["epsilon"] == 0.1
+        assert plan.metadata["use_root"] is False
+        assert plan.metadata["predicted_error"] <= 0.1 + 1e-9
+
+    def test_smaller_epsilon_more_samples(self, mixed, mixed_times):
+        tight = StemRootSampler(epsilon=0.01).build_plan(mixed, mixed_times, seed=2)
+        loose = StemRootSampler(epsilon=0.25).build_plan(mixed, mixed_times, seed=2)
+        assert tight.num_samples > loose.num_samples
+
+    def test_without_replacement_unique_samples(self, mixed, mixed_times):
+        plan = StemRootSampler(replacement=False).build_plan(
+            mixed, mixed_times, seed=3
+        )
+        for cluster in plan.clusters:
+            assert len(np.unique(cluster.sampled_indices)) == cluster.sample_size
+
+    def test_samples_come_from_own_cluster(self, mixed, mixed_times, rng):
+        sampler = StemRootSampler()
+        clusters = sampler.cluster(mixed, mixed_times, rng=np.random.default_rng(0))
+        plan = sampler.build_plan(mixed, mixed_times, seed=0)
+        # Each plan cluster's samples must be members of the workload.
+        for cluster in plan.clusters:
+            assert (cluster.sampled_indices >= 0).all()
+            assert (cluster.sampled_indices < len(mixed)).all()
+
+    def test_plan_from_store_matches_direct(self, mixed, gpu):
+        from repro.baselines import ProfileStore
+
+        store = ProfileStore(mixed, gpu, seed=11)
+        sampler = StemRootSampler()
+        via_store = sampler.build_plan_from_store(store, seed=4)
+        direct = sampler.build_plan(mixed, store.execution_times(), seed=4)
+        assert via_store.num_clusters == direct.num_clusters
+        assert via_store.num_samples == direct.num_samples
+
+    def test_adaptive_sampling_favors_variable_kernels(self, mixed, mixed_times):
+        """The wide memory-bound pool kernel gets more samples per launch
+        than the stable GEMM kernel (the paper's Sec. 6.1 principle)."""
+        plan = StemRootSampler().build_plan(mixed, mixed_times, seed=5)
+        per_kernel = {}
+        for cluster in plan.clusters:
+            kernel = cluster.label.rsplit("#", 1)[0]
+            samples, members = per_kernel.get(kernel, (0, 0))
+            per_kernel[kernel] = (samples + cluster.sample_size, members + cluster.member_count)
+        rates = {k: s / m for k, (s, m) in per_kernel.items()}
+        pool = [k for k in rates if "pool" in k][0]
+        gemm = [k for k in rates if "gemm" in k][0]
+        assert rates[pool] > rates[gemm]

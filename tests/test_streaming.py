@@ -1,0 +1,129 @@
+"""Tests for single-pass streaming profile ingestion."""
+
+import numpy as np
+import pytest
+
+from repro.core import StemRootSampler, evaluate_plan
+from repro.core.streaming import Reservoir, StreamingProfile, WelfordAccumulator
+
+
+class TestWelford:
+    def test_matches_numpy(self, rng):
+        values = rng.lognormal(1.0, 0.4, 500)
+        acc = WelfordAccumulator()
+        acc.add_many(values)
+        assert acc.count == 500
+        assert acc.mean == pytest.approx(values.mean())
+        assert acc.std == pytest.approx(values.std(), rel=1e-9)
+
+    def test_empty_variance_zero(self):
+        assert WelfordAccumulator().variance == 0.0
+
+    def test_stats_requires_data(self):
+        with pytest.raises(ValueError):
+            WelfordAccumulator().stats()
+
+    def test_single_value(self):
+        acc = WelfordAccumulator()
+        acc.add(3.0)
+        stats = acc.stats()
+        assert stats.n == 1
+        assert stats.mu == 3.0
+        assert stats.sigma == 0.0
+
+
+class TestReservoir:
+    def test_keeps_everything_under_capacity(self, rng):
+        reservoir = Reservoir(100, rng)
+        for i in range(50):
+            reservoir.offer(i, float(i))
+        indices, values = reservoir.as_arrays()
+        assert np.array_equal(indices, np.arange(50))
+
+    def test_bounded_above_capacity(self, rng):
+        reservoir = Reservoir(32, rng)
+        for i in range(10_000):
+            reservoir.offer(i, float(i))
+        indices, _ = reservoir.as_arrays()
+        assert len(indices) == 32
+        assert reservoir.seen == 10_000
+
+    def test_approximately_uniform(self):
+        """Late items appear with roughly capacity/seen probability."""
+        hits = 0
+        trials = 300
+        for t in range(trials):
+            reservoir = Reservoir(10, np.random.default_rng(t))
+            for i in range(100):
+                reservoir.offer(i, float(i))
+            indices, _ = reservoir.as_arrays()
+            hits += int(99 in indices)
+        # Expect ~10% inclusion of the last element.
+        assert 0.04 < hits / trials < 0.2
+
+    def test_capacity_validation(self, rng):
+        with pytest.raises(ValueError):
+            Reservoir(0, rng)
+
+
+class TestStreamingProfile:
+    def test_chunked_ingestion_counts(self, mixed, mixed_times):
+        profile = StreamingProfile(reservoir_size=256)
+        profile.ingest_workload_chunked(mixed, mixed_times, chunk_size=100)
+        assert profile.total_ingested == len(mixed)
+        assert set(profile.kernel_names()) == set(mixed.kernel_names())
+
+    def test_group_stats_match_exact(self, mixed, mixed_times):
+        profile = StreamingProfile(reservoir_size=256)
+        profile.ingest_workload_chunked(mixed, mixed_times)
+        for name, indices in mixed.indices_by_name().items():
+            exact = mixed_times[indices]
+            stats = profile.group_stats(name)
+            assert stats.n == len(indices)
+            assert stats.mu == pytest.approx(exact.mean())
+            assert stats.sigma == pytest.approx(exact.std(), rel=1e-9)
+
+    def test_mismatched_chunk_rejected(self):
+        profile = StreamingProfile()
+        with pytest.raises(ValueError):
+            profile.ingest(["a"], np.array([0, 1]), np.array([1.0]))
+
+    def test_plan_represents_full_stream(self, mixed, mixed_times):
+        profile = StreamingProfile(reservoir_size=512, seed=1)
+        profile.ingest_workload_chunked(mixed, mixed_times)
+        plan = profile.build_plan(seed=2)
+        assert plan.represented_invocations == len(mixed)
+        assert plan.method == "stem-streaming"
+
+    def test_streaming_accuracy_close_to_exact(self, mixed, mixed_times):
+        profile = StreamingProfile(reservoir_size=512, seed=1)
+        profile.ingest_workload_chunked(mixed, mixed_times)
+        streamed = evaluate_plan(profile.build_plan(seed=2), mixed_times)
+        exact = evaluate_plan(
+            StemRootSampler().build_plan(mixed, mixed_times, seed=2), mixed_times
+        )
+        assert streamed.error_percent < 5.0
+        assert abs(streamed.error_percent - exact.error_percent) < 5.0
+
+    def test_memory_bounded_by_reservoir(self, mixed, mixed_times):
+        profile = StreamingProfile(reservoir_size=64)
+        profile.ingest_workload_chunked(mixed, mixed_times)
+        for name in profile.kernel_names():
+            indices, _ = profile._reservoirs[name].as_arrays()
+            assert len(indices) <= 64
+
+
+class TestStreamingEdgeCases:
+    def test_plan_total_exact_with_tiny_reservoir(self, mixed, mixed_times):
+        """Aggressive rounding (reservoir << group) still balances to the
+        exact stream size."""
+        profile = StreamingProfile(reservoir_size=16, seed=2)
+        profile.ingest_workload_chunked(mixed, mixed_times)
+        plan = profile.build_plan(seed=3)
+        assert plan.represented_invocations == len(mixed)
+
+    def test_single_kernel_stream(self):
+        profile = StreamingProfile(reservoir_size=8)
+        profile.ingest(["k"] * 5, np.arange(5), np.array([1.0, 1.1, 0.9, 1.2, 1.0]))
+        plan = profile.build_plan()
+        assert plan.represented_invocations == 5

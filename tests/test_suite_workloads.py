@@ -1,0 +1,47 @@
+"""Parametrized shape checks over every suite workload (miniature scale)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ProfileStore
+from repro.core import StemRootSampler, evaluate_plan
+from repro.hardware import RTX_2080, TimingModel
+from repro.workloads import load_workload
+from repro.workloads.generators.casio import CASIO
+from repro.workloads.generators.huggingface import HUGGINGFACE
+from repro.workloads.generators.rodinia import RODINIA
+
+ALL_WORKLOADS = (
+    [("rodinia", name, 0.2) for name in RODINIA.names()]
+    + [("casio", name, 0.01) for name in CASIO.names()]
+    + [("huggingface", name, 0.002) for name in HUGGINGFACE.names()]
+)
+
+
+@pytest.mark.parametrize("suite,name,scale", ALL_WORKLOADS)
+class TestEveryWorkload:
+    def test_generates_and_profiles(self, suite, name, scale, timing):
+        workload = load_workload(suite, name, scale=scale, seed=0)
+        assert len(workload) > 0
+        assert workload.suite == suite
+        assert workload.name == name
+        times = timing.execution_times(workload, seed=0)
+        assert (times > 0).all()
+        assert np.isfinite(times).all()
+
+    def test_stem_plan_valid_and_bounded(self, suite, name, scale):
+        workload = load_workload(suite, name, scale=scale, seed=0)
+        store = ProfileStore(workload, RTX_2080, seed=0)
+        plan = StemRootSampler().build_plan_from_store(store, seed=0)
+        plan.validate(len(workload))
+        result = evaluate_plan(plan, store.execution_times())
+        # Generous ceiling: small scales are noisy, but the bound keeps
+        # even miniature versions in the single digits.
+        assert result.error_percent < 12.0
+
+    def test_columns_within_domains(self, suite, name, scale):
+        workload = load_workload(suite, name, scale=scale, seed=0)
+        assert (workload.work_scales > 0).all()
+        assert (workload.localities >= 0).all()
+        assert (workload.localities <= 1).all()
+        assert (workload.efficiencies > 0).all()

@@ -1,0 +1,95 @@
+"""Tests for sampled-trace files (Figure 5 pipeline exchange format)."""
+
+import numpy as np
+import pytest
+
+from repro.core import StemRootSampler, evaluate_plan
+from repro.hardware import RTX_2080, TimingModel
+from repro.traces import read_sampled_trace, write_sampled_trace
+from repro.workloads.generators.synthetic import mixed_workload
+
+
+@pytest.fixture
+def plan_and_workload(mixed, mixed_times):
+    plan = StemRootSampler().build_plan(mixed, mixed_times, seed=0)
+    return mixed, plan
+
+
+class TestWriteRead:
+    def test_roundtrip_counts(self, plan_and_workload, tmp_path):
+        workload, plan = plan_and_workload
+        path = tmp_path / "trace.jsonl"
+        written = write_sampled_trace(path, workload, plan)
+        assert written == len(plan.unique_indices())
+        trace = read_sampled_trace(path)
+        assert len(trace.workload) == written
+        assert trace.method == "stem"
+        assert trace.source_workload == workload.name
+
+    def test_weights_sum_to_workload_size(self, plan_and_workload, tmp_path):
+        workload, plan = plan_and_workload
+        path = tmp_path / "trace.jsonl"
+        write_sampled_trace(path, workload, plan)
+        trace = read_sampled_trace(path)
+        assert trace.weights.sum() == pytest.approx(len(workload))
+
+    def test_estimate_matches_plan(self, plan_and_workload, tmp_path):
+        """Replaying the trace reproduces the plan's weighted-sum estimate."""
+        workload, plan = plan_and_workload
+        path = tmp_path / "trace.jsonl"
+        write_sampled_trace(path, workload, plan)
+        trace = read_sampled_trace(path)
+
+        timing = TimingModel(RTX_2080)
+        # Evaluate sampled kernels via the *reconstructed* workload; the
+        # deterministic part of the timing model must agree per kernel.
+        original_times = timing.execution_times(workload, seed=42)
+        indices = sorted(plan.sample_weights())
+        traced_values = original_times[np.asarray(indices)]
+        assert trace.estimate_total(traced_values) == pytest.approx(
+            plan.estimate_total(original_times)
+        )
+
+    def test_contexts_roundtrip(self, plan_and_workload, tmp_path):
+        workload, plan = plan_and_workload
+        path = tmp_path / "trace.jsonl"
+        write_sampled_trace(path, workload, plan)
+        trace = read_sampled_trace(path)
+        indices = sorted(plan.sample_weights())
+        for pos, original_index in enumerate(indices):
+            original = workload.invocation(original_index)
+            restored = trace.workload.invocation(pos)
+            assert restored.name == original.name
+            assert restored.context.work_scale == pytest.approx(
+                original.context.work_scale
+            )
+            assert restored.context.efficiency == pytest.approx(
+                original.context.efficiency
+            )
+
+    def test_specs_deduplicated(self, plan_and_workload, tmp_path):
+        workload, plan = plan_and_workload
+        path = tmp_path / "trace.jsonl"
+        write_sampled_trace(path, workload, plan)
+        trace = read_sampled_trace(path)
+        assert len(trace.workload.specs) <= len(workload.specs)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_sampled_trace(path)
+
+    def test_rejects_wrong_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "other", "format_version": 1}\n')
+        with pytest.raises(ValueError):
+            read_sampled_trace(path)
+
+    def test_estimate_length_mismatch(self, plan_and_workload, tmp_path):
+        workload, plan = plan_and_workload
+        path = tmp_path / "trace.jsonl"
+        write_sampled_trace(path, workload, plan)
+        trace = read_sampled_trace(path)
+        with pytest.raises(ValueError):
+            trace.estimate_total(np.ones(len(trace.weights) + 1))
