@@ -1,0 +1,107 @@
+"""Observability overhead: disabled-mode instrumentation must be ~free.
+
+Two measurements:
+
+1. **Pipeline comparison** — wall-clock of the profile→cluster→plan→
+   evaluate pipeline with observability disabled vs. enabled, reported
+   for context (the enabled mode is allowed to cost more; that is the
+   price of a trace).
+2. **Disabled-mode bound** — the assertion.  Comparing two noisy
+   pipeline runs cannot resolve sub-percent differences, so the bound is
+   computed directly: (cost of one no-op obs call, measured over 200k
+   calls) x (number of instrumentation hits the pipeline actually
+   performs, counted from an enabled run) must stay under 5% of the
+   disabled pipeline's wall-clock.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_obs_overhead.py``)
+or via pytest (``pytest benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.baselines import ProfileStore
+from repro.core import StemRootSampler, evaluate_plan
+from repro.hardware import get_preset
+from repro.workloads import load_workload
+
+REPEATS = 5
+MAX_DISABLED_OVERHEAD = 0.05
+
+
+def _pipeline(store: ProfileStore) -> None:
+    plan = StemRootSampler().build_plan_from_store(store, seed=0)
+    evaluate_plan(plan, store.execution_times())
+
+
+def _fresh_store() -> ProfileStore:
+    # A new store each run so profiling is not served from cache.
+    workload = load_workload("rodinia", "bfs", scale=1.0, seed=0)
+    return ProfileStore(workload, get_preset("rtx2080"), seed=0)
+
+
+def _best_seconds(enabled: bool) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        store = _fresh_store()
+        if enabled:
+            with obs.scoped():
+                start = time.perf_counter()
+                _pipeline(store)
+                best = min(best, time.perf_counter() - start)
+        else:
+            start = time.perf_counter()
+            _pipeline(store)
+            best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _noop_call_seconds(calls: int = 200_000) -> float:
+    """Average cost of one disabled span + one disabled counter inc."""
+    assert not obs.is_enabled()
+    start = time.perf_counter()
+    for _ in range(calls):
+        with obs.span("bench.noop"):
+            obs.inc("bench.noop")
+    return (time.perf_counter() - start) / calls
+
+
+def _instrumentation_hits() -> int:
+    """How many obs call sites one pipeline run actually exercises."""
+    with obs.scoped() as session:
+        _pipeline(_fresh_store())
+        snapshot = session.metrics.snapshot()
+        spans = len(session.tracer.finished())
+    counter_incs = sum(snapshot["counters"].values())
+    observations = sum(h["count"] for h in snapshot["histograms"].values())
+    gauge_sets = len(snapshot["gauges"])
+    return spans + counter_incs + observations + gauge_sets
+
+
+def test_disabled_overhead_under_bound():
+    assert not obs.is_enabled()
+    disabled = _best_seconds(enabled=False)
+    enabled = _best_seconds(enabled=True)
+    per_call = _noop_call_seconds()
+    hits = _instrumentation_hits()
+    estimated_overhead = per_call * hits / disabled
+
+    print()
+    print(f"pipeline disabled        : {disabled * 1e3:8.2f} ms")
+    print(f"pipeline enabled         : {enabled * 1e3:8.2f} ms "
+          f"({(enabled / disabled - 1) * 100:+.1f}%)")
+    print(f"no-op span+counter cost  : {per_call * 1e9:8.1f} ns/call")
+    print(f"instrumentation hits/run : {hits:8d}")
+    print(f"disabled-mode overhead   : {estimated_overhead * 100:8.3f}% "
+          f"(bound {MAX_DISABLED_OVERHEAD * 100:.0f}%)")
+
+    assert estimated_overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled-mode obs overhead {estimated_overhead:.2%} exceeds "
+        f"{MAX_DISABLED_OVERHEAD:.0%}"
+    )
+
+
+if __name__ == "__main__":
+    test_disabled_overhead_under_bound()

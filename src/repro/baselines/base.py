@@ -12,6 +12,7 @@ from typing import Dict, Optional, Protocol
 
 import numpy as np
 
+from .. import obs
 from ..core.plan import SamplingPlan
 from ..hardware.gpu_config import GPUConfig
 from ..profiling.bbv import BbvProfiler, BbvTable
@@ -38,22 +39,32 @@ class ProfileStore:
             self._cache["times"] = NsysProfiler(self.config).execution_times(
                 self.workload, seed=self.seed
             )
+        else:
+            obs.inc("profile.cache_hits")
         return self._cache["times"]  # type: ignore[return-value]
 
     def pka_features(self) -> np.ndarray:
         """NCU view: (n, 12) PKA metric matrix."""
         if "pka" not in self._cache:
-            self._cache["pka"] = NcuProfiler(self.config).feature_matrix(
-                self.workload, seed=self.seed
-            )
+            with obs.span("profile.ncu", workload=self.workload.name):
+                self._cache["pka"] = NcuProfiler(self.config).feature_matrix(
+                    self.workload, seed=self.seed
+                )
+        else:
+            obs.inc("profile.cache_hits")
         return self._cache["pka"]  # type: ignore[return-value]
 
     def instruction_counts(self) -> np.ndarray:
         """NVBit view: dynamic instruction count per invocation."""
         if "instructions" not in self._cache:
-            profile = NvbitProfiler(self.config).profile(self.workload, seed=self.seed)
+            with obs.span("profile.nvbit", workload=self.workload.name):
+                profile = NvbitProfiler(self.config).profile(
+                    self.workload, seed=self.seed
+                )
             self._cache["instructions"] = profile.column("instructions")
             self._cache["cta_size"] = profile.column("cta_size")
+        else:
+            obs.inc("profile.cache_hits")
         return self._cache["instructions"]  # type: ignore[return-value]
 
     def cta_sizes(self) -> np.ndarray:
@@ -65,9 +76,12 @@ class ProfileStore:
     def bbv_table(self) -> BbvTable:
         """BBV view: per-invocation basic-block vectors (Photon's input)."""
         if "bbv" not in self._cache:
-            self._cache["bbv"] = BbvProfiler(self.config).collect(
-                self.workload, seed=self.seed
-            )
+            with obs.span("profile.bbv", workload=self.workload.name):
+                self._cache["bbv"] = BbvProfiler(self.config).collect(
+                    self.workload, seed=self.seed
+                )
+        else:
+            obs.inc("profile.cache_hits")
         return self._cache["bbv"]  # type: ignore[return-value]
 
     @property

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.plan import PlanCluster, SamplingPlan
 from .base import ProfileStore
 
@@ -129,25 +130,27 @@ class PhotonSampler:
         self.last_num_comparisons = 0
 
         clusters: List[PlanCluster] = []
-        for sid, (start, stop) in enumerate(table.spec_slices):
-            group_indices = np.flatnonzero(workload.spec_ids == sid)
-            if len(group_indices) == 0:
-                continue
-            vectors = table.vectors[group_indices, start:stop].astype(np.float64)
-            if self.pca_dims is not None:
-                vectors = self.pca_project(vectors, self.pca_dims)
-            assignment = self._match_spec_group(vectors, group_indices)
-            name = workload.specs[sid].name
-            for rep_pos, member_positions in assignment.items():
-                clusters.append(
-                    PlanCluster(
-                        label=f"{name}/rep{rep_pos}",
-                        member_count=len(member_positions),
-                        sampled_indices=np.array(
-                            [group_indices[rep_pos]], dtype=np.int64
-                        ),
+        with obs.span("baseline.photon.build_plan", workload=workload.name):
+            for sid, (start, stop) in enumerate(table.spec_slices):
+                group_indices = np.flatnonzero(workload.spec_ids == sid)
+                if len(group_indices) == 0:
+                    continue
+                vectors = table.vectors[group_indices, start:stop].astype(np.float64)
+                if self.pca_dims is not None:
+                    vectors = self.pca_project(vectors, self.pca_dims)
+                assignment = self._match_spec_group(vectors, group_indices)
+                name = workload.specs[sid].name
+                for rep_pos, member_positions in assignment.items():
+                    clusters.append(
+                        PlanCluster(
+                            label=f"{name}/rep{rep_pos}",
+                            member_count=len(member_positions),
+                            sampled_indices=np.array(
+                                [group_indices[rep_pos]], dtype=np.int64
+                            ),
+                        )
                     )
-                )
+        obs.inc("baseline.plans_built")
         return SamplingPlan(
             method=self.method,
             workload_name=workload.name,

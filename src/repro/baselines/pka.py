@@ -18,6 +18,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.clustering import kmeans
 from ..core.plan import PlanCluster, SamplingPlan
 from .base import ProfileStore
@@ -88,24 +89,26 @@ class PkaSampler:
                 f"{n} kernels would take months (see Table 5)"
             )
         features = self.normalize(store.pka_features())
-        k = self.choose_k(features, rng)
-        result = kmeans(features, k, rng=rng, n_init=3)
+        with obs.span("baseline.pka.build_plan", workload=workload.name):
+            k = self.choose_k(features, rng)
+            result = kmeans(features, k, rng=rng, n_init=3)
 
-        clusters: List[PlanCluster] = []
-        for j, members in enumerate(result.cluster_indices()):
-            if len(members) == 0:
-                continue
-            if self.select == "first":
-                chosen = int(members.min())
-            else:
-                chosen = int(rng.choice(members))
-            clusters.append(
-                PlanCluster(
-                    label=f"pka_cluster_{j}",
-                    member_count=len(members),
-                    sampled_indices=np.array([chosen], dtype=np.int64),
+            clusters: List[PlanCluster] = []
+            for j, members in enumerate(result.cluster_indices()):
+                if len(members) == 0:
+                    continue
+                if self.select == "first":
+                    chosen = int(members.min())
+                else:
+                    chosen = int(rng.choice(members))
+                clusters.append(
+                    PlanCluster(
+                        label=f"pka_cluster_{j}",
+                        member_count=len(members),
+                        sampled_indices=np.array([chosen], dtype=np.int64),
+                    )
                 )
-            )
+        obs.inc("baseline.plans_built")
         return SamplingPlan(
             method=self.method,
             workload_name=workload.name,

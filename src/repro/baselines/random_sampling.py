@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.plan import PlanCluster, SamplingPlan
 from .base import ProfileStore
 
@@ -37,15 +38,21 @@ class RandomSampler:
     ) -> SamplingPlan:
         if rng is None:
             rng = np.random.default_rng(seed)
-        n = len(store.workload)
-        selected = np.flatnonzero(rng.random(n) < self.fraction)
-        if len(selected) == 0:
-            # Degenerate draw on tiny workloads: keep one kernel so the
-            # estimate exists at all.
-            selected = np.array([int(rng.integers(n))], dtype=np.int64)
-        cluster = PlanCluster(
-            label="uniform", member_count=n, sampled_indices=selected.astype(np.int64)
-        )
+        with obs.span(
+            "baseline.random.build_plan", workload=store.workload.name
+        ):
+            n = len(store.workload)
+            selected = np.flatnonzero(rng.random(n) < self.fraction)
+            if len(selected) == 0:
+                # Degenerate draw on tiny workloads: keep one kernel so the
+                # estimate exists at all.
+                selected = np.array([int(rng.integers(n))], dtype=np.int64)
+            cluster = PlanCluster(
+                label="uniform",
+                member_count=n,
+                sampled_indices=selected.astype(np.int64),
+            )
+        obs.inc("baseline.plans_built")
         return SamplingPlan(
             method=self.method,
             workload_name=store.workload.name,

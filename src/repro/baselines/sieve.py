@@ -22,6 +22,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.clustering import count_kde_peaks
 from ..core.plan import PlanCluster, SamplingPlan
 from .base import ProfileStore
@@ -111,22 +112,24 @@ class SieveSampler:
         cta = store.cta_sizes()
 
         clusters: List[PlanCluster] = []
-        for name, group_indices in workload.indices_by_name().items():
-            group_counts = counts[group_indices]
-            strata = self._quantile_strata(
-                group_counts, self._num_strata(group_counts)
-            )
-            for s, members in enumerate(strata):
-                if len(members) == 0:
-                    continue
-                chosen = self._pick(group_indices, members, cta, rng)
-                clusters.append(
-                    PlanCluster(
-                        label=f"{name}/stratum{s}",
-                        member_count=len(members),
-                        sampled_indices=np.array([chosen], dtype=np.int64),
-                    )
+        with obs.span("baseline.sieve.build_plan", workload=workload.name):
+            for name, group_indices in workload.indices_by_name().items():
+                group_counts = counts[group_indices]
+                strata = self._quantile_strata(
+                    group_counts, self._num_strata(group_counts)
                 )
+                for s, members in enumerate(strata):
+                    if len(members) == 0:
+                        continue
+                    chosen = self._pick(group_indices, members, cta, rng)
+                    clusters.append(
+                        PlanCluster(
+                            label=f"{name}/stratum{s}",
+                            member_count=len(members),
+                            sampled_indices=np.array([chosen], dtype=np.int64),
+                        )
+                    )
+        obs.inc("baseline.plans_built")
         return SamplingPlan(
             method=self.method,
             workload_name=workload.name,

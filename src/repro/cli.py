@@ -7,14 +7,28 @@ Commands
 ``suites``    list available suites and workloads
 ``report``    transparency report for a freshly built plan
 ``trace``     write a sampled-kernel trace file for a plan
+``obs``       pretty-print a run report from saved trace/metrics files
+
+Observability
+-------------
+Every workload command accepts ``--trace-out PATH`` (Chrome-trace JSON,
+open in ``chrome://tracing``) and ``--metrics-out PATH`` (counters,
+gauges and histogram sketches as JSON).  Either flag — or setting the
+``REPRO_LOG_LEVEL`` environment variable (debug/info/warning/error) —
+enables the :mod:`repro.obs` layer for the run; with ``REPRO_LOG_LEVEL``
+set, structured JSONL events also stream to stderr.  Without any of the
+three, observability stays in no-op mode and runs are bit-identical to
+uninstrumented ones.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from . import obs
 from .analysis import render_table
 from .baselines import (
     PhotonSampler,
@@ -49,6 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--epsilon", type=float, default=0.05,
                        help="STEM error bound")
+        p.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write a Chrome-trace JSON of the run's spans")
+        p.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write the run's metrics registry as JSON")
 
     p_sample = sub.add_parser("sample", help="build and evaluate a STEM plan")
     add_workload_args(p_sample)
@@ -66,6 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace = sub.add_parser("trace", help="write a sampled-kernel trace")
     add_workload_args(p_trace)
     p_trace.add_argument("output", help="output .jsonl path")
+
+    p_obs = sub.add_parser(
+        "obs", help="pretty-print a run report from saved obs files"
+    )
+    p_obs.add_argument("trace", help="Chrome-trace JSON written by --trace-out")
+    p_obs.add_argument("--metrics", default=None,
+                       help="metrics JSON written by --metrics-out")
+    p_obs.add_argument("--top", type=int, default=8,
+                       help="how many hottest spans to list")
     return parser
 
 
@@ -173,18 +200,51 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    events = obs.load_chrome_trace(args.trace)
+    metrics = obs.load_metrics_json(args.metrics) if args.metrics else None
+    report = obs.build_run_report(events, metrics)
+    print(report.to_text(top=args.top))
+    return 0
+
+
 _COMMANDS = {
     "sample": _cmd_sample,
     "compare": _cmd_compare,
     "suites": _cmd_suites,
     "report": _cmd_report,
     "trace": _cmd_trace,
+    "obs": _cmd_obs,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    log_level = os.environ.get(obs.LOG_LEVEL_ENV)
+    enable = bool(trace_out or metrics_out or log_level)
+    if not enable:
+        return _COMMANDS[args.command](args)
+
+    # Stream events to stderr only when the user asked for a level, so
+    # --trace-out alone keeps stdout/stderr exactly as before.
+    session = obs.configure(
+        log_level=log_level,
+        event_stream=sys.stderr if log_level else None,
+    )
+    try:
+        status = _COMMANDS[args.command](args)
+    finally:
+        if trace_out:
+            count = session.write_trace(trace_out)
+            print(f"wrote {count} trace events to {trace_out}", file=sys.stderr)
+        if metrics_out:
+            session.write_metrics(metrics_out)
+            print(f"wrote metrics to {metrics_out}", file=sys.stderr)
+        obs.disable()
+    return status
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ from typing import Dict
 
 import numpy as np
 
+from .. import obs
 from ..profiling.metrics import COUNT_METRICS, aggregate_metrics
 from .plan import SamplingPlan
 
@@ -65,18 +66,33 @@ class SampledSimulationResult:
 
 def evaluate_plan(plan: SamplingPlan, times: np.ndarray) -> SampledSimulationResult:
     """Score a sampling plan against per-invocation ground-truth times."""
-    true_total = float(np.sum(times))
-    estimated = plan.estimate_total(times)
-    return SampledSimulationResult(
+    with obs.span("sim.evaluate_plan", method=plan.method):
+        true_total = float(np.sum(times))
+        estimated = plan.estimate_total(times)
+        result = SampledSimulationResult(
+            method=plan.method,
+            workload=plan.workload_name,
+            true_total=true_total,
+            estimated_total=estimated,
+            simulated_time=plan.simulated_cost(times),
+            num_samples=plan.num_samples,
+            num_unique_samples=len(plan.unique_indices()),
+            num_clusters=plan.num_clusters,
+        )
+    # The sampled simulation executes exactly the plan's unique kernels.
+    obs.inc("sim.plan_evaluations")
+    obs.inc("sim.kernels_executed", result.num_unique_samples)
+    obs.set_gauge("sim.sampled_time_share", result.simulated_time / true_total
+                  if true_total else 0.0)
+    obs.log_event(
+        "sim.plan_evaluated",
         method=plan.method,
         workload=plan.workload_name,
-        true_total=true_total,
-        estimated_total=estimated,
-        simulated_time=plan.simulated_cost(times),
-        num_samples=plan.num_samples,
-        num_unique_samples=len(plan.unique_indices()),
-        num_clusters=plan.num_clusters,
+        error_percent=result.error_percent,
+        speedup=result.speedup,
+        kernels_executed=result.num_unique_samples,
     )
+    return result
 
 
 def estimate_metrics(

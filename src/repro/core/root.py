@@ -16,6 +16,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import obs
 from .clustering import kmeans_1d
 from .stem import (
     DEFAULT_EPSILON,
@@ -91,11 +92,21 @@ def _split_gain(
     tau_old uses the single-cluster Eq. (3) sample size; tau_new uses the
     joint KKT allocation (Eq. 6) over the children.
     """
+    accepted, _, _ = _split_decision(parent, children, config)
+    return accepted
+
+
+def _split_decision(
+    parent: ClusterStats,
+    children: List[ClusterStats],
+    config: RootConfig,
+) -> tuple:
+    """The Eq. (7)–(8) test plus both predicted times, for observability."""
     m_old = single_cluster_sample_size(parent, epsilon=config.epsilon, z=config.z)
     tau_old = m_old * parent.mu
     m_new = kkt_sample_sizes(children, epsilon=config.epsilon, z=config.z)
     tau_new = predicted_simulated_time(children, m_new)
-    return tau_new < tau_old
+    return tau_new < tau_old, tau_old, tau_new
 
 
 def root_split(
@@ -140,6 +151,24 @@ def root_split(
     if rng is None:
         rng = np.random.default_rng(0)
 
+    if _depth == 0:
+        # One span per kernel group; the recursion below reports its
+        # decisions through counters/histograms, not per-node spans.
+        with obs.span("root.split", invocations=int(len(t))):
+            leaves = _split_recursive(t, indices, config, rng, tree, _depth)
+            obs.observe("root.leaves_per_group", float(len(leaves)))
+            return leaves
+    return _split_recursive(t, indices, config, rng, tree, _depth)
+
+
+def _split_recursive(
+    t: np.ndarray,
+    indices: np.ndarray,
+    config: RootConfig,
+    rng: np.random.Generator,
+    tree: Optional[RootTreeNode],
+    _depth: int,
+) -> List[RootCluster]:
     stats = ClusterStats.from_times(t)
     if tree is not None:
         tree.stats = stats
@@ -151,16 +180,32 @@ def root_split(
         or _depth >= config.max_depth
         or stats.sigma == 0.0
     ):
+        obs.inc("root.stop_conditions")
         return [leaf]
 
     result = kmeans_1d(t, config.k, rng=rng)
     member_lists = [m for m in result.cluster_indices() if len(m)]
     if len(member_lists) < 2:
+        obs.inc("root.degenerate_kmeans")
         return [leaf]
     children_stats = [ClusterStats.from_times(t[m]) for m in member_lists]
 
-    if not _split_gain(stats, children_stats, config):
+    accepted, tau_old, tau_new = _split_decision(stats, children_stats, config)
+    obs.log_event(
+        "root.split_decision",
+        level="debug",
+        depth=_depth,
+        size=len(t),
+        accepted=accepted,
+        tau_old=tau_old,
+        tau_new=tau_new,
+    )
+    if not accepted:
+        obs.inc("root.splits_rejected")
         return [leaf]
+    obs.inc("root.splits_accepted")
+    obs.observe("root.split_depth", float(_depth))
+    obs.observe("root.predicted_time_delta", tau_old - tau_new)
 
     if tree is not None:
         tree.accepted_split = True
@@ -171,13 +216,13 @@ def root_split(
             child_tree = RootTreeNode(stats=stats, depth=_depth + 1)
             tree.children.append(child_tree)
         leaves.extend(
-            root_split(
+            _split_recursive(
                 t[members],
                 indices[members],
-                config=config,
-                rng=rng,
-                tree=child_tree,
-                _depth=_depth + 1,
+                config,
+                rng,
+                child_tree,
+                _depth + 1,
             )
         )
     return leaves

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..workloads.workload import Workload
 from .plan import PlanCluster, SamplingPlan
 from .root import RootCluster, RootConfig, root_split
@@ -90,33 +91,41 @@ class StemRootSampler:
         if rng is None:
             rng = np.random.default_rng(0)
         clusters: List[LabeledCluster] = []
-        for name, indices in workload.indices_by_name().items():
-            group_times = times[indices]
-            if self.use_root:
-                leaves = root_split(
-                    group_times, indices, config=self.root_config, rng=rng
-                )
-            else:
-                leaves = [
-                    RootCluster(
-                        indices=indices,
-                        stats=ClusterStats.from_times(group_times),
+        with obs.span("sampler.cluster", invocations=len(workload)) as sp:
+            for name, indices in workload.indices_by_name().items():
+                group_times = times[indices]
+                if self.use_root:
+                    leaves = root_split(
+                        group_times, indices, config=self.root_config, rng=rng
                     )
-                ]
-            clusters.extend(LabeledCluster(name=name, cluster=leaf) for leaf in leaves)
+                else:
+                    leaves = [
+                        RootCluster(
+                            indices=indices,
+                            stats=ClusterStats.from_times(group_times),
+                        )
+                    ]
+                clusters.extend(
+                    LabeledCluster(name=name, cluster=leaf) for leaf in leaves
+                )
+            sp.attrs["leaf_clusters"] = len(clusters)
+        obs.set_gauge("sampler.leaf_clusters", len(clusters))
         return clusters
 
     def sample_sizes(self, clusters: List[LabeledCluster]) -> np.ndarray:
         """Stage 3: allocate samples across all leaf clusters."""
         stats = [c.stats for c in clusters]
-        if self.use_kkt:
-            sizes = kkt_sample_sizes(stats, epsilon=self.epsilon, z=self.z)
-        else:
-            sizes = per_cluster_sample_sizes(stats, epsilon=self.epsilon, z=self.z)
-        # Never request more samples than a cluster holds: simulating every
-        # member once already reproduces the cluster exactly.
-        caps = np.array([c.cluster.size for c in clusters], dtype=np.int64)
-        return np.minimum(sizes, caps)
+        with obs.span("sampler.allocate", clusters=len(clusters)):
+            if self.use_kkt:
+                sizes = kkt_sample_sizes(stats, epsilon=self.epsilon, z=self.z)
+            else:
+                sizes = per_cluster_sample_sizes(stats, epsilon=self.epsilon, z=self.z)
+            # Never request more samples than a cluster holds: simulating every
+            # member once already reproduces the cluster exactly.
+            caps = np.array([c.cluster.size for c in clusters], dtype=np.int64)
+            sizes = np.minimum(sizes, caps)
+        obs.inc("sampler.samples_allocated", int(sizes.sum()))
+        return sizes
 
     def build_plan(
         self,
@@ -128,31 +137,35 @@ class StemRootSampler:
         """Full pipeline: profile times in, sampling plan out."""
         if rng is None:
             rng = np.random.default_rng(seed)
-        clusters = self.cluster(workload, times, rng=rng)
-        sizes = self.sample_sizes(clusters)
+        with obs.span(
+            "sampler.build_plan", workload=workload.name, invocations=len(workload)
+        ):
+            clusters = self.cluster(workload, times, rng=rng)
+            sizes = self.sample_sizes(clusters)
 
-        plan_clusters: List[PlanCluster] = []
-        peak_counter: Dict[str, int] = {}
-        for labeled, m in zip(clusters, sizes):
-            peak = peak_counter.get(labeled.name, 0)
-            peak_counter[labeled.name] = peak + 1
-            indices = labeled.indices
-            m = int(m)
-            if self.replacement and m < len(indices):
-                chosen = rng.choice(indices, size=m, replace=True)
-            else:
-                chosen = rng.choice(indices, size=m, replace=False)
-            plan_clusters.append(
-                PlanCluster(
-                    label=f"{labeled.name}#{peak}",
-                    member_count=len(indices),
-                    sampled_indices=np.asarray(chosen, dtype=np.int64),
-                )
+            plan_clusters: List[PlanCluster] = []
+            with obs.span("sampler.select", clusters=len(clusters)):
+                peak_counter: Dict[str, int] = {}
+                for labeled, m in zip(clusters, sizes):
+                    peak = peak_counter.get(labeled.name, 0)
+                    peak_counter[labeled.name] = peak + 1
+                    indices = labeled.indices
+                    m = int(m)
+                    if self.replacement and m < len(indices):
+                        chosen = rng.choice(indices, size=m, replace=True)
+                    else:
+                        chosen = rng.choice(indices, size=m, replace=False)
+                    plan_clusters.append(
+                        PlanCluster(
+                            label=f"{labeled.name}#{peak}",
+                            member_count=len(indices),
+                            sampled_indices=np.asarray(chosen, dtype=np.int64),
+                        )
+                    )
+
+            predicted = predicted_error_multi(
+                [c.stats for c in clusters], sizes, z=self.z
             )
-
-        predicted = predicted_error_multi(
-            [c.stats for c in clusters], sizes, z=self.z
-        )
         plan = SamplingPlan(
             method=self.method,
             workload_name=workload.name,
@@ -166,6 +179,15 @@ class StemRootSampler:
                 "predicted_error": predicted,
                 "num_leaf_clusters": len(clusters),
             },
+        )
+        obs.inc("sampler.plans_built")
+        obs.log_event(
+            "sampler.plan_built",
+            workload=workload.name,
+            method=self.method,
+            leaf_clusters=len(clusters),
+            samples=plan.num_samples,
+            predicted_error=predicted,
         )
         return plan
 

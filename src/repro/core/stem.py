@@ -22,6 +22,8 @@ from typing import List, Sequence
 import numpy as np
 from scipy import stats as _scipy_stats
 
+from .. import obs
+
 __all__ = [
     "DEFAULT_Z",
     "DEFAULT_EPSILON",
@@ -144,7 +146,12 @@ def kkt_sample_sizes(
     with np.errstate(divide="ignore", invalid="ignore"):
         raw = scale * np.sqrt(b / a)
     raw = np.nan_to_num(raw, nan=0.0, posinf=0.0)
-    return np.maximum(1, np.ceil(raw)).astype(np.int64)
+    sizes = np.maximum(1, np.ceil(raw)).astype(np.int64)
+    # KKT runs both as the final allocator and inside every ROOT split
+    # test, so the call count tracks Eq. (7)–(8) evaluations too.
+    obs.inc("stem.kkt_calls")
+    obs.observe("stem.kkt_clusters", float(len(clusters)))
+    return sizes
 
 
 def predicted_error_multi(
@@ -201,6 +208,7 @@ def per_cluster_sample_sizes(
     the bound on *every* cluster separately and typically needs 2–3x more
     samples than :func:`kkt_sample_sizes`.
     """
+    obs.inc("stem.eq3_calls")
     return np.array(
         [single_cluster_sample_size(c, epsilon=epsilon, z=z) for c in clusters],
         dtype=np.int64,

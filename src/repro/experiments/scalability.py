@@ -6,16 +6,22 @@ quadratic BBV comparison.  This experiment measures the *actual*
 wall-clock time of profiling + clustering + allocation at increasing
 workload sizes and fits a power-law exponent — near-linear means an
 exponent close to 1.
+
+Timing comes from :mod:`repro.obs` spans rather than ad-hoc
+``perf_counter`` pairs: each phase is wrapped in a span on the active
+obs session (or a private tracer when observability is disabled), so
+the numbers reported here and the spans in an exported trace are the
+same measurement.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core import StemRootSampler
 from ..hardware import RTX_2080, GPUConfig, TimingModel
 from ..workloads import load_workload
@@ -46,23 +52,27 @@ def run_scalability(
     """Time the STEM pipeline at several workload sizes."""
     gpu = gpu or RTX_2080
     timing = TimingModel(gpu)
+    session = obs.current()
+    tracer = session.tracer if session is not None else obs.Tracer()
     points: List[ScalePoint] = []
     for scale in scales:
         workload = load_workload(suite, workload_name, scale=scale, seed=seed)
 
-        start = time.perf_counter()
-        times = timing.execution_times(workload, seed=seed)
-        profile_seconds = time.perf_counter() - start
+        with tracer.span(
+            "profile.scalability", invocations=len(workload), scale=scale
+        ) as profile_span:
+            times = timing.execution_times(workload, seed=seed)
 
-        start = time.perf_counter()
-        StemRootSampler().build_plan(workload, times, seed=seed)
-        plan_seconds = time.perf_counter() - start
+        with tracer.span(
+            "sampler.scalability", invocations=len(workload), scale=scale
+        ) as plan_span:
+            StemRootSampler().build_plan(workload, times, seed=seed)
 
         points.append(
             ScalePoint(
                 num_invocations=len(workload),
-                profile_seconds=profile_seconds,
-                plan_seconds=plan_seconds,
+                profile_seconds=profile_span.dur_us / 1e6,
+                plan_seconds=plan_span.dur_us / 1e6,
             )
         )
     return points

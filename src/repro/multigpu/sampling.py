@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.plan import PlanCluster, SamplingPlan
 from ..core.root import RootConfig, root_split
 from ..core.stem import DEFAULT_EPSILON, DEFAULT_Z, kkt_sample_sizes
@@ -94,15 +95,17 @@ class EtStemSampler:
         if rng is None:
             rng = np.random.default_rng(seed)
         labeled = []
-        for group, node_ids in trace.groups().items():
-            ids = np.asarray(node_ids, dtype=np.int64)
-            times = np.array([durations[int(i)] for i in ids], dtype=np.float64)
-            for leaf in root_split(times, ids, config=self.root_config, rng=rng):
-                labeled.append((group, leaf))
+        with obs.span("multigpu.cluster", trace=trace.name, nodes=len(trace)):
+            for group, node_ids in trace.groups().items():
+                ids = np.asarray(node_ids, dtype=np.int64)
+                times = np.array([durations[int(i)] for i in ids], dtype=np.float64)
+                for leaf in root_split(times, ids, config=self.root_config, rng=rng):
+                    labeled.append((group, leaf))
 
-        sizes = kkt_sample_sizes(
-            [leaf.stats for _, leaf in labeled], epsilon=self.epsilon, z=self.z
-        )
+        with obs.span("multigpu.allocate", clusters=len(labeled)):
+            sizes = kkt_sample_sizes(
+                [leaf.stats for _, leaf in labeled], epsilon=self.epsilon, z=self.z
+            )
         clusters: List[PlanCluster] = []
         counter: Dict[str, int] = {}
         self.last_membership = {}
@@ -122,12 +125,15 @@ class EtStemSampler:
                     sampled_indices=np.asarray(chosen, dtype=np.int64),
                 )
             )
-        return SamplingPlan(
+        plan = SamplingPlan(
             method=self.method,
             workload_name=trace.name,
             clusters=clusters,
             metadata={"epsilon": self.epsilon, "z": self.z},
         )
+        obs.inc("multigpu.plans_built")
+        obs.inc("multigpu.nodes_sampled", len(plan.unique_indices()))
+        return plan
 
     def estimate_durations(
         self,
@@ -168,9 +174,10 @@ class EtStemSampler:
         profile_seed: Optional[int] = None,
     ) -> EtSamplingResult:
         """Full sampled-vs-detailed comparison on one trace."""
-        profile = simulator.profile_durations(
-            trace, seed=profile_seed if profile_seed is not None else seed + 1
-        )
+        with obs.span("multigpu.profile", trace=trace.name):
+            profile = simulator.profile_durations(
+                trace, seed=profile_seed if profile_seed is not None else seed + 1
+            )
         plan = self.build_plan(trace, profile, seed=seed)
 
         # "Detailed simulation" of sampled nodes only: their true durations
@@ -180,8 +187,9 @@ class EtStemSampler:
         detailed = {i: truth[i] for i in sampled_ids}
         estimated = self.estimate_durations(plan, detailed, trace)
 
-        full = simulator.schedule(trace, truth)
-        sampled = simulator.schedule(trace, estimated)
+        with obs.span("multigpu.schedule", trace=trace.name):
+            full = simulator.schedule(trace, truth)
+            sampled = simulator.schedule(trace, estimated)
         return EtSamplingResult(
             trace_name=trace.name,
             num_nodes=len(trace),

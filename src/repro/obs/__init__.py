@@ -1,0 +1,182 @@
+"""repro.obs — pipeline-wide observability: spans, metrics, events, reports.
+
+The rest of the codebase talks to this module through cheap free
+functions that consult one global session::
+
+    from .. import obs
+
+    with obs.span("root.split", invocations=n):
+        ...
+    obs.inc("root.splits_accepted")
+    obs.observe("root.split_depth", depth)
+    obs.log_event("sampler.plan_built", workload=name, samples=m)
+
+Observability is **disabled by default**: every helper then reduces to a
+global read plus an early return (``span`` hands back a shared no-op
+context manager), so instrumented code costs nanoseconds per call site
+and — crucially — results are bit-identical with or without tracing,
+because nothing here ever touches an experiment RNG.
+
+Enable it globally with :func:`configure` (the CLI does this when
+``--trace-out``/``--metrics-out``/``REPRO_LOG_LEVEL`` are present) or
+locally with the :func:`scoped` context manager, which restores the
+previous state on exit — the pattern tests and benchmarks use.
+
+``REPRO_LOG_LEVEL`` (debug/info/warning/error) sets the event-log
+threshold; per-decision ROOT events are emitted at ``debug``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import IO, Iterator, Optional
+
+from .events import LEVELS, EventLog, parse_level
+from .export import (
+    chrome_trace,
+    load_chrome_trace,
+    load_metrics_json,
+    metrics_to_dict,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import PHASES, PhaseSummary, RunReport, build_run_report, phase_of
+from .tracer import NOOP_SPAN, NoopSpan, Span, Tracer
+
+__all__ = [
+    # session management
+    "ObsSession", "configure", "disable", "current", "is_enabled", "scoped",
+    # hot-path helpers
+    "span", "null_span", "inc", "set_gauge", "observe", "log_event",
+    # building blocks
+    "Tracer", "Span", "NoopSpan", "NOOP_SPAN",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "EventLog", "LEVELS", "parse_level",
+    # exporters and reports
+    "chrome_trace", "write_chrome_trace", "load_chrome_trace",
+    "metrics_to_dict", "write_metrics_json", "load_metrics_json",
+    "RunReport", "PhaseSummary", "build_run_report", "phase_of", "PHASES",
+]
+
+#: Environment variable controlling the event-log level (and, in the CLI,
+#: whether events stream to stderr).
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+
+class ObsSession:
+    """One enabled observability context: tracer + metrics + event log."""
+
+    def __init__(
+        self,
+        log_level: Optional[str] = None,
+        event_stream: Optional[IO[str]] = None,
+    ):
+        if log_level is None:
+            log_level = os.environ.get(LOG_LEVEL_ENV) or "info"
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.events = EventLog(level=log_level, stream=event_stream)
+
+    # -- convenience ---------------------------------------------------------
+    def run_report(self) -> RunReport:
+        return build_run_report(self.tracer, self.metrics)
+
+    def write_trace(self, path: str) -> int:
+        return write_chrome_trace(path, self.tracer)
+
+    def write_metrics(self, path: str) -> None:
+        write_metrics_json(path, self.metrics)
+
+
+_session: Optional[ObsSession] = None
+_session_lock = threading.Lock()
+
+
+def configure(
+    log_level: Optional[str] = None,
+    event_stream: Optional[IO[str]] = None,
+) -> ObsSession:
+    """Enable observability globally; returns the new session."""
+    global _session
+    with _session_lock:
+        _session = ObsSession(log_level=log_level, event_stream=event_stream)
+        return _session
+
+
+def disable() -> None:
+    """Return to no-op mode (instrumentation stays in place, dormant)."""
+    global _session
+    with _session_lock:
+        _session = None
+
+
+def current() -> Optional[ObsSession]:
+    """The active session, or ``None`` when observability is disabled."""
+    return _session
+
+
+def is_enabled() -> bool:
+    return _session is not None
+
+
+@contextmanager
+def scoped(
+    log_level: Optional[str] = None,
+    event_stream: Optional[IO[str]] = None,
+) -> Iterator[ObsSession]:
+    """Temporarily enable observability; restores the prior state on exit."""
+    global _session
+    with _session_lock:
+        previous = _session
+        session = ObsSession(log_level=log_level, event_stream=event_stream)
+        _session = session
+    try:
+        yield session
+    finally:
+        with _session_lock:
+            _session = previous
+
+
+# -- hot-path helpers ---------------------------------------------------------
+def span(name: str, category: str = "repro", **attrs):
+    """Open a trace span, or the shared no-op when disabled."""
+    s = _session
+    if s is None:
+        return NOOP_SPAN
+    return s.tracer.span(name, category=category, **attrs)
+
+
+def null_span() -> NoopSpan:
+    """The shared no-op span, for call sites that sometimes skip tracing."""
+    return NOOP_SPAN
+
+
+def inc(name: str, n: int = 1) -> None:
+    """Increment a counter (no-op when disabled)."""
+    s = _session
+    if s is not None:
+        s.metrics.inc(name, n)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge (no-op when disabled)."""
+    s = _session
+    if s is not None:
+        s.metrics.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one histogram observation (no-op when disabled)."""
+    s = _session
+    if s is not None:
+        s.metrics.observe(name, value)
+
+
+def log_event(event: str, level: str = "info", **fields) -> None:
+    """Emit a structured event (no-op when disabled or below the level)."""
+    s = _session
+    if s is not None:
+        s.events.emit(event, level=level, **fields)

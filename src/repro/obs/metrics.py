@@ -1,0 +1,180 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+Three instrument kinds cover everything the pipeline needs to report:
+
+* **Counter** — monotonically increasing totals
+  (``root.splits_accepted``, ``sim.kernels_executed``);
+* **Gauge** — last-written values (``sampler.leaf_clusters``);
+* **Histogram** — distribution sketches with percentile queries
+  (``root.split_depth``, ``sim.kernel_cycles``).
+
+Histograms keep exact running ``count/sum/min/max`` plus a bounded
+reservoir for percentiles, so observing millions of values costs O(1)
+memory.  Reservoir replacement uses a private seeded ``random.Random``:
+identical runs produce identical snapshots, and the sampler's NumPy
+generators are never touched — observability can never perturb the
+experiment's randomness.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Reservoir capacity per histogram; plenty for stable p50/p90/p99.
+_RESERVOIR_SIZE = 4096
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Distribution sketch with exact moments and sampled percentiles."""
+
+    __slots__ = ("name", "count", "sum", "min", "max", "_reservoir", "_rng")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._reservoir: List[float] = []
+        # Deterministic and independent of every experiment RNG.
+        self._rng = random.Random(0xC0FFEE)
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        if len(self._reservoir) < _RESERVOIR_SIZE:
+            self._reservoir.append(v)
+        else:  # Vitter's algorithm R
+            j = self._rng.randrange(self.count)
+            if j < _RESERVOIR_SIZE:
+                self._reservoir[j] = v
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the reservoir, ``p`` in [0, 100]."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        rank = min(len(ordered) - 1, max(0, math.ceil(p / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def snapshot(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe, get-or-create home for every named instrument."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge(name)
+            return g
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(name)
+            return h
+
+    # -- convenience write paths (used by the module-level helpers) -----------
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- read side ------------------------------------------------------------
+    def names(self, prefix: str = "") -> List[str]:
+        with self._lock:
+            all_names = (
+                list(self._counters) + list(self._gauges) + list(self._histograms)
+            )
+        return sorted(n for n in all_names if n.startswith(prefix))
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready view: ``{"counters": ..., "gauges": ..., "histograms": ...}``."""
+        with self._lock:
+            counters = {n: c.value for n, c in sorted(self._counters.items())}
+            gauges = {n: g.value for n, g in sorted(self._gauges.items())}
+            histograms = {
+                n: h.snapshot() for n, h in sorted(self._histograms.items())
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

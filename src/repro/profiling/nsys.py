@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..hardware.gpu_config import GPUConfig
 from ..hardware.timing_model import TimingModel
 from ..workloads.workload import Workload
@@ -36,7 +37,12 @@ class NsysProfiler:
 
     def profile(self, workload: Workload, seed: int = 0) -> ProfileResult:
         """Run the workload once and record each kernel's duration (us)."""
-        times = self._timing.execution_times(workload, seed=seed)
+        with obs.span(
+            "profile.nsys", workload=workload.name, invocations=len(workload)
+        ):
+            times = self._timing.execution_times(workload, seed=seed)
+        obs.inc("profile.runs")
+        obs.inc("profile.kernels_profiled", len(workload))
         return ProfileResult(
             workload=workload,
             profiler=self.name,

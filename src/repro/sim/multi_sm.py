@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..hardware.gpu_config import GPUConfig
 from ..workloads.workload import Workload
 from .cache import Cache
@@ -201,6 +202,8 @@ class MultiSmSimulator:
         ):
             setattr(stats, field_name, int(round(getattr(stats, field_name) * factor)))
         stats.cycles = cycles
+        obs.inc("sim.kernels_executed")
+        obs.observe("sim.kernel_cycles", cycles)
         return KernelSimResult(
             invocation_index=index,
             cycles=cycles,
@@ -211,10 +214,15 @@ class MultiSmSimulator:
 
     def cycle_counts(self, workload: Workload, seed: int = 0) -> np.ndarray:
         """Per-invocation cycles for a whole (reduced) workload."""
-        return np.array(
-            [
-                self.simulate_invocation(workload, i, seed=seed).cycles
-                for i in range(len(workload))
-            ],
-            dtype=np.float64,
-        )
+        with obs.span(
+            "sim.multi_sm.workload",
+            workload=workload.name,
+            detailed_sms=self.num_detailed_sms,
+        ):
+            return np.array(
+                [
+                    self.simulate_invocation(workload, i, seed=seed).cycles
+                    for i in range(len(workload))
+                ],
+                dtype=np.float64,
+            )

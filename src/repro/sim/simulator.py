@@ -28,6 +28,7 @@ from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..hardware.gpu_config import GPUConfig
 from ..workloads.workload import Workload
 from .cache import Cache
@@ -157,6 +158,8 @@ class GpuSimulator:
             setattr(stats, field_name, int(round(getattr(stats, field_name) * factor)))
         stats.stall_cycles *= factor
         stats.cycles = cycles
+        obs.inc("sim.kernels_executed")
+        obs.observe("sim.kernel_cycles", cycles)
         return KernelSimResult(
             invocation_index=index,
             cycles=cycles,
@@ -181,10 +184,12 @@ class GpuSimulator:
             indices = range(len(workload))
         results: List[KernelSimResult] = []
         aggregate = SimStats()
-        for index in indices:
-            result = self.simulate_invocation(workload, int(index), seed=seed)
-            results.append(result)
-            aggregate.merge(result.stats)
+        with obs.span("sim.workload", workload=workload.name) as sp:
+            for index in indices:
+                result = self.simulate_invocation(workload, int(index), seed=seed)
+                results.append(result)
+                aggregate.merge(result.stats)
+            sp.attrs["kernels"] = len(results)
         aggregate.cycles = float(sum(r.cycles for r in results))
         return WorkloadSimResult(
             workload_name=workload.name,

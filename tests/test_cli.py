@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
 
 
@@ -54,3 +57,69 @@ class TestCommands:
         assert main(["trace", "rodinia", "bfs", str(out_file), "--scale", "0.5"]) == 0
         assert out_file.exists()
         assert "wrote" in capsys.readouterr().out
+
+
+class TestObservability:
+    def test_sample_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.json"
+        assert main([
+            "sample", "rodinia", "bfs", "--scale", "0.5",
+            "--trace-out", str(trace_path), "--metrics-out", str(metrics_path),
+        ]) == 0
+        # Observability was torn down after the run.
+        assert not obs.is_enabled()
+        assert "error %" in capsys.readouterr().out
+
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "root.split" in names and "sampler.build_plan" in names
+
+        metrics = json.loads(metrics_path.read_text())
+        counters = metrics["counters"]
+        for prefix in ("root.", "stem.", "sim."):
+            assert any(
+                name.startswith(prefix) and value > 0
+                for name, value in counters.items()
+            ), f"no nonzero {prefix} series"
+
+    def test_trace_out_alone(self, tmp_path):
+        trace_path = tmp_path / "t.json"
+        assert main([
+            "sample", "rodinia", "bfs", "--scale", "0.5",
+            "--trace-out", str(trace_path),
+        ]) == 0
+        assert json.loads(trace_path.read_text())["traceEvents"]
+
+    def test_obs_subcommand_renders_report(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.json"
+        main([
+            "sample", "rodinia", "bfs", "--scale", "0.5",
+            "--trace-out", str(trace_path), "--metrics-out", str(metrics_path),
+        ])
+        capsys.readouterr()
+        assert main(["obs", str(trace_path), "--metrics", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Wall-clock by phase" in out
+        assert "cluster" in out
+        assert "root.splits_accepted" in out
+
+    def test_obs_subcommand_without_metrics(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        main(["sample", "rodinia", "bfs", "--scale", "0.5",
+              "--trace-out", str(trace_path)])
+        capsys.readouterr()
+        assert main(["obs", str(trace_path)]) == 0
+        assert "Wall-clock by phase" in capsys.readouterr().out
+
+    def test_disabled_run_matches_traced_run(self, tmp_path, capsys):
+        assert main(["sample", "rodinia", "bfs", "--scale", "0.5"]) == 0
+        plain = capsys.readouterr().out
+        assert main([
+            "sample", "rodinia", "bfs", "--scale", "0.5",
+            "--trace-out", str(tmp_path / "t.json"),
+        ]) == 0
+        traced = capsys.readouterr().out
+        assert plain == traced
