@@ -43,7 +43,24 @@ from .core import (
     root_split,
     single_cluster_sample_size,
 )
+from .errors import (
+    CheckpointError,
+    EstimationError,
+    InfeasibleProfilingError,
+    ProfileValidationError,
+    ReproError,
+    SimulationFailure,
+    SimulationTimeout,
+)
 from .hardware import H100, H200, RTX_2080, GPUConfig, TimingModel
+from .resilience import (
+    FaultInjector,
+    FaultPlan,
+    GridCheckpoint,
+    ResilientExecutor,
+    RetryPolicy,
+    sample_resiliently,
+)
 from .sim import GpuSimulator
 from .workloads import Workload, load_suite, load_workload
 
@@ -75,4 +92,19 @@ __all__ = [
     "Workload",
     "load_workload",
     "load_suite",
+    # typed errors
+    "ReproError",
+    "InfeasibleProfilingError",
+    "ProfileValidationError",
+    "SimulationFailure",
+    "SimulationTimeout",
+    "EstimationError",
+    "CheckpointError",
+    # resilience
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "ResilientExecutor",
+    "GridCheckpoint",
+    "sample_resiliently",
 ]

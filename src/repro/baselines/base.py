@@ -19,29 +19,86 @@ from ..profiling.bbv import BbvProfiler, BbvTable
 from ..profiling.ncu import NcuProfiler, PKA_METRICS
 from ..profiling.nsys import NsysProfiler
 from ..profiling.nvbit import NvbitProfiler
+from ..resilience.validation import validate_times
 from ..workloads.workload import Workload
 
 __all__ = ["ProfileStore", "Sampler"]
 
 
 class ProfileStore:
-    """Lazy, cached access to every profiler's view of one workload."""
+    """Lazy, cached access to every profiler's view of one workload.
 
-    def __init__(self, workload: Workload, config: GPUConfig, seed: int = 0):
+    ``fault_injector`` (a :class:`~repro.resilience.faults.FaultInjector`,
+    or ``None``) corrupts the nsys execution-time profile as it is
+    collected — the store then *observes* the corrupted view while
+    :meth:`true_execution_times` retains the clean one for scoring.
+    ``validation`` (``"off"``/``"strict"``/``"repair"``) gates the
+    observed profile through :func:`repro.resilience.validate_times`.
+    Both default to disabled, leaving behaviour bit-identical.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: GPUConfig,
+        seed: int = 0,
+        fault_injector=None,
+        validation: str = "off",
+    ):
+        if validation not in ("off", "strict", "repair"):
+            raise ValueError("validation must be 'off', 'strict' or 'repair'")
         self.workload = workload
         self.config = config
         self.seed = seed
+        self.fault_injector = fault_injector
+        self.validation = validation
         self._cache: Dict[str, object] = {}
 
-    def execution_times(self) -> np.ndarray:
-        """nsys view: per-invocation execution time (STEM's input)."""
-        if "times" not in self._cache:
-            self._cache["times"] = NsysProfiler(self.config).execution_times(
-                self.workload, seed=self.seed
+    def _collect_times(self) -> None:
+        clean = NsysProfiler(self.config).execution_times(
+            self.workload, seed=self.seed
+        )
+        self._cache["times_true"] = clean
+        observed = clean
+        if self.fault_injector is not None:
+            observed = self.fault_injector.corrupt_times(clean)
+        if self.validation != "off":
+            observed, health = validate_times(
+                observed,
+                expected_length=len(self.workload),
+                mode=self.validation,
+                name=f"{self.workload.name} profile",
             )
+            self._cache["profile_health"] = health
+        self._cache["times"] = observed
+
+    def execution_times(self) -> np.ndarray:
+        """nsys view: per-invocation execution time (STEM's input).
+
+        This is the *observed* profile — corrupted by the fault injector
+        and/or repaired by validation when those are enabled.
+        """
+        if "times" not in self._cache:
+            self._collect_times()
         else:
             obs.inc("profile.cache_hits")
         return self._cache["times"]  # type: ignore[return-value]
+
+    def true_execution_times(self) -> np.ndarray:
+        """The clean profile, untouched by fault injection or repair.
+
+        Experiments score plans against this so injected profile faults
+        degrade the *plan*, not the ground truth.  Identical to
+        :meth:`execution_times` when faults and validation are off.
+        """
+        if "times_true" not in self._cache:
+            self._collect_times()
+        return self._cache["times_true"]  # type: ignore[return-value]
+
+    @property
+    def profile_health(self):
+        """Validation report for the observed profile (None before use)."""
+        return self._cache.get("profile_health")
 
     def pka_features(self) -> np.ndarray:
         """NCU view: (n, 12) PKA metric matrix."""

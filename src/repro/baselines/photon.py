@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from .. import obs
+from ..errors import InfeasibleProfilingError
 from ..core.plan import PlanCluster, SamplingPlan
 from .base import ProfileStore
 
@@ -122,7 +123,7 @@ class PhotonSampler:
         workload = store.workload
         n = len(workload)
         if n > self.max_kernels:
-            raise RuntimeError(
+            raise InfeasibleProfilingError(
                 f"Photon is infeasible on {workload.name!r}: BBV comparison "
                 f"over {n} kernels grows quadratically (see Sec. 5.6)"
             )

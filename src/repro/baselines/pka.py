@@ -19,6 +19,7 @@ from typing import List, Optional
 import numpy as np
 
 from .. import obs
+from ..errors import InfeasibleProfilingError
 from ..core.clustering import kmeans
 from ..core.plan import PlanCluster, SamplingPlan
 from .base import ProfileStore
@@ -84,7 +85,7 @@ class PkaSampler:
         workload = store.workload
         n = len(workload)
         if n > self.max_points_for_sweep:
-            raise RuntimeError(
+            raise InfeasibleProfilingError(
                 f"PKA is infeasible on {workload.name!r}: NCU profiling of "
                 f"{n} kernels would take months (see Table 5)"
             )

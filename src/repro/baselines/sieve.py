@@ -23,6 +23,7 @@ from typing import List, Optional
 import numpy as np
 
 from .. import obs
+from ..errors import InfeasibleProfilingError
 from ..core.clustering import count_kde_peaks
 from ..core.plan import PlanCluster, SamplingPlan
 from .base import ProfileStore
@@ -104,7 +105,7 @@ class SieveSampler:
             rng = np.random.default_rng(seed)
         workload = store.workload
         if len(workload) > self.max_kernels:
-            raise RuntimeError(
+            raise InfeasibleProfilingError(
                 f"Sieve is infeasible on {workload.name!r}: NVBit profiling "
                 f"of {len(workload)} kernels would take months (see Table 5)"
             )

@@ -27,6 +27,7 @@ import numpy as np
 from scipy.cluster.hierarchy import fcluster, linkage
 
 from ..core.plan import PlanCluster, SamplingPlan
+from ..errors import InfeasibleProfilingError
 from .base import ProfileStore
 from .pka import PkaSampler
 
@@ -62,7 +63,7 @@ class TbpointSampler:
         workload = store.workload
         n = len(workload)
         if n > self.max_kernels:
-            raise RuntimeError(
+            raise InfeasibleProfilingError(
                 f"TBPoint is infeasible on {workload.name!r}: profiling "
                 f"{n} kernels would take months (see Table 5)"
             )

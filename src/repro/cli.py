@@ -8,6 +8,19 @@ Commands
 ``report``    transparency report for a freshly built plan
 ``trace``     write a sampled-kernel trace file for a plan
 ``obs``       pretty-print a run report from saved trace/metrics files
+``faults``    describe a fault spec and dry-run it against a workload
+``grid``      run a (method x workload x repetition) grid, resumably
+
+Fault tolerance
+---------------
+Workload commands accept ``--faults SPEC`` (e.g.
+``--faults "seed=3,sim_fail=0.1,nan=0.02"``), which routes the run
+through the resilient pipeline: profiles are corrupted then repaired,
+failing sample simulations are retried and, when permanently dead,
+replaced by re-drawn cluster members with the error bound recomputed —
+the output then reports *achieved* next to *requested* epsilon.  ``grid``
+accepts ``--checkpoint PATH`` (plus ``--resume``) to persist per-cell
+progress and continue a killed run exactly where it stopped.
 
 Observability
 -------------
@@ -39,7 +52,9 @@ from .baselines import (
 )
 from .core import StemRootSampler, evaluate_plan
 from .core.report import build_report
+from .errors import InfeasibleProfilingError, ProfileValidationError
 from .hardware import PRESETS, get_preset
+from .resilience import FaultInjector, FaultPlan, sample_resiliently
 from .traces import write_sampled_trace
 from .workloads import load_workload, suite_names
 from .workloads.suites import SUITES
@@ -67,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome-trace JSON of the run's spans")
         p.add_argument("--metrics-out", metavar="PATH", default=None,
                        help="write the run's metrics registry as JSON")
+        p.add_argument("--faults", metavar="SPEC", default=None,
+                       help="fault-injection spec, e.g. "
+                            "'seed=3,sim_fail=0.1,nan=0.02' (see repro faults)")
 
     p_sample = sub.add_parser("sample", help="build and evaluate a STEM plan")
     add_workload_args(p_sample)
@@ -76,6 +94,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--random-fraction", type=float, default=0.001)
 
     sub.add_parser("suites", help="list suites and workloads")
+
+    p_faults = sub.add_parser(
+        "faults", help="describe a fault spec (optionally dry-run it)"
+    )
+    p_faults.add_argument("spec", help="fault spec, e.g. 'seed=3,sim_fail=0.1'")
+    p_faults.add_argument("--suite", choices=suite_names(), default=None)
+    p_faults.add_argument("--workload", default=None)
+    p_faults.add_argument("--scale", type=float, default=1.0)
+    p_faults.add_argument("--gpu", choices=sorted(PRESETS), default="rtx2080")
+    p_faults.add_argument("--seed", type=int, default=0)
+
+    p_grid = sub.add_parser(
+        "grid", help="run a (method x workload x repetition) grid"
+    )
+    p_grid.add_argument("suite", choices=suite_names())
+    p_grid.add_argument("workloads", nargs="*",
+                        help="workload names (default: whole suite)")
+    p_grid.add_argument("--methods", default=None,
+                        help="comma-separated method list (default: all five)")
+    p_grid.add_argument("--repetitions", type=int, default=3)
+    p_grid.add_argument("--scale", type=float, default=1.0)
+    p_grid.add_argument("--gpu", choices=sorted(PRESETS), default="rtx2080")
+    p_grid.add_argument("--seed", type=int, default=0)
+    p_grid.add_argument("--epsilon", type=float, default=0.05)
+    p_grid.add_argument("--faults", metavar="SPEC", default=None)
+    p_grid.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="persist per-cell progress to this JSONL file")
+    p_grid.add_argument("--resume", action="store_true",
+                        help="continue from an existing checkpoint file")
 
     p_report = sub.add_parser("report", help="plan transparency report")
     add_workload_args(p_report)
@@ -101,33 +148,93 @@ def _store(args) -> ProfileStore:
     return ProfileStore(workload, get_preset(args.gpu), seed=args.seed)
 
 
+def _faulty_store(args) -> ProfileStore:
+    """A store whose *observed* profile is corrupted (and repaired)."""
+    fault_plan = _fault_plan(args)
+    store = _store(args)
+    if fault_plan is not None and fault_plan.corrupts_profiles:
+        store.fault_injector = FaultInjector(fault_plan)
+        store.validation = "repair"
+    return store
+
+
+def _fault_plan(args) -> Optional[FaultPlan]:
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    plan = FaultPlan.from_spec(spec)
+    return plan if plan.enabled else None
+
+
 def _cmd_sample(args) -> int:
     store = _store(args)
-    plan = StemRootSampler(epsilon=args.epsilon).build_plan_from_store(
-        store, seed=args.seed
+    fault_plan = _fault_plan(args)
+    if fault_plan is None:
+        plan = StemRootSampler(epsilon=args.epsilon).build_plan_from_store(
+            store, seed=args.seed
+        )
+        result = evaluate_plan(plan, store.execution_times())
+        print(
+            render_table(
+                ["workload", "launches", "clusters", "samples", "error %", "speedup x", "bound %"],
+                [[
+                    store.workload.name,
+                    len(store.workload),
+                    plan.num_clusters,
+                    plan.num_samples,
+                    result.error_percent,
+                    result.speedup,
+                    plan.metadata["predicted_error"] * 100,
+                ]],
+                title="STEM+ROOT sampled simulation",
+            )
+        )
+        return 0
+
+    res = sample_resiliently(
+        store,
+        StemRootSampler(epsilon=args.epsilon),
+        fault_plan=fault_plan,
+        seed=args.seed,
     )
-    result = evaluate_plan(plan, store.execution_times())
     print(
         render_table(
-            ["workload", "launches", "clusters", "samples", "error %", "speedup x", "bound %"],
+            [
+                "workload", "launches", "clusters", "samples", "error %",
+                "speedup x", "requested eps %", "achieved eps %",
+                "quarantined", "retries",
+            ],
             [[
                 store.workload.name,
                 len(store.workload),
-                plan.num_clusters,
-                plan.num_samples,
-                result.error_percent,
-                result.speedup,
-                plan.metadata["predicted_error"] * 100,
+                res.plan.num_clusters,
+                res.plan.num_samples,
+                res.result.error_percent,
+                res.result.speedup,
+                res.requested_epsilon * 100,
+                res.achieved_epsilon * 100,
+                res.quarantined,
+                res.retries,
             ]],
-            title="STEM+ROOT sampled simulation",
+            title="STEM+ROOT sampled simulation (fault-injected)",
         )
     )
+    if res.degraded:
+        print(
+            f"degraded mode: {res.quarantined} samples quarantined, "
+            f"{res.redrawn} re-drawn, "
+            f"{'re-allocated' if res.reallocated else 'original allocation'}; "
+            f"profile {'repaired' if res.profile_health.repaired else 'clean'}"
+        )
     return 0
 
 
 def _cmd_compare(args) -> int:
-    store = _store(args)
-    times = store.execution_times()
+    store = _faulty_store(args)
+    # Plans are built from the (possibly corrupted, then repaired)
+    # observed profile but scored against the clean ground truth.
+    store.execution_times()
+    times = store.true_execution_times()
     samplers = [
         RandomSampler(args.random_fraction),
         PkaSampler(),
@@ -142,7 +249,9 @@ def _cmd_compare(args) -> int:
                 plan = sampler.build_plan_from_store(store, seed=args.seed)
             else:
                 plan = sampler.build_plan(store, seed=args.seed)
-        except RuntimeError as err:
+        except (InfeasibleProfilingError, ProfileValidationError) as err:
+            # Infeasible profiling and corrupt profiles are expected,
+            # reportable outcomes; anything else is a bug and propagates.
             rows.append([sampler.method, float("nan"), float("nan"), str(err)[:40]])
             continue
         result = evaluate_plan(plan, times)
@@ -167,7 +276,7 @@ def _cmd_suites(_args) -> int:
 
 
 def _cmd_report(args) -> int:
-    store = _store(args)
+    store = _faulty_store(args)
     times = store.execution_times()
     sampler = StemRootSampler(epsilon=args.epsilon)
     plan = sampler.build_plan(store.workload, times, seed=args.seed)
@@ -188,7 +297,7 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    store = _store(args)
+    store = _faulty_store(args)
     plan = StemRootSampler(epsilon=args.epsilon).build_plan_from_store(
         store, seed=args.seed
     )
@@ -208,6 +317,102 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    plan = FaultPlan.from_spec(args.spec)
+    print("fault plan:")
+    print(plan.describe())
+    if args.suite is None or args.workload is None:
+        if not plan.enabled:
+            return 0
+        print("\n(pass --suite and --workload to dry-run the plan "
+              "against a profile)")
+        return 0
+    if not plan.enabled:
+        print("\nnothing to dry-run: all rates are zero")
+        return 0
+
+    import numpy as np
+
+    workload = load_workload(
+        args.suite, args.workload, scale=args.scale, seed=args.seed
+    )
+    store = ProfileStore(workload, get_preset(args.gpu), seed=args.seed)
+    injector = FaultInjector(plan)
+    clean = store.execution_times()
+    corrupted = injector.corrupt_times(clean)
+    finite = np.isfinite(corrupted)
+    rows = [
+        ["profile entries", len(clean)],
+        ["after truncation", len(corrupted)],
+        ["NaN", int(np.isnan(corrupted).sum())],
+        ["inf", int(np.isinf(corrupted).sum())],
+        ["negative", int((finite & (corrupted < 0)).sum())],
+        ["zero (dropped)", int((finite & (corrupted == 0)).sum())],
+    ]
+    if plan.fails_simulations:
+        decisions = [
+            injector.simulation_decision(i, attempt=1).kind
+            for i in range(len(workload))
+        ]
+        rows.append(["sim fail (attempt 1)", decisions.count("fail")])
+        rows.append(["sim perm-fail", decisions.count("perm_fail")])
+        rows.append(["sim hang (attempt 1)", decisions.count("hang")])
+    print(
+        render_table(
+            ["fault", "count"],
+            rows,
+            title=f"dry run on {workload.name} (deterministic for seed "
+                  f"{plan.seed})",
+        )
+    )
+    return 0
+
+
+def _cmd_grid(args) -> int:
+    import os
+
+    from .experiments.runner import METHODS, ExperimentConfig, run_suite
+
+    if args.checkpoint and not args.resume and os.path.exists(args.checkpoint) \
+            and os.path.getsize(args.checkpoint) > 0:
+        print(
+            f"checkpoint {args.checkpoint!r} already exists; pass --resume "
+            "to continue it or delete the file to start over",
+            file=sys.stderr,
+        )
+        return 2
+    config = ExperimentConfig(
+        gpu=get_preset(args.gpu),
+        repetitions=args.repetitions,
+        base_seed=args.seed,
+        epsilon=args.epsilon,
+        workload_scale=args.scale,
+        fault_plan=_fault_plan(args),
+    )
+    methods = args.methods.split(",") if args.methods else METHODS
+    rows = run_suite(
+        args.suite,
+        config=config,
+        methods=methods,
+        workload_names=args.workloads or None,
+        checkpoint=args.checkpoint,
+    )
+    print(
+        render_table(
+            ["workload", "method", "rep", "error %", "speedup x", "feasible"],
+            [
+                [r.workload, r.method, r.repetition, r.error_percent,
+                 r.speedup, "yes" if r.feasible else "N/A"]
+                for r in rows
+            ],
+            title=f"grid: {args.suite} ({len(rows)} cells)",
+        )
+    )
+    if args.checkpoint:
+        print(f"progress checkpointed to {args.checkpoint}", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "sample": _cmd_sample,
     "compare": _cmd_compare,
@@ -215,6 +420,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "trace": _cmd_trace,
     "obs": _cmd_obs,
+    "faults": _cmd_faults,
+    "grid": _cmd_grid,
 }
 
 

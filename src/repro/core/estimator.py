@@ -17,6 +17,7 @@ from typing import Dict
 import numpy as np
 
 from .. import obs
+from ..errors import EstimationError
 from ..profiling.metrics import COUNT_METRICS, aggregate_metrics
 from .plan import SamplingPlan
 
@@ -24,9 +25,29 @@ __all__ = ["SampledSimulationResult", "evaluate_plan", "estimate_metrics", "samp
 
 
 def sampling_error_percent(estimated: float, truth: float) -> float:
-    """Eq. (1): absolute relative error, in percent."""
+    """Eq. (1): absolute relative error, in percent.
+
+    Raises :class:`~repro.errors.EstimationError` (a ``ValueError``
+    subclass) when the ground truth is zero or either quantity is not
+    finite — a zero or NaN total almost always means the profile or the
+    estimate upstream was corrupt, not that the error is infinite.
+    """
     if truth == 0:
-        raise ValueError("ground-truth total must be non-zero")
+        raise EstimationError(
+            "ground-truth total must be non-zero: a zero total means the "
+            "workload profiled to nothing — check the profile for dropped "
+            "invocations (repro.resilience.validate_times can repair them)"
+        )
+    if not np.isfinite(truth):
+        raise EstimationError(
+            f"ground-truth total is {truth!r}; NaN/inf totals indicate a "
+            "corrupt profile — validate or repair it before evaluating"
+        )
+    if not np.isfinite(estimated):
+        raise EstimationError(
+            f"estimated total is {estimated!r}; the plan was likely built "
+            "from a corrupt profile (NaN/inf execution times)"
+        )
     return abs(estimated - truth) / abs(truth) * 100.0
 
 
@@ -65,7 +86,21 @@ class SampledSimulationResult:
 
 
 def evaluate_plan(plan: SamplingPlan, times: np.ndarray) -> SampledSimulationResult:
-    """Score a sampling plan against per-invocation ground-truth times."""
+    """Score a sampling plan against per-invocation ground-truth times.
+
+    Raises :class:`~repro.errors.EstimationError` when the plan and the
+    ground truth disagree on the workload size — indexing a truth array
+    of the wrong length would either crash deep inside numpy or, worse,
+    silently score against the wrong invocations.
+    """
+    times = np.asarray(times)
+    expected = plan.represented_invocations
+    if plan.clusters and len(times) != expected:
+        raise EstimationError(
+            f"plan for {plan.workload_name!r} represents {expected} "
+            f"invocations but the ground truth has {len(times)} entries; "
+            "was the profile truncated, or built at a different scale?"
+        )
     with obs.span("sim.evaluate_plan", method=plan.method):
         true_total = float(np.sum(times))
         estimated = plan.estimate_total(times)

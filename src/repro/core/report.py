@@ -55,6 +55,11 @@ class SamplingReport:
     predicted_error: float
     total_time: float
     simulated_time: float
+    #: Error bound the sampler was asked for (``epsilon``), when known.
+    requested_epsilon: Optional[float] = None
+    #: Bound actually achieved after degraded-mode repairs, when the
+    #: resilient pipeline recomputed it (see :mod:`repro.resilience`).
+    achieved_epsilon: Optional[float] = None
 
     @property
     def speedup(self) -> float:
@@ -89,6 +94,21 @@ class SamplingReport:
             f"bound {self.predicted_error:.2%}, "
             f"predicted speedup {self.speedup:,.1f}x"
         )
+        if self.achieved_epsilon is not None:
+            requested = (
+                f"{self.requested_epsilon:.2%}"
+                if self.requested_epsilon is not None
+                else "?"
+            )
+            header += (
+                f"\nepsilon: requested {requested}, "
+                f"achieved {self.achieved_epsilon:.2%}"
+            )
+            if (
+                self.requested_epsilon is not None
+                and self.achieved_epsilon > self.requested_epsilon
+            ):
+                header += "  (DEGRADED — bound loosened by sample failures)"
         return render_table(
             ["cluster", "N", "m", "mean us", "CoV", "time %", "risk %"],
             rows,
@@ -96,13 +116,18 @@ class SamplingReport:
         )
 
     def summary(self) -> Dict[str, float]:
-        return {
+        out = {
             "num_clusters": float(len(self.clusters)),
             "predicted_error": self.predicted_error,
             "speedup": self.speedup,
             "total_time": self.total_time,
             "simulated_time": self.simulated_time,
         }
+        if self.requested_epsilon is not None:
+            out["requested_epsilon"] = self.requested_epsilon
+        if self.achieved_epsilon is not None:
+            out["achieved_epsilon"] = self.achieved_epsilon
+        return out
 
 
 def build_report(
@@ -163,6 +188,10 @@ def build_report(
             )
         )
 
+    def _meta_float(key: str) -> Optional[float]:
+        value = plan.metadata.get(key)
+        return float(value) if isinstance(value, (int, float)) else None
+
     return SamplingReport(
         plan_method=plan.method,
         workload_name=plan.workload_name,
@@ -170,4 +199,7 @@ def build_report(
         predicted_error=predicted_error_multi(stats, sizes, z=z),
         total_time=total_time,
         simulated_time=plan.simulated_cost(times),
+        requested_epsilon=_meta_float("requested_epsilon")
+        or _meta_float("epsilon"),
+        achieved_epsilon=_meta_float("achieved_epsilon"),
     )

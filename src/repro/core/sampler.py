@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from .. import obs
+from ..resilience.validation import validate_times
 from ..workloads.workload import Workload
 from .plan import PlanCluster, SamplingPlan
 from .root import RootCluster, RootConfig, root_split
@@ -68,7 +69,10 @@ class StemRootSampler:
         use_root: bool = True,
         use_kkt: bool = True,
         replacement: bool = True,
+        validation: str = "strict",
     ):
+        if validation not in ("off", "strict", "repair"):
+            raise ValueError("validation must be 'off', 'strict' or 'repair'")
         self.epsilon = epsilon
         self.z = z
         self.root_config = RootConfig(
@@ -77,6 +81,11 @@ class StemRootSampler:
         self.use_root = use_root
         self.use_kkt = use_kkt
         self.replacement = replacement
+        #: Profile validation mode applied in :meth:`cluster` — ``strict``
+        #: raises :class:`~repro.errors.ProfileValidationError` on NaN /
+        #: inf / non-positive times or length mismatch; ``repair`` fixes
+        #: them (median fill) before clustering; ``off`` trusts the input.
+        self.validation = validation
 
     # -- pipeline stages -----------------------------------------------------
     def cluster(
@@ -86,7 +95,15 @@ class StemRootSampler:
         rng: Optional[np.random.Generator] = None,
     ) -> List[LabeledCluster]:
         """Stages 1–2: group by name, then ROOT-split each group."""
-        if len(times) != len(workload):
+        times = np.asarray(times, dtype=np.float64)
+        if self.validation != "off":
+            times, _health = validate_times(
+                times,
+                expected_length=len(workload),
+                mode=self.validation,
+                name=f"{workload.name} profile",
+            )
+        elif len(times) != len(workload):
             raise ValueError("times must have one entry per invocation")
         if rng is None:
             rng = np.random.default_rng(0)
@@ -151,7 +168,13 @@ class StemRootSampler:
                     peak_counter[labeled.name] = peak + 1
                     indices = labeled.indices
                     m = int(m)
-                    if self.replacement and m < len(indices):
+                    # With replacement the draw must stay i.i.d. even when
+                    # m == len(indices): switching to without-replacement
+                    # there (as this code once did) silently breaks the
+                    # CLT assumption behind Eq. (2).  ``sample_sizes``
+                    # caps m at the cluster size, so m > len(indices)
+                    # never reaches the without-replacement branch.
+                    if self.replacement:
                         chosen = rng.choice(indices, size=m, replace=True)
                     else:
                         chosen = rng.choice(indices, size=m, replace=False)

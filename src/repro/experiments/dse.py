@@ -26,6 +26,7 @@ import numpy as np
 
 from ..baselines import ProfileStore
 from ..core import evaluate_plan
+from ..errors import InfeasibleProfilingError
 from ..hardware import RTX_2080, GPUConfig, dse_variants
 from ..sim import GpuSimulator
 from ..workloads import load_workload
@@ -141,7 +142,7 @@ def run_dse(
                         plan = sampler.build_plan_from_store(store, seed=rep_seed)
                     else:
                         plan = sampler.build_plan(store, seed=rep_seed)
-                except RuntimeError:
+                except InfeasibleProfilingError:
                     continue
                 for label, _gpu in variants:
                     outcome = evaluate_plan(plan, variant_cycles[label])

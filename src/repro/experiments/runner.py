@@ -15,15 +15,30 @@ paper's methodology choices:
   HuggingFace;
 * methods whose profiling is infeasible at a workload's scale (PKA, Sieve
   and Photon on HuggingFace) are reported as N/A rows.
+
+Fault tolerance (all off by default, see :mod:`repro.resilience`):
+
+* ``ExperimentConfig.fault_plan`` corrupts each repetition's profile
+  through a seeded injector; plans are still scored against the clean
+  ground truth, so the rows measure how much the corruption hurt;
+* only :class:`~repro.errors.InfeasibleProfilingError` maps to an N/A
+  row — unrelated runtime bugs propagate instead of masquerading as
+  "profiling infeasible".  With a fault plan active, profile-validation
+  and simulation failures also degrade to N/A rows so one poisoned cell
+  cannot kill the grid;
+* passing ``checkpoint`` (a path or
+  :class:`~repro.resilience.GridCheckpoint`) persists each completed
+  cell to JSONL; a re-run resumes exactly where the previous one died.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
+from .. import obs
 from ..baselines import (
     PhotonSampler,
     PkaSampler,
@@ -34,7 +49,14 @@ from ..baselines import (
 )
 from ..core import StemRootSampler, evaluate_plan
 from ..core.plan import SamplingPlan
+from ..errors import (
+    InfeasibleProfilingError,
+    ProfileValidationError,
+    SimulationFailure,
+)
 from ..hardware import RTX_2080, GPUConfig
+from ..resilience.checkpoint import GridCheckpoint
+from ..resilience.faults import FaultInjector, FaultPlan
 from ..workloads import load_suite
 from ..workloads.workload import Workload
 
@@ -86,6 +108,20 @@ class ResultRow:
             "feasible": self.feasible,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ResultRow":
+        return cls(
+            suite=str(payload["suite"]),
+            workload=str(payload["workload"]),
+            method=str(payload["method"]),
+            repetition=int(payload["repetition"]),  # type: ignore[arg-type]
+            error_percent=float(payload["error_percent"]),  # type: ignore[arg-type]
+            speedup=float(payload["speedup"]),  # type: ignore[arg-type]
+            num_samples=int(payload["num_samples"]),  # type: ignore[arg-type]
+            num_clusters=int(payload["num_clusters"]),  # type: ignore[arg-type]
+            feasible=bool(payload.get("feasible", True)),
+        )
+
 
 @dataclass
 class ExperimentConfig:
@@ -97,6 +133,14 @@ class ExperimentConfig:
     epsilon: float = 0.05
     #: Workload-count scale factor (tests shrink workloads through this).
     workload_scale: float = 1.0
+    #: Optional seeded fault model applied to every repetition's profile
+    #: (see :class:`repro.resilience.FaultPlan`).  ``None`` = no faults.
+    fault_plan: Optional[FaultPlan] = None
+    #: Profile validation mode for the stores this runner builds
+    #: (``off``/``strict``/``repair``).  Forced to ``repair`` whenever a
+    #: fault plan corrupts profiles, so injected garbage is healed rather
+    #: than crashing every sampler.
+    validation: str = "off"
 
     def sampler_for(self, method: str, workload: Workload):
         """Instantiate a sampling method with the paper's tuning rules.
@@ -133,6 +177,37 @@ class ExperimentConfig:
             f"unknown method {method!r}; available: {METHODS + EXTRA_METHODS}"
         )
 
+    def store_for(self, workload: Workload, seed: int) -> ProfileStore:
+        """Build the repetition's profile store, wiring in fault injection."""
+        injector = None
+        validation = self.validation
+        if self.fault_plan is not None and self.fault_plan.enabled:
+            if self.fault_plan.corrupts_profiles:
+                injector = FaultInjector(self.fault_plan)
+                if validation == "off":
+                    validation = "repair"
+        return ProfileStore(
+            workload,
+            self.gpu,
+            seed=seed,
+            fault_injector=injector,
+            validation=validation,
+        )
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Checkpoint-compatible summary of everything that shapes rows."""
+        return {
+            "gpu": self.gpu.name,
+            "repetitions": self.repetitions,
+            "base_seed": self.base_seed,
+            "epsilon": self.epsilon,
+            "workload_scale": self.workload_scale,
+            "fault_plan": (
+                self.fault_plan.to_dict() if self.fault_plan is not None else None
+            ),
+            "validation": self.validation,
+        }
+
 
 def build_plan(sampler, store: ProfileStore, seed: int) -> SamplingPlan:
     """Dispatch to the method's plan builder (STEM consumes the store too)."""
@@ -141,11 +216,35 @@ def build_plan(sampler, store: ProfileStore, seed: int) -> SamplingPlan:
     return sampler.build_plan(store, seed=seed)
 
 
+def _infeasible_row(workload: Workload, method: str, rep: int) -> ResultRow:
+    return ResultRow(
+        suite=workload.suite,
+        workload=workload.name,
+        method=method,
+        repetition=rep,
+        error_percent=float("nan"),
+        speedup=float("nan"),
+        num_samples=0,
+        num_clusters=0,
+        feasible=False,
+    )
+
+
+def _as_checkpoint(
+    checkpoint: Optional[Union[str, GridCheckpoint]],
+    config: ExperimentConfig,
+) -> Optional[GridCheckpoint]:
+    if checkpoint is None or isinstance(checkpoint, GridCheckpoint):
+        return checkpoint
+    return GridCheckpoint(str(checkpoint), config=config.fingerprint())
+
+
 def run_workload(
     workload: Workload,
     config: Optional[ExperimentConfig] = None,
     methods: Optional[Iterable[str]] = None,
     ground_truth: Optional[Callable[[ProfileStore, int], np.ndarray]] = None,
+    checkpoint: Optional[Union[str, GridCheckpoint]] = None,
 ) -> List[ResultRow]:
     """Evaluate methods on one workload across repetitions.
 
@@ -154,42 +253,71 @@ def run_workload(
     times than the plans were built from); it receives the profile store
     and the repetition seed and returns per-invocation times.  By default
     plans are scored against the profiled execution times themselves, the
-    paper's Table 3 methodology.
+    paper's Table 3 methodology (the *clean* profile — injected faults
+    corrupt what the samplers see, never the truth).
+
+    ``checkpoint`` persists each completed (method, repetition) cell;
+    cells already present are replayed from the file instead of being
+    recomputed, making a killed grid resumable.
     """
     if config is None:
         config = ExperimentConfig()
+    checkpoint = _as_checkpoint(checkpoint, config)
+    method_list = list(methods or METHODS)
+    faulty = config.fault_plan is not None and config.fault_plan.enabled
     rows: List[ResultRow] = []
     for rep in range(config.repetitions):
         seed = config.base_seed + rep * 1009 + 1
-        store = ProfileStore(workload, config.gpu, seed=seed)
-        truth = (
-            store.execution_times()
-            if ground_truth is None
-            else ground_truth(store, seed)
-        )
-        for method in methods or METHODS:
+        # Lazy per-repetition state: when every cell of this repetition is
+        # already checkpointed, the profile is never collected at all.
+        store: Optional[ProfileStore] = None
+        truth: Optional[np.ndarray] = None
+
+        def rep_store() -> ProfileStore:
+            nonlocal store
+            if store is None:
+                store = config.store_for(workload, seed)
+            return store
+
+        def rep_truth() -> np.ndarray:
+            nonlocal truth
+            if truth is None:
+                truth = (
+                    rep_store().true_execution_times()
+                    if ground_truth is None
+                    else ground_truth(rep_store(), seed)
+                )
+            return truth
+
+        for method in method_list:
+            if checkpoint is not None:
+                stored = checkpoint.get(workload.suite, workload.name, method, rep)
+                if stored is not None:
+                    rows.append(ResultRow.from_dict(stored))
+                    obs.inc("resilience.checkpoint_cells_replayed")
+                    continue
             sampler = config.sampler_for(method, workload)
             try:
-                plan = build_plan(sampler, store, seed=seed)
-            except RuntimeError:
+                plan = build_plan(sampler, rep_store(), seed=seed)
+            except InfeasibleProfilingError:
                 # Profiling infeasible at this scale (Table 3/5 "N/A").
-                rows.append(
-                    ResultRow(
-                        suite=workload.suite,
-                        workload=workload.name,
-                        method=method,
-                        repetition=rep,
-                        error_percent=float("nan"),
-                        speedup=float("nan"),
-                        num_samples=0,
-                        num_clusters=0,
-                        feasible=False,
-                    )
+                row = _infeasible_row(workload, method, rep)
+            except (ProfileValidationError, SimulationFailure):
+                if not faulty:
+                    raise
+                # An injected fault broke this cell beyond repair; record
+                # it as N/A so the rest of the grid survives.
+                obs.log_event(
+                    "resilience.grid_cell_failed",
+                    level="warning",
+                    workload=workload.name,
+                    method=method,
+                    repetition=rep,
                 )
-                continue
-            result = evaluate_plan(plan, truth)
-            rows.append(
-                ResultRow(
+                row = _infeasible_row(workload, method, rep)
+            else:
+                result = evaluate_plan(plan, rep_truth())
+                row = ResultRow(
                     suite=workload.suite,
                     workload=workload.name,
                     method=method,
@@ -199,7 +327,11 @@ def run_workload(
                     num_samples=plan.num_samples,
                     num_clusters=plan.num_clusters,
                 )
-            )
+            rows.append(row)
+            if checkpoint is not None:
+                checkpoint.record(
+                    workload.suite, workload.name, method, rep, row.as_dict()
+                )
     return rows
 
 
@@ -208,15 +340,25 @@ def run_suite(
     config: Optional[ExperimentConfig] = None,
     methods: Optional[Iterable[str]] = None,
     workload_names: Optional[Iterable[str]] = None,
+    checkpoint: Optional[Union[str, GridCheckpoint]] = None,
 ) -> List[ResultRow]:
-    """Evaluate methods on every workload of a suite."""
+    """Evaluate methods on every workload of a suite.
+
+    ``checkpoint`` (path or :class:`~repro.resilience.GridCheckpoint`)
+    makes the grid resumable; see :func:`run_workload`.
+    """
     if config is None:
         config = ExperimentConfig()
+    checkpoint = _as_checkpoint(checkpoint, config)
     workloads = load_suite(suite, scale=config.workload_scale, seed=config.base_seed)
     if workload_names is not None:
         wanted = set(workload_names)
         workloads = [w for w in workloads if w.name in wanted]
     rows: List[ResultRow] = []
     for workload in workloads:
-        rows.extend(run_workload(workload, config=config, methods=methods))
+        rows.extend(
+            run_workload(
+                workload, config=config, methods=methods, checkpoint=checkpoint
+            )
+        )
     return rows

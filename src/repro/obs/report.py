@@ -37,10 +37,11 @@ PHASE_PREFIXES: List[Tuple[str, str]] = [
     ("plan", "plan"),
     ("sim", "simulate"),
     ("multigpu", "simulate"),
+    ("resilience", "resilience"),
 ]
 
 #: Canonical phase display order.
-PHASES: List[str] = ["profile", "cluster", "plan", "simulate", "other"]
+PHASES: List[str] = ["profile", "cluster", "plan", "simulate", "resilience", "other"]
 
 
 def phase_of(name: str) -> str:

@@ -1,0 +1,74 @@
+"""repro.resilience — fault tolerance for the sampling pipeline.
+
+The paper's promise is *trustworthy* sampled simulation; this subsystem
+makes the trust survive contact with messy reality:
+
+* :mod:`~repro.resilience.errors` — the typed exception hierarchy
+  (canonically defined in :mod:`repro.errors`);
+* :mod:`~repro.resilience.faults` — a deterministic, seeded
+  fault-injection harness (:class:`FaultPlan` / :class:`FaultInjector`)
+  for corrupting profiles and failing/hanging sample simulations;
+* :mod:`~repro.resilience.validation` — strict/repair profile
+  validation in front of the sampler and the profile store;
+* :mod:`~repro.resilience.executor` — per-sample retries, exponential
+  backoff, deadline budgets and a quarantine list;
+* :mod:`~repro.resilience.degraded` — bound-preserving degraded
+  estimation: replacement draws, KKT re-allocation over survivors, and
+  achieved-vs-requested epsilon accounting;
+* :mod:`~repro.resilience.checkpoint` — JSONL checkpoint/resume for
+  experiment grids;
+* :mod:`~repro.resilience.pipeline` — :func:`sample_resiliently`, the
+  orchestrated fault-tolerant pipeline.
+
+Everything is **off by default**: with no fault plan, validation finding
+nothing and no checkpoint path, the pipeline's outputs are bit-identical
+to the plain code path.
+"""
+
+from .checkpoint import GridCheckpoint
+from .degraded import DegradedPlanResult, achieved_epsilon_of, degrade_plan
+from .errors import (
+    CheckpointError,
+    EstimationError,
+    InfeasibleProfilingError,
+    ProfileValidationError,
+    ReproError,
+    SimulationFailure,
+    SimulationTimeout,
+)
+from .executor import ManualClock, ResilientExecutor, RetryPolicy, SampleOutcome
+from .faults import FaultInjector, FaultPlan, SimDecision
+from .pipeline import ResilientSampleResult, sample_resiliently
+from .validation import ProfileHealth, validate_times
+
+__all__ = [
+    # errors
+    "ReproError",
+    "InfeasibleProfilingError",
+    "ProfileValidationError",
+    "SimulationFailure",
+    "SimulationTimeout",
+    "EstimationError",
+    "CheckpointError",
+    # faults
+    "FaultPlan",
+    "FaultInjector",
+    "SimDecision",
+    # executor
+    "RetryPolicy",
+    "SampleOutcome",
+    "ManualClock",
+    "ResilientExecutor",
+    # validation
+    "ProfileHealth",
+    "validate_times",
+    # degraded estimation
+    "DegradedPlanResult",
+    "degrade_plan",
+    "achieved_epsilon_of",
+    # checkpoint
+    "GridCheckpoint",
+    # pipeline
+    "ResilientSampleResult",
+    "sample_resiliently",
+]

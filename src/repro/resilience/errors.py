@@ -1,0 +1,29 @@
+"""Typed exception hierarchy (re-exported from :mod:`repro.errors`).
+
+The canonical definitions live in the top-level leaf module
+:mod:`repro.errors` so that :mod:`repro.core` and :mod:`repro.baselines`
+can raise them without importing the resilience package (which itself
+imports core modules).  Importing them from here is the
+subsystem-flavoured spelling: ``from repro.resilience import
+SimulationFailure``.
+"""
+
+from ..errors import (
+    CheckpointError,
+    EstimationError,
+    InfeasibleProfilingError,
+    ProfileValidationError,
+    ReproError,
+    SimulationFailure,
+    SimulationTimeout,
+)
+
+__all__ = [
+    "ReproError",
+    "InfeasibleProfilingError",
+    "ProfileValidationError",
+    "SimulationFailure",
+    "SimulationTimeout",
+    "EstimationError",
+    "CheckpointError",
+]

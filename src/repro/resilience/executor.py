@@ -1,0 +1,204 @@
+"""Resilient per-sample execution: retries, deadlines, quarantine.
+
+The sampled-simulation phase runs one small simulation per selected
+kernel invocation.  Any of them can crash or hang; without protection a
+single bad sample kills the whole run (and with it hours of profiling).
+:class:`ResilientExecutor` wraps each per-sample call with
+
+* **retries** — up to ``max_attempts`` tries with exponential backoff,
+* **deadline budgets** — a per-attempt ``deadline`` and a per-sample
+  ``total_budget``, measured on an injectable clock so tests (and the
+  fault-injection harness) run in virtual time, and
+* **quarantine** — samples that exhaust their budget are recorded, not
+  raised, so the degraded estimator can re-draw replacements.
+
+Failures classified as *permanent* (``SimulationFailure.permanent``)
+skip the retry budget entirely: retrying a corrupt trace record cannot
+succeed, so the executor quarantines it on the first attempt.
+
+Every retry and give-up emits :mod:`repro.obs` counters and events
+(``resilience.retries``, ``resilience.giveups``,
+``resilience.sample_attempts``), so a run report shows exactly how much
+work the fault model caused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .. import obs
+from .errors import SimulationFailure, SimulationTimeout
+
+__all__ = ["RetryPolicy", "SampleOutcome", "ManualClock", "ResilientExecutor"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/deadline knobs for per-sample execution."""
+
+    #: Maximum attempts per sample (1 = no retries).
+    max_attempts: int = 3
+    #: Backoff before retry ``k`` is ``backoff_base * backoff_factor**(k-1)``.
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    #: Per-attempt wall-clock budget in (virtual) seconds.
+    deadline: float = float("inf")
+    #: Total per-sample budget across attempts and backoffs.
+    total_budget: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+        if self.deadline <= 0 or self.total_budget <= 0:
+            raise ValueError("deadline and total_budget must be positive")
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before retrying after ``attempt`` failed."""
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass
+class SampleOutcome:
+    """What happened to one sample across all its attempts."""
+
+    key: int
+    value: object = None
+    ok: bool = False
+    attempts: int = 0
+    retries: int = 0
+    elapsed: float = 0.0
+    #: One entry per failed attempt ("fail", "timeout", "perm_fail").
+    failures: List[str] = field(default_factory=list)
+    #: Why the executor stopped trying ("" when it succeeded).
+    gave_up: str = ""
+
+
+class ManualClock:
+    """A virtual clock: ``sleep`` advances time instead of blocking.
+
+    Both the executor's backoff sleeps and injected hangs charge time
+    here, so deadline semantics are exact and tests run instantly.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self._now += seconds
+
+
+class ResilientExecutor:
+    """Runs per-sample callables under a :class:`RetryPolicy`.
+
+    ``fn`` receives ``(key, attempt)`` and returns the sample's value or
+    raises :class:`SimulationFailure`.  An attempt also fails when its
+    measured duration exceeds ``policy.deadline`` (a hang observed after
+    the fact — cooperative timeout semantics; see docs/robustness.md).
+    """
+
+    def __init__(
+        self,
+        policy: Optional[RetryPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ):
+        self.policy = policy or RetryPolicy()
+        if clock is None and sleep is None:
+            manual = ManualClock()
+            clock, sleep = manual.now, manual.sleep
+        if clock is None or sleep is None:
+            raise ValueError("provide both clock and sleep, or neither")
+        self.clock = clock
+        self.sleep = sleep
+        #: Keys that permanently failed, in give-up order.
+        self.quarantine: List[int] = []
+        self.outcomes: Dict[int, SampleOutcome] = {}
+
+    # -- execution -----------------------------------------------------------
+    def run(self, key: int, fn: Callable[[int, int], object]) -> SampleOutcome:
+        policy = self.policy
+        outcome = SampleOutcome(key=int(key))
+        started = self.clock()
+        for attempt in range(1, policy.max_attempts + 1):
+            outcome.attempts = attempt
+            obs.inc("resilience.sample_attempts")
+            attempt_start = self.clock()
+            failure: Optional[str] = None
+            permanent = False
+            try:
+                value = fn(key, attempt)
+            except SimulationTimeout as err:
+                failure = "timeout"
+                permanent = err.permanent
+            except SimulationFailure as err:
+                failure = "perm_fail" if err.permanent else "fail"
+                permanent = err.permanent
+            elapsed = self.clock() - attempt_start
+            if failure is None and elapsed > policy.deadline:
+                # The attempt "succeeded" but only after blowing its
+                # deadline — a hang; its result cannot be trusted to have
+                # arrived in time, so treat it as a retryable failure.
+                failure = "timeout"
+            if failure is None:
+                outcome.ok = True
+                outcome.value = value
+                break
+            outcome.failures.append(failure)
+            obs.log_event(
+                "resilience.attempt_failed",
+                level="warning",
+                key=int(key),
+                attempt=attempt,
+                kind=failure,
+            )
+            if permanent:
+                outcome.gave_up = "permanent failure"
+                break
+            total_elapsed = self.clock() - started
+            if total_elapsed >= policy.total_budget:
+                outcome.gave_up = "total budget exhausted"
+                break
+            if attempt < policy.max_attempts:
+                obs.inc("resilience.retries")
+                self.sleep(policy.backoff(attempt))
+        else:
+            outcome.gave_up = "max attempts exhausted"
+        outcome.retries = max(0, outcome.attempts - 1)
+        outcome.elapsed = self.clock() - started
+        self.outcomes[int(key)] = outcome
+        if not outcome.ok:
+            self.quarantine.append(int(key))
+            obs.inc("resilience.giveups")
+            obs.log_event(
+                "resilience.sample_quarantined",
+                level="warning",
+                key=int(key),
+                attempts=outcome.attempts,
+                reason=outcome.gave_up,
+            )
+        return outcome
+
+    def run_all(
+        self, keys: Iterable[int], fn: Callable[[int, int], object]
+    ) -> Dict[int, SampleOutcome]:
+        """Run every key once (skipping keys already executed)."""
+        for key in keys:
+            if int(key) not in self.outcomes:
+                self.run(int(key), fn)
+        return self.outcomes
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def total_retries(self) -> int:
+        return sum(o.retries for o in self.outcomes.values())
+
+    def successful_values(self) -> Dict[int, object]:
+        return {k: o.value for k, o in self.outcomes.items() if o.ok}

@@ -78,6 +78,7 @@ class GpuSimulator:
         max_resident_warps: int = 24,
         noise: float = 0.02,
         warmup=None,
+        fault_injector=None,
     ):
         self.config = config
         self.latencies = latencies or self._derive_latencies(config)
@@ -92,6 +93,12 @@ class GpuSimulator:
         self.noise = noise
         #: Optional cache-warmup strategy (see :mod:`repro.sim.warmup`).
         self.warmup = warmup
+        #: Optional :class:`~repro.resilience.faults.FaultInjector`; when
+        #: set, :meth:`simulate_invocation` consults it and raises
+        #: :class:`~repro.errors.SimulationFailure` for invocations the
+        #: fault plan dooms — the hook the resilient executor retries
+        #: around.  ``None`` (the default) costs nothing.
+        self.fault_injector = fault_injector
 
     @staticmethod
     def _derive_latencies(config: GPUConfig) -> LatencyTable:
@@ -168,7 +175,15 @@ class GpuSimulator:
             stats=stats,
         )
 
-    def simulate_invocation(self, workload: Workload, index: int, seed: int = 0) -> KernelSimResult:
+    def simulate_invocation(
+        self,
+        workload: Workload,
+        index: int,
+        seed: int = 0,
+        attempt: int = 1,
+    ) -> KernelSimResult:
+        if self.fault_injector is not None:
+            self.fault_injector.check_simulation(int(index), attempt)
         trace = self.tracer.generate(workload.invocation(index), seed=seed)
         return self.simulate_trace(trace, seed=seed)
 
