@@ -44,6 +44,7 @@ class ProfileStore:
         seed: int = 0,
         fault_injector=None,
         validation: str = "off",
+        cache=None,
     ):
         if validation not in ("off", "strict", "repair"):
             raise ValueError("validation must be 'off', 'strict' or 'repair'")
@@ -52,12 +53,27 @@ class ProfileStore:
         self.seed = seed
         self.fault_injector = fault_injector
         self.validation = validation
+        #: Optional :class:`repro.parallel.ProfileCache` shared across
+        #: stores, processes and runs.  Only the *clean* nsys profile is
+        #: cached; fault injection and validation run on every read path,
+        #: so cached and collected profiles behave identically.
+        self.cache = cache
         self._cache: Dict[str, object] = {}
 
     def _collect_times(self) -> None:
-        clean = NsysProfiler(self.config).execution_times(
-            self.workload, seed=self.seed
-        )
+        if self.cache is not None:
+            clean = self.cache.get_or_collect(
+                self.workload,
+                self.config,
+                self.seed,
+                lambda: NsysProfiler(self.config).execution_times(
+                    self.workload, seed=self.seed
+                ),
+            )
+        else:
+            clean = NsysProfiler(self.config).execution_times(
+                self.workload, seed=self.seed
+            )
         self._cache["times_true"] = clean
         observed = clean
         if self.fault_injector is not None:

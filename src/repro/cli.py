@@ -10,6 +10,15 @@ Commands
 ``obs``       pretty-print a run report from saved trace/metrics files
 ``faults``    describe a fault spec and dry-run it against a workload
 ``grid``      run a (method x workload x repetition) grid, resumably
+``suite``     run a whole suite and print per-method Table-3 summaries
+
+Parallelism
+-----------
+``grid`` and ``suite`` accept ``--jobs N`` (``0`` = all cores) to fan
+(workload, repetition) cells across worker processes — results are
+bit-identical to ``--jobs 1`` by construction.  ``--profile-cache DIR``
+reuses collected profiles across runs and workers, and ``--fsync-every
+N`` batches checkpoint durability barriers on large fast grids.
 
 Fault tolerance
 ---------------
@@ -105,24 +114,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--gpu", choices=sorted(PRESETS), default="rtx2080")
     p_faults.add_argument("--seed", type=int, default=0)
 
+    def add_grid_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("suite", choices=suite_names())
+        p.add_argument("workloads", nargs="*",
+                       help="workload names (default: whole suite)")
+        p.add_argument("--methods", default=None,
+                       help="comma-separated method list (default: all five)")
+        p.add_argument("--repetitions", type=int, default=3)
+        p.add_argument("--scale", type=float, default=1.0)
+        p.add_argument("--gpu", choices=sorted(PRESETS), default="rtx2080")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--epsilon", type=float, default=0.05)
+        p.add_argument("--faults", metavar="SPEC", default=None)
+        p.add_argument("--checkpoint", metavar="PATH", default=None,
+                       help="persist per-cell progress to this JSONL file")
+        p.add_argument("--resume", action="store_true",
+                       help="continue from an existing checkpoint file")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (0 = all cores, default 1); "
+                            "results are bit-identical to --jobs 1")
+        p.add_argument("--profile-cache", metavar="DIR", default=None,
+                       help="reuse collected profiles from this cache "
+                            "directory across runs and workers")
+        p.add_argument("--fsync-every", type=int, default=1,
+                       help="fsync the checkpoint once per N rows "
+                            "(default 1 = every row)")
+
     p_grid = sub.add_parser(
         "grid", help="run a (method x workload x repetition) grid"
     )
-    p_grid.add_argument("suite", choices=suite_names())
-    p_grid.add_argument("workloads", nargs="*",
-                        help="workload names (default: whole suite)")
-    p_grid.add_argument("--methods", default=None,
-                        help="comma-separated method list (default: all five)")
-    p_grid.add_argument("--repetitions", type=int, default=3)
-    p_grid.add_argument("--scale", type=float, default=1.0)
-    p_grid.add_argument("--gpu", choices=sorted(PRESETS), default="rtx2080")
-    p_grid.add_argument("--seed", type=int, default=0)
-    p_grid.add_argument("--epsilon", type=float, default=0.05)
-    p_grid.add_argument("--faults", metavar="SPEC", default=None)
-    p_grid.add_argument("--checkpoint", metavar="PATH", default=None,
-                        help="persist per-cell progress to this JSONL file")
-    p_grid.add_argument("--resume", action="store_true",
-                        help="continue from an existing checkpoint file")
+    add_grid_args(p_grid)
+
+    p_suite = sub.add_parser(
+        "suite", help="run a whole suite and print per-method summaries"
+    )
+    add_grid_args(p_suite)
 
     p_report = sub.add_parser("report", help="plan transparency report")
     add_workload_args(p_report)
@@ -368,10 +394,13 @@ def _cmd_faults(args) -> int:
     return 0
 
 
-def _cmd_grid(args) -> int:
-    import os
+def _run_grid(args):
+    """Shared grid driver for ``grid`` and ``suite``.
 
+    Returns the result rows, or an integer exit status on refusal.
+    """
     from .experiments.runner import METHODS, ExperimentConfig, run_suite
+    from .resilience import GridCheckpoint
 
     if args.checkpoint and not args.resume and os.path.exists(args.checkpoint) \
             and os.path.getsize(args.checkpoint) > 0:
@@ -389,14 +418,38 @@ def _cmd_grid(args) -> int:
         workload_scale=args.scale,
         fault_plan=_fault_plan(args),
     )
+    checkpoint = None
+    if args.checkpoint:
+        checkpoint = GridCheckpoint(
+            args.checkpoint,
+            config=config.fingerprint(),
+            fsync_every=args.fsync_every,
+        )
+    profile_cache = None
+    if args.profile_cache:
+        from .parallel import ProfileCache
+
+        profile_cache = ProfileCache(args.profile_cache)
     methods = args.methods.split(",") if args.methods else METHODS
-    rows = run_suite(
-        args.suite,
-        config=config,
-        methods=methods,
-        workload_names=args.workloads or None,
-        checkpoint=args.checkpoint,
-    )
+    try:
+        return run_suite(
+            args.suite,
+            config=config,
+            methods=methods,
+            workload_names=args.workloads or None,
+            checkpoint=checkpoint,
+            jobs=args.jobs,
+            profile_cache=profile_cache,
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+
+
+def _cmd_grid(args) -> int:
+    rows = _run_grid(args)
+    if isinstance(rows, int):
+        return rows
     print(
         render_table(
             ["workload", "method", "rep", "error %", "speedup x", "feasible"],
@@ -413,6 +466,30 @@ def _cmd_grid(args) -> int:
     return 0
 
 
+def _cmd_suite(args) -> int:
+    from .experiments.speedup_error import summarize
+
+    rows = _run_grid(args)
+    if isinstance(rows, int):
+        return rows
+    summaries = summarize(rows)
+    print(
+        render_table(
+            ["suite", "method", "error %", "speedup x", "feasible"],
+            [
+                [s.suite, s.method, s.error_percent, s.speedup,
+                 "yes" if s.feasible else "N/A"]
+                for s in summaries
+            ],
+            title=f"suite summary: {args.suite} "
+                  f"({len(rows)} cells, jobs={args.jobs})",
+        )
+    )
+    if args.checkpoint:
+        print(f"progress checkpointed to {args.checkpoint}", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "sample": _cmd_sample,
     "compare": _cmd_compare,
@@ -422,6 +499,7 @@ _COMMANDS = {
     "obs": _cmd_obs,
     "faults": _cmd_faults,
     "grid": _cmd_grid,
+    "suite": _cmd_suite,
 }
 
 

@@ -15,7 +15,21 @@ from typing import List, Optional, Tuple
 import numpy as np
 from scipy import stats as _scipy_stats
 
-__all__ = ["KMeansResult", "kmeans", "kmeans_1d", "count_kde_peaks", "silhouette_score"]
+from ..errors import ReproError
+
+__all__ = [
+    "KMeansResult",
+    "kmeans",
+    "kmeans_1d",
+    "count_kde_peaks",
+    "silhouette_score",
+    "SILHOUETTE_MAX_POINTS",
+]
+
+#: Hard cap for :func:`silhouette_score` — beyond this the O(n^2)
+#: distance matrix (200+ MB at n=5000) stops being a diagnostic and
+#: starts being an outage.
+SILHOUETTE_MAX_POINTS = 5000
 
 
 @dataclass(frozen=True)
@@ -99,30 +113,39 @@ def kmeans(
         rng = np.random.default_rng(0)
     k_eff = min(k, n)
 
+    d = pts.shape[1]
     best: Optional[KMeansResult] = None
     for _ in range(max(1, n_init)):
         centers = _kmeanspp_init(pts, k_eff, rng)
-        labels = np.zeros(n, dtype=np.int64)
-        for _iteration in range(max_iter):
-            # Assignment step.
-            dists = _pairwise_sq_dists(pts, centers)
-            labels = dists.argmin(axis=1)
-            # Update step.
-            new_centers = centers.copy()
-            for j in range(k_eff):
-                members = labels == j
-                if members.any():
-                    new_centers[j] = pts[members].mean(axis=0)
-                else:
-                    # Re-seed an empty cluster at the worst-fit point.
-                    worst = dists[np.arange(n), labels].argmax()
-                    new_centers[j] = pts[worst]
-            shift = float(np.abs(new_centers - centers).max())
-            centers = new_centers
-            if shift <= tol:
-                break
         dists = _pairwise_sq_dists(pts, centers)
         labels = dists.argmin(axis=1)
+        for _iteration in range(max_iter):
+            # Update step, vectorized: one bincount per dimension replaces
+            # the per-cluster member scan.
+            counts = np.bincount(labels, minlength=k_eff).astype(np.float64)
+            sums = np.empty((k_eff, d), dtype=np.float64)
+            for dim in range(d):
+                sums[:, dim] = np.bincount(
+                    labels, weights=pts[:, dim], minlength=k_eff
+                )
+            nonempty = counts > 0
+            new_centers = centers.copy()
+            new_centers[nonempty] = sums[nonempty] / counts[nonempty, None]
+            if not nonempty.all():
+                # Re-seed empty clusters at the worst-fit point.
+                worst = dists[np.arange(n), labels].argmax()
+                new_centers[~nonempty] = pts[worst]
+            shift = float(np.abs(new_centers - centers).max())
+            if shift <= tol:
+                # Converged: the update moved nothing beyond tol, so the
+                # assignment (and its distances) just computed against
+                # ``centers`` is already final — no recomputation.
+                break
+            centers = new_centers
+            # Assignment step (doubles as the final assignment when the
+            # next update converges or max_iter runs out).
+            dists = _pairwise_sq_dists(pts, centers)
+            labels = dists.argmin(axis=1)
         inertia = float(dists[np.arange(n), labels].sum())
         if best is None or inertia < best.inertia:
             best = KMeansResult(labels=labels, centers=centers, inertia=inertia)
@@ -173,19 +196,34 @@ def count_kde_peaks(
     return max(1, int(np.count_nonzero(peaks & significant)))
 
 
-def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
-    """Mean silhouette coefficient (used by clustering diagnostics/tests).
+def silhouette_score(
+    points: np.ndarray,
+    labels: np.ndarray,
+    max_points: int = SILHOUETTE_MAX_POINTS,
+) -> float:
+    """Mean silhouette coefficient (clustering diagnostics only).
+
+    Materializes the full O(n^2) pairwise distance matrix, so it is
+    capped at ``max_points`` samples (default
+    :data:`SILHOUETTE_MAX_POINTS`) and raises
+    :class:`~repro.errors.ReproError` above that — subsample before
+    calling it on anything larger.  Never use it on a hot path.
 
     Returns 0.0 when fewer than two non-singleton clusters exist.
     """
     pts = np.asarray(points, dtype=np.float64)
     if pts.ndim == 1:
         pts = pts[:, None]
+    if len(pts) > max_points:
+        raise ReproError(
+            f"silhouette_score got {len(pts)} points, above the "
+            f"max_points={max_points} cap (the O(n^2) distance matrix "
+            "would not fit a diagnostic budget); subsample first"
+        )
     labels = np.asarray(labels)
     unique = np.unique(labels)
     if len(unique) < 2 or len(pts) != len(labels):
         return 0.0
-    # O(n^2) pairwise distances: diagnostics only, never on hot paths.
     dists = np.sqrt(((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2))
     scores = np.zeros(len(pts))
     for i in range(len(pts)):

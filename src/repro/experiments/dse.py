@@ -91,6 +91,91 @@ class DseResult:
     full_cycles: float
 
 
+@dataclass(frozen=True)
+class _DseSpecTask:
+    """Picklable payload: one workload spec's slice of the DSE grid."""
+
+    spec: DseWorkloadSpec
+    baseline: GPUConfig
+    methods: Tuple[str, ...]
+    repetitions: int
+    seed: int
+    epsilon: float
+    cache_root: Optional[str] = None
+
+
+def _dse_spec_worker(task: _DseSpecTask) -> List[DseResult]:
+    """Evaluate one workload spec on every variant (worker-safe).
+
+    Self-contained per spec — nothing is shared across specs but the
+    config values in the payload — so the DSE grid parallelizes across
+    specs with results identical to the sequential loop.
+    """
+    spec = task.spec
+    baseline = task.baseline
+    seed = task.seed
+    variants: List[Tuple[str, GPUConfig]] = list(
+        zip(VARIANT_LABELS, dse_variants(baseline))
+    )
+    config = ExperimentConfig(gpu=baseline, epsilon=task.epsilon)
+    cache = None
+    if task.cache_root:
+        from ..parallel import ProfileCache
+
+        cache = ProfileCache(task.cache_root)
+
+    workload = load_workload(spec.suite, spec.name, scale=spec.scale, seed=seed)
+    if len(workload) > spec.max_invocations:
+        # Strided reduction keeps every kernel type and launch phase
+        # represented (a head() slice would keep only the first ones).
+        picks = np.linspace(0, len(workload) - 1, spec.max_invocations)
+        workload = workload.subset(np.unique(picks.astype(np.int64)), name=spec.name)
+
+    # Full cycle-level simulation per variant (deterministic per seed).
+    variant_cycles: Dict[str, np.ndarray] = {}
+    for label, gpu in variants:
+        simulator = GpuSimulator(gpu)
+        variant_cycles[label] = simulator.cycle_counts(workload, seed=seed)
+
+    # Plans from baseline profiles, evaluated against every variant.
+    error_sums: Dict[Tuple[str, str], List[float]] = {}
+    estimate_sums: Dict[Tuple[str, str], List[float]] = {}
+    for rep in range(task.repetitions):
+        rep_seed = seed + rep * 1009 + 1
+        store = ProfileStore(workload, baseline, seed=rep_seed, cache=cache)
+        for method in task.methods:
+            sampler = config.sampler_for(method, workload)
+            try:
+                if hasattr(sampler, "build_plan_from_store"):
+                    plan = sampler.build_plan_from_store(store, seed=rep_seed)
+                else:
+                    plan = sampler.build_plan(store, seed=rep_seed)
+            except InfeasibleProfilingError:
+                continue
+            for label, _gpu in variants:
+                outcome = evaluate_plan(plan, variant_cycles[label])
+                error_sums.setdefault((method, label), []).append(
+                    outcome.error_percent
+                )
+                estimate_sums.setdefault((method, label), []).append(
+                    outcome.estimated_total
+                )
+
+    results: List[DseResult] = []
+    for (method, label), errors in sorted(error_sums.items()):
+        results.append(
+            DseResult(
+                workload=spec.name,
+                variant=label,
+                method=method,
+                error_percent=float(np.mean(errors)),
+                estimated_cycles=float(np.mean(estimate_sums[(method, label)])),
+                full_cycles=float(variant_cycles[label].sum()),
+            )
+        )
+    return results
+
+
 def run_dse(
     workloads: Optional[List[DseWorkloadSpec]] = None,
     baseline_gpu: Optional[GPUConfig] = None,
@@ -98,72 +183,45 @@ def run_dse(
     repetitions: int = 3,
     seed: int = 0,
     epsilon: float = 0.05,
+    jobs: Optional[int] = 1,
+    profile_cache=None,
 ) -> List[DseResult]:
     """Full DSE grid; returns flat per-(workload, variant, method) rows.
 
     Sampling plans are built from baseline-hardware profiles and held
     fixed across variants; repetitions re-draw the random parts of each
     plan and average the resulting errors.
+
+    ``jobs`` fans workload specs across processes (``1``/``None`` =
+    sequential, ``0`` = all cores) with results identical to the
+    sequential loop; specs share
+    nothing but the payload config.  ``profile_cache`` (a
+    :class:`repro.parallel.ProfileCache`) reuses baseline profiles across
+    runs.
     """
+    from ..parallel import run_tasks
+
     baseline = baseline_gpu or RTX_2080
-    variants: List[Tuple[str, GPUConfig]] = list(
-        zip(VARIANT_LABELS, dse_variants(baseline))
+    tasks = [
+        _DseSpecTask(
+            spec=spec,
+            baseline=baseline,
+            methods=tuple(methods or ["pka", "sieve", "photon", "stem"]),
+            repetitions=repetitions,
+            seed=seed,
+            epsilon=epsilon,
+            cache_root=(
+                profile_cache.root if profile_cache is not None else None
+            ),
+        )
+        for spec in (workloads or default_dse_workloads())
+    ]
+    per_spec = run_tasks(
+        _dse_spec_worker, tasks, jobs=(1 if jobs is None else jobs), label="dse"
     )
-    methods = methods or ["pka", "sieve", "photon", "stem"]
-    config = ExperimentConfig(gpu=baseline, epsilon=epsilon)
     results: List[DseResult] = []
-
-    for spec in workloads or default_dse_workloads():
-        workload = load_workload(spec.suite, spec.name, scale=spec.scale, seed=seed)
-        if len(workload) > spec.max_invocations:
-            # Strided reduction keeps every kernel type and launch phase
-            # represented (a head() slice would keep only the first ones).
-            picks = np.linspace(0, len(workload) - 1, spec.max_invocations)
-            workload = workload.subset(
-                np.unique(picks.astype(np.int64)), name=spec.name
-            )
-
-        # Full cycle-level simulation per variant (deterministic per seed).
-        variant_cycles: Dict[str, np.ndarray] = {}
-        for label, gpu in variants:
-            simulator = GpuSimulator(gpu)
-            variant_cycles[label] = simulator.cycle_counts(workload, seed=seed)
-
-        # Plans from baseline profiles, evaluated against every variant.
-        error_sums: Dict[Tuple[str, str], List[float]] = {}
-        estimate_sums: Dict[Tuple[str, str], List[float]] = {}
-        for rep in range(repetitions):
-            rep_seed = seed + rep * 1009 + 1
-            store = ProfileStore(workload, baseline, seed=rep_seed)
-            for method in methods:
-                sampler = config.sampler_for(method, workload)
-                try:
-                    if hasattr(sampler, "build_plan_from_store"):
-                        plan = sampler.build_plan_from_store(store, seed=rep_seed)
-                    else:
-                        plan = sampler.build_plan(store, seed=rep_seed)
-                except InfeasibleProfilingError:
-                    continue
-                for label, _gpu in variants:
-                    outcome = evaluate_plan(plan, variant_cycles[label])
-                    error_sums.setdefault((method, label), []).append(
-                        outcome.error_percent
-                    )
-                    estimate_sums.setdefault((method, label), []).append(
-                        outcome.estimated_total
-                    )
-
-        for (method, label), errors in sorted(error_sums.items()):
-            results.append(
-                DseResult(
-                    workload=spec.name,
-                    variant=label,
-                    method=method,
-                    error_percent=float(np.mean(errors)),
-                    estimated_cycles=float(np.mean(estimate_sums[(method, label)])),
-                    full_cycles=float(variant_cycles[label].sum()),
-                )
-            )
+    for spec_rows in per_spec:
+        results.extend(spec_rows)
     return results
 
 

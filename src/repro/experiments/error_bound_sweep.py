@@ -38,8 +38,16 @@ def run_error_bound_sweep(
     epsilons: Sequence[float] = DEFAULT_EPSILONS,
     config: Optional[ExperimentConfig] = None,
     suite: str = "casio",
+    jobs: Optional[int] = 1,
+    profile_cache=None,
 ) -> List[SweepPoint]:
-    """STEM-only sweep of the error bound over one suite."""
+    """STEM-only sweep of the error bound over one suite.
+
+    ``jobs``/``profile_cache`` pass straight through to
+    :func:`~repro.experiments.runner.run_suite`; the cache pays off
+    especially here, since every epsilon re-profiles the same
+    (workload, seed) cells.
+    """
     if config is None:
         config = ExperimentConfig()
     points: List[SweepPoint] = []
@@ -51,7 +59,9 @@ def run_error_bound_sweep(
             epsilon=epsilon,
             workload_scale=config.workload_scale,
         )
-        rows = run_suite(suite, config=cfg, methods=["stem"])
+        rows = run_suite(
+            suite, config=cfg, methods=["stem"], jobs=jobs, profile_cache=profile_cache
+        )
         # Average per workload first, then across workloads.
         by_workload: Dict[str, List] = {}
         for row in rows:

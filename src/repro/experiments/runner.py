@@ -34,7 +34,7 @@ Fault tolerance (all off by default, see :mod:`repro.resilience`):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -60,7 +60,15 @@ from ..resilience.faults import FaultInjector, FaultPlan
 from ..workloads import load_suite
 from ..workloads.workload import Workload
 
-__all__ = ["ExperimentConfig", "ResultRow", "METHODS", "run_workload", "run_suite"]
+__all__ = [
+    "ExperimentConfig",
+    "ResultRow",
+    "METHODS",
+    "run_workload",
+    "run_suite",
+    "compute_cell_rows",
+    "repetition_seed",
+]
 
 #: Workloads the paper hand-tuned to random sample selection (Sec. 5.1).
 HAND_TUNED_WORKLOADS = {
@@ -177,8 +185,16 @@ class ExperimentConfig:
             f"unknown method {method!r}; available: {METHODS + EXTRA_METHODS}"
         )
 
-    def store_for(self, workload: Workload, seed: int) -> ProfileStore:
-        """Build the repetition's profile store, wiring in fault injection."""
+    def store_for(
+        self, workload: Workload, seed: int, cache=None
+    ) -> ProfileStore:
+        """Build the repetition's profile store, wiring in fault injection.
+
+        ``cache`` (a :class:`repro.parallel.ProfileCache`, or ``None``)
+        lets the store reuse already-collected nsys profiles instead of
+        recollecting them; cached profiles are the *clean* ones, so fault
+        injection and validation behave identically either way.
+        """
         injector = None
         validation = self.validation
         if self.fault_plan is not None and self.fault_plan.enabled:
@@ -192,6 +208,7 @@ class ExperimentConfig:
             seed=seed,
             fault_injector=injector,
             validation=validation,
+            cache=cache,
         )
 
     def fingerprint(self) -> Dict[str, object]:
@@ -239,12 +256,101 @@ def _as_checkpoint(
     return GridCheckpoint(str(checkpoint), config=config.fingerprint())
 
 
+def repetition_seed(config: ExperimentConfig, rep: int) -> int:
+    """The RNG seed of one repetition — a pure function of the config.
+
+    Every grid cell derives its randomness from this (never from shared
+    state), which is what makes parallel execution bit-identical to
+    sequential: a cell's result depends only on (workload, method, rep),
+    not on which worker ran it or in what order.
+    """
+    return config.base_seed + rep * 1009 + 1
+
+
+def compute_cell_rows(
+    workload: Workload,
+    config: ExperimentConfig,
+    methods: Iterable[str],
+    rep: int,
+    ground_truth: Optional[Callable[[ProfileStore, int], np.ndarray]] = None,
+    profile_cache=None,
+) -> Iterator[Tuple[str, ResultRow]]:
+    """Compute the (method, row) cells of one repetition, lazily.
+
+    The single source of truth for cell evaluation: the sequential runner
+    drains this generator cell-by-cell (checkpointing each row as it
+    lands), and parallel grid workers drain it inside their own process —
+    both paths therefore produce identical rows by construction.
+
+    The repetition's profile store is created lazily and shared across
+    all requested methods, so a repetition profiles its workload at most
+    once (and not at all when ``methods`` is empty or the profile comes
+    out of ``profile_cache``).
+    """
+    seed = repetition_seed(config, rep)
+    faulty = config.fault_plan is not None and config.fault_plan.enabled
+    store: Optional[ProfileStore] = None
+    truth: Optional[np.ndarray] = None
+
+    def rep_store() -> ProfileStore:
+        nonlocal store
+        if store is None:
+            store = config.store_for(workload, seed, cache=profile_cache)
+        return store
+
+    def rep_truth() -> np.ndarray:
+        nonlocal truth
+        if truth is None:
+            truth = (
+                rep_store().true_execution_times()
+                if ground_truth is None
+                else ground_truth(rep_store(), seed)
+            )
+        return truth
+
+    for method in methods:
+        sampler = config.sampler_for(method, workload)
+        try:
+            plan = build_plan(sampler, rep_store(), seed=seed)
+        except InfeasibleProfilingError:
+            # Profiling infeasible at this scale (Table 3/5 "N/A").
+            row = _infeasible_row(workload, method, rep)
+        except (ProfileValidationError, SimulationFailure):
+            if not faulty:
+                raise
+            # An injected fault broke this cell beyond repair; record
+            # it as N/A so the rest of the grid survives.
+            obs.log_event(
+                "resilience.grid_cell_failed",
+                level="warning",
+                workload=workload.name,
+                method=method,
+                repetition=rep,
+            )
+            row = _infeasible_row(workload, method, rep)
+        else:
+            result = evaluate_plan(plan, rep_truth())
+            row = ResultRow(
+                suite=workload.suite,
+                workload=workload.name,
+                method=method,
+                repetition=rep,
+                error_percent=result.error_percent,
+                speedup=result.speedup,
+                num_samples=plan.num_samples,
+                num_clusters=plan.num_clusters,
+            )
+        yield method, row
+
+
 def run_workload(
     workload: Workload,
     config: Optional[ExperimentConfig] = None,
     methods: Optional[Iterable[str]] = None,
     ground_truth: Optional[Callable[[ProfileStore, int], np.ndarray]] = None,
     checkpoint: Optional[Union[str, GridCheckpoint]] = None,
+    jobs: Optional[int] = 1,
+    profile_cache=None,
 ) -> List[ResultRow]:
     """Evaluate methods on one workload across repetitions.
 
@@ -259,79 +365,68 @@ def run_workload(
     ``checkpoint`` persists each completed (method, repetition) cell;
     cells already present are replayed from the file instead of being
     recomputed, making a killed grid resumable.
+
+    ``jobs`` fans repetitions across worker processes (``1``/``None`` =
+    sequential, ``0`` = all cores); results are bit-identical to
+    ``jobs=1`` because every
+    cell's randomness derives from :func:`repetition_seed` alone.  With
+    ``jobs != 1``, ``ground_truth`` must be picklable (a module-level
+    function).  ``profile_cache`` (a :class:`repro.parallel.ProfileCache`)
+    reuses collected profiles across runs and processes.
     """
     if config is None:
         config = ExperimentConfig()
+    if jobs is not None and int(jobs) != 1:
+        from ..parallel.grid import execute_grid
+
+        return execute_grid(
+            [workload],
+            config=config,
+            methods=methods,
+            ground_truth=ground_truth,
+            checkpoint=checkpoint,
+            profile_cache=profile_cache,
+            jobs=jobs,
+        )
     checkpoint = _as_checkpoint(checkpoint, config)
     method_list = list(methods or METHODS)
-    faulty = config.fault_plan is not None and config.fault_plan.enabled
     rows: List[ResultRow] = []
     for rep in range(config.repetitions):
-        seed = config.base_seed + rep * 1009 + 1
-        # Lazy per-repetition state: when every cell of this repetition is
-        # already checkpointed, the profile is never collected at all.
-        store: Optional[ProfileStore] = None
-        truth: Optional[np.ndarray] = None
-
-        def rep_store() -> ProfileStore:
-            nonlocal store
-            if store is None:
-                store = config.store_for(workload, seed)
-            return store
-
-        def rep_truth() -> np.ndarray:
-            nonlocal truth
-            if truth is None:
-                truth = (
-                    rep_store().true_execution_times()
-                    if ground_truth is None
-                    else ground_truth(rep_store(), seed)
-                )
-            return truth
-
+        # Replay checkpointed cells; when the whole repetition is stored,
+        # its profile is never collected at all.
+        stored_rows: Dict[str, ResultRow] = {}
+        missing: List[str] = []
         for method in method_list:
-            if checkpoint is not None:
-                stored = checkpoint.get(workload.suite, workload.name, method, rep)
-                if stored is not None:
-                    rows.append(ResultRow.from_dict(stored))
-                    obs.inc("resilience.checkpoint_cells_replayed")
-                    continue
-            sampler = config.sampler_for(method, workload)
-            try:
-                plan = build_plan(sampler, rep_store(), seed=seed)
-            except InfeasibleProfilingError:
-                # Profiling infeasible at this scale (Table 3/5 "N/A").
-                row = _infeasible_row(workload, method, rep)
-            except (ProfileValidationError, SimulationFailure):
-                if not faulty:
-                    raise
-                # An injected fault broke this cell beyond repair; record
-                # it as N/A so the rest of the grid survives.
-                obs.log_event(
-                    "resilience.grid_cell_failed",
-                    level="warning",
-                    workload=workload.name,
-                    method=method,
-                    repetition=rep,
-                )
-                row = _infeasible_row(workload, method, rep)
+            stored = (
+                checkpoint.get(workload.suite, workload.name, method, rep)
+                if checkpoint is not None
+                else None
+            )
+            if stored is not None:
+                stored_rows[method] = ResultRow.from_dict(stored)
+                obs.inc("resilience.checkpoint_cells_replayed")
             else:
-                result = evaluate_plan(plan, rep_truth())
-                row = ResultRow(
-                    suite=workload.suite,
-                    workload=workload.name,
-                    method=method,
-                    repetition=rep,
-                    error_percent=result.error_percent,
-                    speedup=result.speedup,
-                    num_samples=plan.num_samples,
-                    num_clusters=plan.num_clusters,
-                )
-            rows.append(row)
+                missing.append(method)
+        computed: Dict[str, ResultRow] = {}
+        for method, row in compute_cell_rows(
+            workload,
+            config,
+            missing,
+            rep,
+            ground_truth=ground_truth,
+            profile_cache=profile_cache,
+        ):
+            # Record the moment each cell lands, so a kill mid-repetition
+            # loses at most the in-flight cell.
+            computed[method] = row
             if checkpoint is not None:
                 checkpoint.record(
                     workload.suite, workload.name, method, rep, row.as_dict()
                 )
+        for method in method_list:
+            rows.append(
+                stored_rows[method] if method in stored_rows else computed[method]
+            )
     return rows
 
 
@@ -341,24 +436,43 @@ def run_suite(
     methods: Optional[Iterable[str]] = None,
     workload_names: Optional[Iterable[str]] = None,
     checkpoint: Optional[Union[str, GridCheckpoint]] = None,
+    jobs: Optional[int] = 1,
+    profile_cache=None,
 ) -> List[ResultRow]:
     """Evaluate methods on every workload of a suite.
 
     ``checkpoint`` (path or :class:`~repro.resilience.GridCheckpoint`)
-    makes the grid resumable; see :func:`run_workload`.
+    makes the grid resumable; ``jobs`` fans (workload, repetition) cells
+    across processes with bit-identical results; ``profile_cache`` reuses
+    collected profiles — see :func:`run_workload`.
     """
     if config is None:
         config = ExperimentConfig()
-    checkpoint = _as_checkpoint(checkpoint, config)
     workloads = load_suite(suite, scale=config.workload_scale, seed=config.base_seed)
     if workload_names is not None:
         wanted = set(workload_names)
         workloads = [w for w in workloads if w.name in wanted]
+    if jobs is not None and int(jobs) != 1:
+        from ..parallel.grid import execute_grid
+
+        return execute_grid(
+            workloads,
+            config=config,
+            methods=methods,
+            checkpoint=checkpoint,
+            profile_cache=profile_cache,
+            jobs=jobs,
+        )
+    checkpoint = _as_checkpoint(checkpoint, config)
     rows: List[ResultRow] = []
     for workload in workloads:
         rows.extend(
             run_workload(
-                workload, config=config, methods=methods, checkpoint=checkpoint
+                workload,
+                config=config,
+                methods=methods,
+                checkpoint=checkpoint,
+                profile_cache=profile_cache,
             )
         )
     return rows

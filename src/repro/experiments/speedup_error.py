@@ -127,14 +127,28 @@ def per_workload_summary(
 def run_table3(
     config: Optional[ExperimentConfig] = None,
     suites: Optional[List[str]] = None,
+    jobs: Optional[int] = 1,
+    profile_cache=None,
 ) -> Tuple[List[ResultRow], List[SuiteSummary]]:
-    """Full Table 3: all methods on all three suites."""
+    """Full Table 3: all methods on all three suites.
+
+    ``jobs``/``profile_cache`` pass through to :func:`run_suite` — the
+    grid parallelizes per (workload, repetition) with bit-identical rows.
+    """
     if config is None:
         config = ExperimentConfig()
     rows: List[ResultRow] = []
     for suite in suites or ["rodinia", "casio", "huggingface"]:
         methods = METHODS if suite != "huggingface" else ["random", "pka", "sieve", "photon", "stem"]
-        rows.extend(run_suite(suite, config=config, methods=methods))
+        rows.extend(
+            run_suite(
+                suite,
+                config=config,
+                methods=methods,
+                jobs=jobs,
+                profile_cache=profile_cache,
+            )
+        )
     return rows, summarize(rows)
 
 

@@ -85,6 +85,32 @@ class Histogram:
             if j < _RESERVOIR_SIZE:
                 self._reservoir[j] = v
 
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold another histogram's exported state into this one.
+
+        Exact moments (count/sum/min/max) merge exactly; the reservoir is
+        extended with the other histogram's samples and truncated to
+        capacity, which keeps percentile queries representative of both
+        sources without replaying every observation.
+        """
+        count = int(state.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.sum += float(state.get("sum", 0.0))
+        self.min = min(self.min, float(state.get("min", math.inf)))
+        self.max = max(self.max, float(state.get("max", -math.inf)))
+        incoming = list(state.get("reservoir") or [])
+        room = _RESERVOIR_SIZE - len(self._reservoir)
+        if room > 0:
+            self._reservoir.extend(float(v) for v in incoming[:room])
+
+    def export_state(self) -> Dict[str, object]:
+        """Snapshot plus the reservoir, for cross-process merging."""
+        state: Dict[str, object] = dict(self.snapshot())
+        state["reservoir"] = list(self._reservoir)
+        return state
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
@@ -172,6 +198,31 @@ class MetricsRegistry:
                 n: h.snapshot() for n, h in sorted(self._histograms.items())
             }
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def export_state(self) -> Dict[str, Dict[str, object]]:
+        """Mergeable registry state (snapshot + histogram reservoirs).
+
+        The inverse of :meth:`merge_state`; parallel grid workers export
+        this and the parent folds it into its own registry, so one run's
+        metrics cover every process that contributed to it.
+        """
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.export_state() for n, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge_state(self, state: Dict[str, Dict[str, object]]) -> None:
+        """Fold another registry's exported state into this one."""
+        for name, value in (state.get("counters") or {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in (state.get("gauges") or {}).items():
+            self.gauge(name).set(float(value))
+        for name, hist_state in (state.get("histograms") or {}).items():
+            self.histogram(name).merge_state(hist_state)
 
     def reset(self) -> None:
         with self._lock:

@@ -129,6 +129,10 @@ class Tracer:
 
     def __init__(self) -> None:
         self.epoch_us = _now_us()
+        #: Wall-clock time of the epoch, so spans recorded by *another*
+        #: process (a parallel grid worker) can be rebased onto this
+        #: tracer's timeline when merged via :meth:`ingest`.
+        self.epoch_wall = time.time()
         self._lock = threading.Lock()
         self._finished: List[Span] = []
         self._local = threading.local()
@@ -188,6 +192,62 @@ class Tracer:
     def find(self, name: str) -> List[Span]:
         """All finished spans with the given name."""
         return [s for s in self.finished() if s.name == name]
+
+    def ingest(
+        self,
+        span_dicts: List[Dict[str, Any]],
+        worker: str = "",
+        epoch_wall: Optional[float] = None,
+    ) -> int:
+        """Merge spans exported by another tracer (``Span.to_dict`` form).
+
+        Span ids are remapped onto this tracer's id space (parent links
+        within the batch are preserved), each span is tagged with the
+        originating ``worker``, and — when the remote tracer's
+        ``epoch_wall`` is supplied — timestamps are rebased so the merged
+        trace shows workers on one consistent timeline.  Returns the
+        number of spans ingested.
+        """
+        offset_us = 0.0
+        if epoch_wall is not None:
+            offset_us = (epoch_wall - self.epoch_wall) * 1e6
+        # Allocate all ids first: spans arrive in completion order, where
+        # children precede their parents, so parent links can only be
+        # remapped once every id is known.
+        with self._lock:
+            first_id = self._next_id
+            self._next_id += len(span_dicts)
+        id_map: Dict[int, int] = {}
+        for offset, payload in enumerate(span_dicts):
+            old_id = payload.get("id")
+            if old_id is not None:
+                id_map[int(old_id)] = first_id + offset
+        ingested: List[Span] = []
+        for offset, payload in enumerate(span_dicts):
+            new_id = first_id + offset
+            attrs = dict(payload.get("attrs") or {})
+            if worker:
+                attrs.setdefault("worker", worker)
+            old_parent = payload.get("parent")
+            ingested.append(
+                Span(
+                    name=str(payload.get("name", "")),
+                    category=str(payload.get("cat", "repro")),
+                    start_us=float(payload.get("ts", 0.0)) + offset_us,
+                    dur_us=float(payload.get("dur", 0.0)),
+                    span_id=new_id,
+                    parent_id=(
+                        id_map.get(int(old_parent)) if old_parent is not None else None
+                    ),
+                    depth=int(payload.get("depth", 0)),
+                    thread_id=int(payload.get("tid", 0)),
+                    status=str(payload.get("status", "ok")),
+                    attrs=attrs,
+                )
+            )
+        with self._lock:
+            self._finished.extend(ingested)
+        return len(ingested)
 
     def reset(self) -> None:
         with self._lock:

@@ -1,0 +1,30 @@
+"""Parallel grid execution engine.
+
+Three layers, each useful on its own:
+
+* :class:`ProfileCache` — content-addressed on-disk store (plus an
+  in-process LRU) for collected nsys profiles, keyed by workload
+  fingerprint × GPU × seed, with atomic writes safe under concurrent
+  workers;
+* :func:`run_tasks` — a generic ordered process-pool executor that
+  merges worker observability (spans, metrics) back into the parent;
+* :func:`execute_grid` — the experiment-grid fan-out built on both,
+  guaranteed bit-identical to the sequential runner (see
+  :mod:`repro.parallel.grid` for the determinism contract).
+
+Everything is opt-in: ``jobs=1`` (the default throughout the code base)
+never touches a process pool, and no cache is consulted unless one is
+passed explicitly or via ``--profile-cache`` on the CLI.
+"""
+
+from .executor import resolve_jobs, run_tasks
+from .grid import GridTask, execute_grid
+from .profile_cache import ProfileCache
+
+__all__ = [
+    "ProfileCache",
+    "GridTask",
+    "execute_grid",
+    "resolve_jobs",
+    "run_tasks",
+]

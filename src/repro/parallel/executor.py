@@ -1,0 +1,128 @@
+"""Process-pool task execution with ordered results and obs merging.
+
+The building block under the parallel grid runner: hand it a picklable
+module-level ``worker`` function and a list of payloads, and it fans the
+payloads across a process pool, returning results **in payload order**
+regardless of completion order.  ``jobs=1`` (the default everywhere)
+bypasses the pool entirely and runs the exact sequential code path, so
+parallelism is strictly opt-in.
+
+Two properties the experiment grids rely on:
+
+* **Determinism** — workers receive self-contained payloads whose
+  randomness derives from per-payload seeds, never from shared mutable
+  state, so any worker count or completion order produces the same
+  values.  The executor preserves submission order on the way out.
+* **Observability** — when the parent process has :mod:`repro.obs`
+  enabled, each worker runs its payload under a scoped obs session and
+  ships its spans and metrics back with the result; the parent merges
+  them (spans rebased onto the parent timeline and tagged with the
+  worker label) so one trace covers the whole fan-out.
+
+Workers are processes, not threads: the simulators and samplers are
+CPU-bound NumPy/Python code, so threads would serialize on the GIL.
+The pool uses the ``fork`` start method where available (cheap, and
+payloads stay picklable anyway so ``spawn`` platforms work too).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .. import obs
+
+__all__ = ["resolve_jobs", "run_tasks"]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means all cores."""
+    if jobs is None or int(jobs) <= 0:
+        return max(1, os.cpu_count() or 1)
+    return int(jobs)
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _invoke(worker: Callable[[Any], Any], payload: Any, capture_obs: bool) -> Dict:
+    """Run one payload in the worker process, capturing obs if asked."""
+    if not capture_obs:
+        return {"value": worker(payload)}
+    with obs.scoped() as session:
+        value = worker(payload)
+        return {
+            "value": value,
+            "spans": [s.to_dict() for s in session.tracer.finished()],
+            "metrics": session.metrics.export_state(),
+            "epoch_wall": session.tracer.epoch_wall,
+        }
+
+
+def _merge_worker_obs(result: Dict, worker_label: str) -> None:
+    session = obs.current()
+    if session is None or "spans" not in result:
+        return
+    session.tracer.ingest(
+        result["spans"], worker=worker_label, epoch_wall=result.get("epoch_wall")
+    )
+    session.metrics.merge_state(result.get("metrics") or {})
+
+
+def run_tasks(
+    worker: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    jobs: Optional[int] = 1,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+    label: str = "parallel",
+) -> List[Any]:
+    """Run ``worker`` over ``payloads``; results come back in payload order.
+
+    ``worker`` must be a module-level function (picklable by qualified
+    name) and every payload must be picklable.  ``on_result(index,
+    value)`` fires as each payload finishes — in *completion* order under
+    a pool — which is the hook the grid runner uses to checkpoint cells
+    the moment they complete.  On a worker exception the first failure
+    propagates after pending work is cancelled; results delivered before
+    the failure have already been passed to ``on_result``.
+    """
+    jobs = resolve_jobs(jobs)
+    results: List[Any] = [None] * len(payloads)
+    if jobs <= 1 or len(payloads) <= 1:
+        for index, payload in enumerate(payloads):
+            value = worker(payload)
+            results[index] = value
+            if on_result is not None:
+                on_result(index, value)
+        return results
+
+    capture = obs.is_enabled()
+    obs.log_event(f"{label}.fanout", tasks=len(payloads), jobs=jobs)
+    executor = ProcessPoolExecutor(
+        max_workers=min(jobs, len(payloads)), mp_context=_pool_context()
+    )
+    try:
+        future_index = {
+            executor.submit(_invoke, worker, payload, capture): index
+            for index, payload in enumerate(payloads)
+        }
+        pending = set(future_index)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = future_index[future]
+                wrapped = future.result()  # re-raises worker exceptions
+                _merge_worker_obs(wrapped, worker_label=f"{label}-{index}")
+                results[index] = wrapped["value"]
+                obs.inc(f"{label}.tasks_completed")
+                if on_result is not None:
+                    on_result(index, wrapped["value"])
+    finally:
+        # cancel_futures keeps a failure (or Ctrl-C) from waiting out the
+        # whole remaining grid before the exception surfaces.
+        executor.shutdown(wait=True, cancel_futures=True)
+    return results

@@ -1,0 +1,186 @@
+"""Parallel experiment-grid execution with bit-identical results.
+
+The (workload × method × repetition) grids behind every table and figure
+are embarrassingly parallel *above* the repetition: each repetition's
+cells share one profile store (so a workload is profiled once per
+repetition, exactly like the sequential runner), while different
+repetitions and workloads share nothing but the config.  The unit of
+parallelism is therefore the **(workload, repetition) task** — never a
+single method cell, which would multiply profiling cost, and never a
+whole workload, which would under-utilize small grids.
+
+Determinism contract
+--------------------
+``execute_grid(jobs=N)`` returns rows **bit-identical** to the
+sequential runner, by construction rather than by tolerance:
+
+* every cell's randomness derives from
+  :func:`repro.experiments.runner.repetition_seed`, a pure function of
+  the config — never from shared state or collection order;
+* workers and the sequential runner drain the *same*
+  :func:`~repro.experiments.runner.compute_cell_rows` generator, so
+  there is no second implementation to drift;
+* the executor reorders nothing: results are reassembled in grid order
+  (workload → repetition → method) no matter which worker finished
+  first.
+
+Checkpoints are written from the parent as each task completes, so a
+killed parallel grid resumes exactly like a killed sequential one — and
+either mode can resume the other's checkpoint file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
+
+from .. import obs
+from .executor import resolve_jobs, run_tasks
+from .profile_cache import ProfileCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..experiments.runner import ExperimentConfig, ResultRow
+    from ..workloads.workload import Workload
+
+__all__ = ["GridTask", "execute_grid"]
+
+
+@dataclass
+class GridTask:
+    """One worker payload: the missing cells of a (workload, repetition).
+
+    Self-contained and picklable — workers receive everything they need
+    and share no mutable state, which is what lets any worker count and
+    completion order produce identical rows.  The profile cache travels
+    as its ``root`` path (each process opens its own handle onto the
+    shared on-disk store).
+    """
+
+    workload: "Workload"
+    rep: int
+    methods: List[str]
+    config: "ExperimentConfig"
+    ground_truth: Optional[Callable] = None
+    cache_root: Optional[str] = None
+    cache_memory_entries: int = 64
+
+
+def _grid_task_worker(task: GridTask) -> List[Tuple[str, Dict[str, object]]]:
+    """Compute one task's rows; runs inside a worker process.
+
+    Returns ``(method, row_dict)`` pairs — plain dicts, so the parent
+    can checkpoint them without re-serializing.
+    """
+    from ..experiments import runner  # lazy: keeps import graph acyclic
+
+    cache = (
+        ProfileCache(task.cache_root, max_memory_entries=task.cache_memory_entries)
+        if task.cache_root
+        else None
+    )
+    with obs.span(
+        "parallel.grid_task", workload=task.workload.name, repetition=task.rep
+    ):
+        return [
+            (method, row.as_dict())
+            for method, row in runner.compute_cell_rows(
+                task.workload,
+                task.config,
+                task.methods,
+                task.rep,
+                ground_truth=task.ground_truth,
+                profile_cache=cache,
+            )
+        ]
+
+
+def execute_grid(
+    workloads: Iterable["Workload"],
+    config: "ExperimentConfig",
+    methods: Optional[Iterable[str]] = None,
+    ground_truth: Optional[Callable] = None,
+    checkpoint=None,
+    profile_cache: Optional[ProfileCache] = None,
+    jobs: Optional[int] = None,
+) -> List["ResultRow"]:
+    """Run an experiment grid across worker processes.
+
+    The parallel twin of :func:`repro.experiments.runner.run_suite`'s
+    inner loop: checkpointed cells are replayed up front, the remaining
+    cells are grouped into (workload, repetition) tasks and fanned across
+    ``jobs`` processes, and rows come back in exact grid order.
+
+    ``ground_truth`` must be picklable (a module-level function) since it
+    rides inside worker payloads.
+    """
+    from ..experiments import runner  # lazy: keeps import graph acyclic
+
+    workload_list = list(workloads)
+    method_list = list(methods or runner.METHODS)
+    checkpoint = runner._as_checkpoint(checkpoint, config)
+    jobs = resolve_jobs(jobs)
+
+    # Replay checkpointed cells; group what's left by (workload, rep).
+    stored: Dict[Tuple[int, str, int], "runner.ResultRow"] = {}
+    missing: Dict[Tuple[int, int], List[str]] = {}
+    for wl_idx, workload in enumerate(workload_list):
+        for rep in range(config.repetitions):
+            for method in method_list:
+                cell = (
+                    checkpoint.get(workload.suite, workload.name, method, rep)
+                    if checkpoint is not None
+                    else None
+                )
+                if cell is not None:
+                    stored[(wl_idx, method, rep)] = runner.ResultRow.from_dict(cell)
+                    obs.inc("resilience.checkpoint_cells_replayed")
+                else:
+                    missing.setdefault((wl_idx, rep), []).append(method)
+
+    task_keys = list(missing.keys())
+    payloads = [
+        GridTask(
+            workload=workload_list[wl_idx],
+            rep=rep,
+            methods=missing[(wl_idx, rep)],
+            config=config,
+            ground_truth=ground_truth,
+            cache_root=profile_cache.root if profile_cache is not None else None,
+            cache_memory_entries=(
+                profile_cache.max_memory_entries if profile_cache is not None else 64
+            ),
+        )
+        for wl_idx, rep in task_keys
+    ]
+
+    computed: Dict[Tuple[int, str, int], "runner.ResultRow"] = {}
+
+    def on_result(index: int, cells: List[Tuple[str, Dict[str, object]]]) -> None:
+        # Fires in completion order; checkpoint each task the moment it
+        # lands so a killed parallel grid loses only in-flight tasks.
+        wl_idx, rep = task_keys[index]
+        workload = workload_list[wl_idx]
+        for method, row_dict in cells:
+            computed[(wl_idx, method, rep)] = runner.ResultRow.from_dict(row_dict)
+            if checkpoint is not None:
+                checkpoint.record(
+                    workload.suite, workload.name, method, rep, row_dict
+                )
+
+    with obs.span("parallel.execute_grid", tasks=len(payloads), jobs=jobs):
+        run_tasks(
+            _grid_task_worker,
+            payloads,
+            jobs=jobs,
+            on_result=on_result,
+            label="parallel.grid",
+        )
+
+    # Reassemble in grid order — identical to the sequential runner's.
+    rows: List["runner.ResultRow"] = []
+    for wl_idx, workload in enumerate(workload_list):
+        for rep in range(config.repetitions):
+            for method in method_list:
+                key = (wl_idx, method, rep)
+                rows.append(stored[key] if key in stored else computed[key])
+    return rows

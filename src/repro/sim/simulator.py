@@ -39,6 +39,16 @@ from .trace import KernelTrace, TraceGenerator
 
 __all__ = ["KernelSimResult", "WorkloadSimResult", "GpuSimulator"]
 
+#: Event counters scaled by wave extrapolation (everything but the float
+#: ``cycles``/``stall_cycles``), in a fixed order so batch simulation can
+#: round and aggregate them as one matrix.
+_EVENT_FIELDS = (
+    "instructions", "fp32_ops", "fp16_ops", "int_ops", "sfu_ops",
+    "shared_ops", "branches", "global_loads", "global_stores",
+    "l1_hits", "l1_misses", "l2_hits", "l2_misses",
+    "dram_accesses", "dram_bytes",
+)
+
 
 @dataclass(frozen=True)
 class KernelSimResult:
@@ -59,12 +69,23 @@ class WorkloadSimResult:
     kernel_results: List[KernelSimResult]
     aggregate: SimStats
 
+    def __post_init__(self) -> None:
+        self._total_cycles: Optional[float] = None
+        self._cycles_by_index: Optional[dict] = None
+
     @property
     def total_cycles(self) -> float:
-        return float(sum(r.cycles for r in self.kernel_results))
+        # Cached: estimators query this repeatedly per plan evaluation.
+        if self._total_cycles is None:
+            self._total_cycles = float(sum(r.cycles for r in self.kernel_results))
+        return self._total_cycles
 
     def cycles_by_index(self) -> dict:
-        return {r.invocation_index: r.cycles for r in self.kernel_results}
+        if self._cycles_by_index is None:
+            self._cycles_by_index = {
+                r.invocation_index: r.cycles for r in self.kernel_results
+            }
+        return self._cycles_by_index
 
 
 class GpuSimulator:
@@ -119,7 +140,13 @@ class GpuSimulator:
         )
 
     # -- single kernels -----------------------------------------------------
-    def simulate_trace(self, trace: KernelTrace, seed: int = 0) -> KernelSimResult:
+    def _execute_trace(self, trace: KernelTrace) -> Tuple[float, SimStats]:
+        """Run the event-driven wave simulation for one trace.
+
+        The irreducibly sequential core: cache setup, optional warmup and
+        the SM wave loop.  Returns the raw (unscaled) wave cycles and
+        stats, with L1 counters already folded in.
+        """
         # Cache capacities are scaled into the trace's reduced address
         # space so footprint-to-capacity ratios match the full kernel.
         scale = trace.cache_scale
@@ -141,27 +168,28 @@ class GpuSimulator:
         dram = self._make_dram()
         sm = StreamingMultiprocessor(self.latencies, l1, l2, dram)
         wave_cycles, stats = sm.execute_wave(trace)
-
-        index = trace.invocation.index
-        rng = np.random.default_rng((seed * 0x9E3779B9 + index) & 0xFFFFFFFF)
-        noise = (
-            float(np.exp(rng.standard_normal() * self.noise - 0.5 * self.noise**2))
-            if self.noise
-            else 1.0
-        )
-        launch_cycles = self.config.launch_overhead_us * self.config.cycles_per_us()
-        cycles = (wave_cycles * trace.extrapolation + launch_cycles) * noise
         stats.l1_hits = l1.stats.hits
         stats.l1_misses = l1.stats.misses
+        return wave_cycles, stats
+
+    def _noise_factor(self, seed: int, index: int) -> float:
+        """Per-invocation hardware-noise multiplier (log-normal, mean 1)."""
+        if not self.noise:
+            return 1.0
+        rng = np.random.default_rng((seed * 0x9E3779B9 + index) & 0xFFFFFFFF)
+        return float(np.exp(rng.standard_normal() * self.noise - 0.5 * self.noise**2))
+
+    def simulate_trace(self, trace: KernelTrace, seed: int = 0) -> KernelSimResult:
+        wave_cycles, stats = self._execute_trace(trace)
+
+        index = trace.invocation.index
+        noise = self._noise_factor(seed, index)
+        launch_cycles = self.config.launch_overhead_us * self.config.cycles_per_us()
+        cycles = (wave_cycles * trace.extrapolation + launch_cycles) * noise
         # Event counters cover the traced wave; scale them by the same
         # extrapolation as the cycles so stats describe the whole kernel.
         factor = trace.extrapolation
-        for field_name in (
-            "instructions", "fp32_ops", "fp16_ops", "int_ops", "sfu_ops",
-            "shared_ops", "branches", "global_loads", "global_stores",
-            "l1_hits", "l1_misses", "l2_hits", "l2_misses",
-            "dram_accesses", "dram_bytes",
-        ):
+        for field_name in _EVENT_FIELDS:
             setattr(stats, field_name, int(round(getattr(stats, field_name) * factor)))
         stats.stall_cycles *= factor
         stats.cycles = cycles
@@ -194,17 +222,81 @@ class GpuSimulator:
         indices: Optional[Iterable[int]] = None,
         seed: int = 0,
     ) -> WorkloadSimResult:
-        """Simulate the workload (or the subset ``indices``), in order."""
+        """Simulate the workload (or the subset ``indices``), in order.
+
+        Batched: the event-driven wave simulation still runs per trace
+        (it is inherently sequential), but noise, launch overhead,
+        extrapolation scaling, counter rounding and aggregation are
+        single array operations over all invocations.  Results are
+        bit-identical to calling :meth:`simulate_invocation` per index —
+        the arithmetic is the same IEEE ops, applied elementwise.
+        """
         if indices is None:
             indices = range(len(workload))
-        results: List[KernelSimResult] = []
+        index_list = [int(i) for i in indices]
+        n = len(index_list)
         aggregate = SimStats()
         with obs.span("sim.workload", workload=workload.name) as sp:
-            for index in indices:
-                result = self.simulate_invocation(workload, int(index), seed=seed)
-                results.append(result)
-                aggregate.merge(result.stats)
-            sp.attrs["kernels"] = len(results)
+            wave_list: List[float] = []
+            extrap_list: List[float] = []
+            stats_list: List[SimStats] = []
+            noise_list: List[float] = []
+            for index in index_list:
+                if self.fault_injector is not None:
+                    self.fault_injector.check_simulation(index, 1)
+                trace = self.tracer.generate(workload.invocation(index), seed=seed)
+                wave_cycles, stats = self._execute_trace(trace)
+                wave_list.append(wave_cycles)
+                extrap_list.append(trace.extrapolation)
+                stats_list.append(stats)
+                noise_list.append(self._noise_factor(seed, index))
+            sp.attrs["kernels"] = n
+
+            if n:
+                waves = np.asarray(wave_list, dtype=np.float64)
+                extraps = np.asarray(extrap_list, dtype=np.float64)
+                noises = np.asarray(noise_list, dtype=np.float64)
+                launch = (
+                    self.config.launch_overhead_us * self.config.cycles_per_us()
+                )
+                cycles = (waves * extraps + launch) * noises
+                events = np.array(
+                    [[getattr(s, f) for f in _EVENT_FIELDS] for s in stats_list],
+                    dtype=np.float64,
+                )
+                # np.round is half-to-even, exactly like the scalar path's
+                # ``int(round(...))``.
+                scaled = np.round(events * extraps[:, None]).astype(np.int64)
+            else:
+                cycles = np.empty(0, dtype=np.float64)
+                scaled = np.empty((0, len(_EVENT_FIELDS)), dtype=np.int64)
+
+            results: List[KernelSimResult] = []
+            for i, (index, stats) in enumerate(zip(index_list, stats_list)):
+                for j, field_name in enumerate(_EVENT_FIELDS):
+                    setattr(stats, field_name, int(scaled[i, j]))
+                stats.stall_cycles *= extrap_list[i]
+                kernel_cycles = float(cycles[i])
+                stats.cycles = kernel_cycles
+                results.append(
+                    KernelSimResult(
+                        invocation_index=index,
+                        cycles=kernel_cycles,
+                        wave_cycles=wave_list[i],
+                        extrapolation=extrap_list[i],
+                        stats=stats,
+                    )
+                )
+            obs.inc("sim.kernels_executed", n)
+            if obs.is_enabled():
+                for kernel_cycles in cycles:
+                    obs.observe("sim.kernel_cycles", float(kernel_cycles))
+
+        if n:
+            totals = scaled.sum(axis=0)
+            for j, field_name in enumerate(_EVENT_FIELDS):
+                setattr(aggregate, field_name, int(totals[j]))
+            aggregate.stall_cycles = float(sum(s.stall_cycles for s in stats_list))
         aggregate.cycles = float(sum(r.cycles for r in results))
         return WorkloadSimResult(
             workload_name=workload.name,

@@ -112,3 +112,24 @@ class TestSilhouette:
     def test_single_cluster_returns_zero(self, rng):
         pts = rng.random(20)
         assert silhouette_score(pts, np.zeros(20, dtype=int)) == 0.0
+
+    def test_size_cap_raises_typed_error(self):
+        from repro.core.clustering import SILHOUETTE_MAX_POINTS
+        from repro.errors import ReproError
+
+        n = SILHOUETTE_MAX_POINTS + 1
+        pts = np.zeros(n)
+        labels = np.arange(n) % 2
+        with pytest.raises(ReproError, match="max_points"):
+            silhouette_score(pts, labels)
+
+    def test_size_cap_override(self, rng):
+        from repro.core.clustering import SILHOUETTE_MAX_POINTS
+        from repro.errors import ReproError
+
+        pts = np.concatenate([rng.normal(0, 0.1, 30), rng.normal(10, 0.1, 30)])
+        labels = np.array([0] * 30 + [1] * 30)
+        # Tighter cap rejects; explicit higher cap admits the same data.
+        with pytest.raises(ReproError):
+            silhouette_score(pts, labels, max_points=10)
+        assert silhouette_score(pts, labels, max_points=60) > 0.9

@@ -370,3 +370,35 @@ class TestMultiSmSimulator:
         result = sim.simulate_invocation(w, 0, seed=0)
         # Extrapolated counters exceed what two SMs alone executed.
         assert result.stats.instructions > 2 * 16 * 10
+
+
+class TestBatchedWorkloadSimulation:
+    def test_batch_matches_per_invocation_exactly(self):
+        w = flat_workload(n=12, seed=1)
+        batch = GpuSimulator(RTX_2080).simulate_workload(w, seed=3)
+        scalar_sim = GpuSimulator(RTX_2080)
+        assert len(batch.kernel_results) == len(w)
+        for i, got in enumerate(batch.kernel_results):
+            want = scalar_sim.simulate_invocation(w, i, seed=3)
+            assert got.cycles == want.cycles
+            assert got.wave_cycles == want.wave_cycles
+            assert got.extrapolation == want.extrapolation
+            assert got.stats == want.stats
+
+    def test_subset_indices_match_full_run(self):
+        w = flat_workload(n=10, seed=2)
+        full = GpuSimulator(RTX_2080).simulate_workload(w, seed=5)
+        subset = GpuSimulator(RTX_2080).simulate_workload(w, indices=[1, 4, 7], seed=5)
+        for got, idx in zip(subset.kernel_results, [1, 4, 7]):
+            assert got.cycles == full.kernel_results[idx].cycles
+
+    def test_aggregate_fields_cached_and_consistent(self):
+        w = flat_workload(n=8, seed=0)
+        res = GpuSimulator(RTX_2080).simulate_workload(w, seed=1)
+        total = res.total_cycles
+        assert total == res.total_cycles  # cached value is stable
+        assert total == sum(r.cycles for r in res.kernel_results)
+        by_index = res.cycles_by_index()
+        assert by_index is res.cycles_by_index()  # memoized
+        assert set(by_index) == {r.invocation_index for r in res.kernel_results}
+        assert sum(by_index.values()) == total
