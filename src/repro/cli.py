@@ -11,14 +11,21 @@ Commands
 ``faults``    describe a fault spec and dry-run it against a workload
 ``grid``      run a (method x workload x repetition) grid, resumably
 ``suite``     run a whole suite and print per-method Table-3 summaries
+``sweep``     error-bound sensitivity sweep (Figure 11) with memoization
+``dse``       design-space exploration grid (Table 4)
 
-Parallelism
------------
-``grid`` and ``suite`` accept ``--jobs N`` (``0`` = all cores) to fan
-(workload, repetition) cells across worker processes — results are
+Parallelism & memoization
+-------------------------
+``grid``, ``suite``, ``sweep`` and ``dse`` accept ``--jobs N`` (``0`` =
+all cores) to fan cells across worker processes — results are
 bit-identical to ``--jobs 1`` by construction.  ``--profile-cache DIR``
 reuses collected profiles across runs and workers, and ``--fsync-every
 N`` batches checkpoint durability barriers on large fast grids.
+``sweep`` and ``dse`` additionally accept ``--sim-cache DIR`` (reuse raw
+simulation results across epsilon points, DSE variants and re-runs — see
+:mod:`repro.memo`); sequential sweeps share ROOT candidate split trees
+across epsilon points automatically.  Caching never changes any number:
+warm runs are bit-identical to cold ones.
 
 Fault tolerance
 ---------------
@@ -149,6 +156,63 @@ def build_parser() -> argparse.ArgumentParser:
         "suite", help="run a whole suite and print per-method summaries"
     )
     add_grid_args(p_suite)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="error-bound sensitivity sweep (Figure 11)"
+    )
+    p_sweep.add_argument("suite", nargs="?", choices=suite_names(),
+                         default="casio")
+    p_sweep.add_argument("--epsilons", default=None,
+                         help="comma-separated error bounds "
+                              "(default: 0.03,0.05,0.10,0.25)")
+    p_sweep.add_argument("--repetitions", type=int, default=3)
+    p_sweep.add_argument("--scale", type=float, default=1.0)
+    p_sweep.add_argument("--gpu", choices=sorted(PRESETS), default="rtx2080")
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--ground-truth", choices=["profile", "sim"],
+                         default="profile",
+                         help="score plans against the nsys profile "
+                              "(default) or the cycle simulator (the mode "
+                              "where --sim-cache pays off)")
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (0 = all cores, default 1)")
+    p_sweep.add_argument("--profile-cache", metavar="DIR", default=None,
+                         help="reuse collected profiles from this directory")
+    p_sweep.add_argument("--sim-cache", metavar="DIR", default=None,
+                         help="reuse raw simulation results from this "
+                              "directory across points and runs")
+    p_sweep.add_argument("--out", metavar="PATH", default=None,
+                         help="write points + cache hit rates as JSON")
+    p_sweep.add_argument("--trace-out", metavar="PATH", default=None)
+    p_sweep.add_argument("--metrics-out", metavar="PATH", default=None)
+
+    p_dse = sub.add_parser(
+        "dse", help="design-space exploration grid (Table 4)"
+    )
+    p_dse.add_argument("--workloads", default=None,
+                       help="comma-separated workload names "
+                            "(default: the paper's 17 reduced workloads)")
+    p_dse.add_argument("--methods", default=None,
+                       help="comma-separated method list "
+                            "(default: pka,sieve,photon,stem)")
+    p_dse.add_argument("--repetitions", type=int, default=3)
+    p_dse.add_argument("--max-invocations", type=int, default=200,
+                       help="reduce each workload to at most this many "
+                            "invocations (paper Sec. 5.4)")
+    p_dse.add_argument("--gpu", choices=sorted(PRESETS), default="rtx2080")
+    p_dse.add_argument("--seed", type=int, default=0)
+    p_dse.add_argument("--epsilon", type=float, default=0.05)
+    p_dse.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (0 = all cores, default 1)")
+    p_dse.add_argument("--profile-cache", metavar="DIR", default=None,
+                       help="reuse collected profiles from this directory")
+    p_dse.add_argument("--sim-cache", metavar="DIR", default=None,
+                       help="reuse full variant simulations from this "
+                            "directory across runs")
+    p_dse.add_argument("--out", metavar="PATH", default=None,
+                       help="write results + cache hit rates as JSON")
+    p_dse.add_argument("--trace-out", metavar="PATH", default=None)
+    p_dse.add_argument("--metrics-out", metavar="PATH", default=None)
 
     p_report = sub.add_parser("report", help="plan transparency report")
     add_workload_args(p_report)
@@ -490,6 +554,189 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _memo_caches(args, jobs: int):
+    """Build the (profile, sim, tree) caches a memoized command asked for."""
+    profile_cache = None
+    if getattr(args, "profile_cache", None):
+        from .parallel import ProfileCache
+
+        profile_cache = ProfileCache(args.profile_cache)
+    sim_cache = None
+    if getattr(args, "sim_cache", None):
+        from .memo import SimResultCache
+
+        sim_cache = SimResultCache(args.sim_cache)
+    tree_cache = None
+    if jobs == 1:
+        from .memo import SplitTreeCache
+
+        tree_cache = SplitTreeCache()
+    return profile_cache, sim_cache, tree_cache
+
+
+def _memo_stats(profile_cache, sim_cache, tree_cache):
+    """Per-stage hit/miss counters as one JSON-ready dict."""
+    out = {}
+    if profile_cache is not None:
+        out["profile_cache"] = {
+            "hits": profile_cache.hits,
+            "misses": profile_cache.misses,
+            "stores": profile_cache.stores,
+        }
+    if sim_cache is not None:
+        out["sim_cache"] = sim_cache.stats()
+        total = sim_cache.hits + sim_cache.misses
+        out["sim_cache"]["hit_rate"] = sim_cache.hits / total if total else 0.0
+    if tree_cache is not None:
+        out["tree_cache"] = tree_cache.stats()
+    return out
+
+
+def _print_memo_stats(stats) -> None:
+    if not stats:
+        return
+    parts = []
+    for stage, counters in stats.items():
+        hits = counters.get("hits", 0)
+        misses = counters.get("misses", 0)
+        total = hits + misses
+        rate = f"{hits / total:.0%}" if total else "-"
+        parts.append(f"{stage}: {hits}/{total} hits ({rate})")
+    print("memo: " + "; ".join(parts), file=sys.stderr)
+
+
+def _cmd_sweep(args) -> int:
+    import dataclasses
+    import json
+
+    from .experiments.error_bound_sweep import (
+        DEFAULT_EPSILONS,
+        run_error_bound_sweep,
+    )
+    from .experiments.runner import ExperimentConfig
+
+    epsilons = (
+        [float(e) for e in args.epsilons.split(",")]
+        if args.epsilons
+        else list(DEFAULT_EPSILONS)
+    )
+    config = ExperimentConfig(
+        gpu=get_preset(args.gpu),
+        repetitions=args.repetitions,
+        base_seed=args.seed,
+        workload_scale=args.scale,
+    )
+    profile_cache, sim_cache, tree_cache = _memo_caches(args, args.jobs)
+    points = run_error_bound_sweep(
+        epsilons,
+        config=config,
+        suite=args.suite,
+        jobs=args.jobs,
+        profile_cache=profile_cache,
+        sim_cache=sim_cache,
+        ground_truth=args.ground_truth,
+        tree_cache=tree_cache,
+    )
+    print(
+        render_table(
+            ["epsilon %", "speedup x", "error %", "mean samples"],
+            [
+                [p.epsilon * 100, p.speedup, p.error_percent, p.mean_samples]
+                for p in points
+            ],
+            title=f"error-bound sweep: {args.suite} "
+                  f"({len(epsilons)} points, truth={args.ground_truth})",
+        )
+    )
+    stats = _memo_stats(profile_cache, sim_cache, tree_cache)
+    _print_memo_stats(stats)
+    if args.out:
+        payload = {
+            "suite": args.suite,
+            "epsilons": epsilons,
+            "ground_truth": args.ground_truth,
+            "repetitions": args.repetitions,
+            "seed": args.seed,
+            "scale": args.scale,
+            "points": [dataclasses.asdict(p) for p in points],
+            "memo": stats,
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote sweep results to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_dse(args) -> int:
+    import dataclasses
+    import json
+
+    from .experiments.dse import (
+        default_dse_workloads,
+        run_dse,
+        table4_summary,
+        VARIANT_LABELS,
+    )
+
+    specs = default_dse_workloads(max_invocations=args.max_invocations)
+    if args.workloads:
+        wanted = {name.strip() for name in args.workloads.split(",")}
+        specs = [spec for spec in specs if spec.name in wanted]
+        unknown = wanted - {spec.name for spec in specs}
+        if unknown:
+            print(
+                f"unknown DSE workloads: {', '.join(sorted(unknown))} "
+                f"(available: {', '.join(s.name for s in default_dse_workloads())})",
+                file=sys.stderr,
+            )
+            return 2
+    methods = args.methods.split(",") if args.methods else None
+    profile_cache, sim_cache, _ = _memo_caches(args, args.jobs)
+    results = run_dse(
+        specs,
+        baseline_gpu=get_preset(args.gpu),
+        methods=methods,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        epsilon=args.epsilon,
+        jobs=args.jobs,
+        profile_cache=profile_cache,
+        sim_cache=sim_cache,
+    )
+    table = table4_summary(results)
+    method_order = methods or ["pka", "sieve", "photon", "stem"]
+    print(
+        render_table(
+            ["variant"] + [f"{m} err %" for m in method_order],
+            [
+                [variant] + [table.get(variant, {}).get(m, float("nan"))
+                             for m in method_order]
+                for variant in VARIANT_LABELS
+                if variant in table
+            ],
+            title=f"DSE error by variant ({len(specs)} workloads, "
+                  f"{args.repetitions} reps)",
+        )
+    )
+    stats = _memo_stats(profile_cache, sim_cache, None)
+    _print_memo_stats(stats)
+    if args.out:
+        payload = {
+            "workloads": [spec.name for spec in specs],
+            "methods": method_order,
+            "repetitions": args.repetitions,
+            "seed": args.seed,
+            "epsilon": args.epsilon,
+            "results": [dataclasses.asdict(r) for r in results],
+            "table": table,
+            "memo": stats,
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote DSE results to {args.out}", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "sample": _cmd_sample,
     "compare": _cmd_compare,
@@ -500,6 +747,8 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "grid": _cmd_grid,
     "suite": _cmd_suite,
+    "sweep": _cmd_sweep,
+    "dse": _cmd_dse,
 }
 
 

@@ -7,6 +7,21 @@ keeps a split only if STEM predicts the split lowers total simulated time
 cluster without knowing the number of peaks a priori, and stops before
 over-partitioning: splitting a unimodal cluster does not reduce variance
 enough to pay for the extra per-cluster samples.
+
+The recursion is factored into two halves (see
+:mod:`repro.memo.split_tree`): an epsilon-independent **candidate split
+tree** (the k-means structure, expanded lazily and reusable across error
+bounds) and the epsilon-dependent **acceptance walk**
+(:func:`select_leaves`) applying the Eq. (7)–(8) test.  ``root_split``
+composes the two, so a from-scratch run and a cached-tree re-walk are
+the same code path by construction.
+
+K-means seeding is derived per node from ``(salt, *path)``, where the
+salt is a single draw from the caller's generator — so ROOT consumes
+exactly one RNG draw per (non-empty) group regardless of how deep the
+recursion goes or which splits an epsilon accepts.  That invariant is
+what lets an epsilon sweep reuse trees without perturbing the sampler's
+subsequent representative draws.
 """
 
 from __future__ import annotations
@@ -17,7 +32,12 @@ from typing import List, Optional
 import numpy as np
 
 from .. import obs
-from .clustering import kmeans_1d
+from ..memo.split_tree import (
+    DEGENERATE,
+    SplitNode,
+    SplitTreeCache,
+    build_split_tree,
+)
 from .stem import (
     DEFAULT_EPSILON,
     DEFAULT_Z,
@@ -27,7 +47,13 @@ from .stem import (
     single_cluster_sample_size,
 )
 
-__all__ = ["RootConfig", "RootCluster", "root_split", "RootTreeNode"]
+__all__ = [
+    "RootConfig",
+    "RootCluster",
+    "root_split",
+    "select_leaves",
+    "RootTreeNode",
+]
 
 
 @dataclass(frozen=True)
@@ -115,7 +141,7 @@ def root_split(
     config: Optional[RootConfig] = None,
     rng: Optional[np.random.Generator] = None,
     tree: Optional[RootTreeNode] = None,
-    _depth: int = 0,
+    tree_cache: Optional[SplitTreeCache] = None,
 ) -> List[RootCluster]:
     """Recursively cluster one kernel's invocations by execution time.
 
@@ -129,9 +155,16 @@ def root_split(
     config:
         Recursion knobs; defaults to the paper's settings.
     rng:
-        Randomness source for k-means seeding.
+        Randomness source; exactly one draw is consumed (the k-means
+        seeding salt) per call.
     tree:
         When given, the recursion records its decisions into this node.
+    tree_cache:
+        Optional :class:`~repro.memo.SplitTreeCache`; the candidate
+        split tree for this (times, indices, salt, structural-knobs)
+        combination is reused across calls — epsilon is absent from the
+        key, so an epsilon sweep at a fixed seed clusters each kernel
+        group once and re-walks acceptance per bound.
 
     Returns
     -------
@@ -151,51 +184,59 @@ def root_split(
     if rng is None:
         rng = np.random.default_rng(0)
 
-    if _depth == 0:
-        # One span per kernel group; the recursion below reports its
-        # decisions through counters/histograms, not per-node spans.
-        with obs.span("root.split", invocations=int(len(t))):
-            leaves = _split_recursive(t, indices, config, rng, tree, _depth)
-            obs.observe("root.leaves_per_group", float(len(leaves)))
-            return leaves
-    return _split_recursive(t, indices, config, rng, tree, _depth)
+    salt = int(rng.integers(0, np.iinfo(np.int64).max))
+    if tree_cache is not None:
+        key = SplitTreeCache.key_for(
+            t, indices, salt, config.k, config.min_cluster_size, config.max_depth
+        )
+        node = tree_cache.get_or_build(
+            key, lambda: build_split_tree(t, indices, salt)
+        )
+    else:
+        node = build_split_tree(t, indices, salt)
+    # One span per kernel group; the walk below reports its decisions
+    # through counters/histograms, not per-node spans.
+    with obs.span("root.split", invocations=int(len(t))):
+        leaves = select_leaves(node, config, tree=tree)
+        obs.observe("root.leaves_per_group", float(len(leaves)))
+        return leaves
 
 
-def _split_recursive(
-    t: np.ndarray,
-    indices: np.ndarray,
+def select_leaves(
+    node: SplitNode,
     config: RootConfig,
-    rng: np.random.Generator,
-    tree: Optional[RootTreeNode],
-    _depth: int,
+    tree: Optional[RootTreeNode] = None,
 ) -> List[RootCluster]:
-    stats = ClusterStats.from_times(t)
+    """Walk a candidate split tree, applying the Eq. (7)–(8) acceptance.
+
+    The epsilon-dependent half of ROOT: it expands the tree lazily where
+    (and only where) splits are accepted, so walking a cached tree at a
+    new error bound re-evaluates acceptance and re-solves the per-split
+    KKT allocations without redoing any k-means that both bounds share.
+    """
+    stats = node.stats
     if tree is not None:
         tree.stats = stats
-        tree.depth = _depth
-    leaf = RootCluster(indices=indices, stats=stats, depth=_depth)
+        tree.depth = node.depth
+    leaf = RootCluster(indices=node.indices, stats=stats, depth=node.depth)
 
-    if (
-        len(t) < config.min_cluster_size
-        or _depth >= config.max_depth
-        or stats.sigma == 0.0
-    ):
-        obs.inc("root.stop_conditions")
+    children = node.ensure_children(
+        config.k, config.min_cluster_size, config.max_depth
+    )
+    if not children:
+        if node.leaf_reason == DEGENERATE:
+            obs.inc("root.degenerate_kmeans")
+        else:
+            obs.inc("root.stop_conditions")
         return [leaf]
-
-    result = kmeans_1d(t, config.k, rng=rng)
-    member_lists = [m for m in result.cluster_indices() if len(m)]
-    if len(member_lists) < 2:
-        obs.inc("root.degenerate_kmeans")
-        return [leaf]
-    children_stats = [ClusterStats.from_times(t[m]) for m in member_lists]
+    children_stats = [child.stats for child in children]
 
     accepted, tau_old, tau_new = _split_decision(stats, children_stats, config)
     obs.log_event(
         "root.split_decision",
         level="debug",
-        depth=_depth,
-        size=len(t),
+        depth=node.depth,
+        size=node.size,
         accepted=accepted,
         tau_old=tau_old,
         tau_new=tau_new,
@@ -204,25 +245,16 @@ def _split_recursive(
         obs.inc("root.splits_rejected")
         return [leaf]
     obs.inc("root.splits_accepted")
-    obs.observe("root.split_depth", float(_depth))
+    obs.observe("root.split_depth", float(node.depth))
     obs.observe("root.predicted_time_delta", tau_old - tau_new)
 
     if tree is not None:
         tree.accepted_split = True
     leaves: List[RootCluster] = []
-    for members in member_lists:
+    for child in children:
         child_tree = None
         if tree is not None:
-            child_tree = RootTreeNode(stats=stats, depth=_depth + 1)
+            child_tree = RootTreeNode(stats=stats, depth=node.depth + 1)
             tree.children.append(child_tree)
-        leaves.extend(
-            _split_recursive(
-                t[members],
-                indices[members],
-                config,
-                rng,
-                child_tree,
-                _depth + 1,
-            )
-        )
+        leaves.extend(select_leaves(child, config, tree=child_tree))
     return leaves

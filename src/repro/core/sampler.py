@@ -70,6 +70,7 @@ class StemRootSampler:
         use_kkt: bool = True,
         replacement: bool = True,
         validation: str = "strict",
+        tree_cache=None,
     ):
         if validation not in ("off", "strict", "repair"):
             raise ValueError("validation must be 'off', 'strict' or 'repair'")
@@ -81,6 +82,11 @@ class StemRootSampler:
         self.use_root = use_root
         self.use_kkt = use_kkt
         self.replacement = replacement
+        #: Optional :class:`~repro.memo.SplitTreeCache` shared across
+        #: samplers — epsilon-sweep points at the same seed then reuse
+        #: each kernel group's candidate split tree and only re-walk the
+        #: acceptance decisions (incremental re-planning).
+        self.tree_cache = tree_cache
         #: Profile validation mode applied in :meth:`cluster` — ``strict``
         #: raises :class:`~repro.errors.ProfileValidationError` on NaN /
         #: inf / non-positive times or length mismatch; ``repair`` fixes
@@ -113,7 +119,11 @@ class StemRootSampler:
                 group_times = times[indices]
                 if self.use_root:
                     leaves = root_split(
-                        group_times, indices, config=self.root_config, rng=rng
+                        group_times,
+                        indices,
+                        config=self.root_config,
+                        rng=rng,
+                        tree_cache=self.tree_cache,
                     )
                 else:
                     leaves = [

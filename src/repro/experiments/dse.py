@@ -102,6 +102,7 @@ class _DseSpecTask:
     seed: int
     epsilon: float
     cache_root: Optional[str] = None
+    sim_cache_root: Optional[str] = None
 
 
 def _dse_spec_worker(task: _DseSpecTask) -> List[DseResult]:
@@ -123,6 +124,11 @@ def _dse_spec_worker(task: _DseSpecTask) -> List[DseResult]:
         from ..parallel import ProfileCache
 
         cache = ProfileCache(task.cache_root)
+    sim_cache = None
+    if task.sim_cache_root:
+        from .error_bound_sweep import _sim_cache_for
+
+        sim_cache = _sim_cache_for(task.sim_cache_root)
 
     workload = load_workload(spec.suite, spec.name, scale=spec.scale, seed=seed)
     if len(workload) > spec.max_invocations:
@@ -131,10 +137,12 @@ def _dse_spec_worker(task: _DseSpecTask) -> List[DseResult]:
         picks = np.linspace(0, len(workload) - 1, spec.max_invocations)
         workload = workload.subset(np.unique(picks.astype(np.int64)), name=spec.name)
 
-    # Full cycle-level simulation per variant (deterministic per seed).
+    # Full cycle-level simulation per variant (deterministic per seed —
+    # and therefore cacheable: re-runs and shared-variant grids reuse the
+    # raw results instead of re-simulating every invocation).
     variant_cycles: Dict[str, np.ndarray] = {}
     for label, gpu in variants:
-        simulator = GpuSimulator(gpu)
+        simulator = GpuSimulator(gpu, sim_cache=sim_cache)
         variant_cycles[label] = simulator.cycle_counts(workload, seed=seed)
 
     # Plans from baseline profiles, evaluated against every variant.
@@ -185,6 +193,7 @@ def run_dse(
     epsilon: float = 0.05,
     jobs: Optional[int] = 1,
     profile_cache=None,
+    sim_cache=None,
 ) -> List[DseResult]:
     """Full DSE grid; returns flat per-(workload, variant, method) rows.
 
@@ -197,11 +206,23 @@ def run_dse(
     sequential loop; specs share
     nothing but the payload config.  ``profile_cache`` (a
     :class:`repro.parallel.ProfileCache`) reuses baseline profiles across
-    runs.
+    runs; ``sim_cache`` (a :class:`repro.memo.SimResultCache` or a cache
+    directory path) does the same for the full per-variant cycle
+    simulations — the dominant cost of a warm DSE re-run.
     """
     from ..parallel import run_tasks
 
     baseline = baseline_gpu or RTX_2080
+    sim_cache_root = None
+    if sim_cache is not None:
+        from .error_bound_sweep import _SIM_CACHES
+        from ..memo import SimResultCache
+
+        if isinstance(sim_cache, SimResultCache):
+            _SIM_CACHES[sim_cache.root] = sim_cache
+            sim_cache_root = sim_cache.root
+        else:
+            sim_cache_root = str(sim_cache)
     tasks = [
         _DseSpecTask(
             spec=spec,
@@ -213,6 +234,7 @@ def run_dse(
             cache_root=(
                 profile_cache.root if profile_cache is not None else None
             ),
+            sim_cache_root=sim_cache_root,
         )
         for spec in (workloads or default_dse_workloads())
     ]

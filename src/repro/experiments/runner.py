@@ -149,6 +149,13 @@ class ExperimentConfig:
     #: fault plan corrupts profiles, so injected garbage is healed rather
     #: than crashing every sampler.
     validation: str = "off"
+    #: Optional :class:`~repro.memo.SplitTreeCache` handed to every STEM
+    #: sampler this config builds.  Sharing one cache across configs that
+    #: differ only in ``epsilon`` (see ``run_error_bound_sweep``) reuses
+    #: each (workload, seed) ROOT candidate tree per epsilon point.
+    #: Deliberately absent from :meth:`fingerprint` — caching never
+    #: changes results, so checkpoints stay interchangeable.
+    tree_cache: Optional[object] = field(default=None, repr=False, compare=False)
 
     def sampler_for(self, method: str, workload: Workload):
         """Instantiate a sampling method with the paper's tuning rules.
@@ -180,7 +187,7 @@ class ExperimentConfig:
         if method == "tbpoint":
             return TbpointSampler(max_kernels=max(1, int(200_000 * scale)))
         if method == "stem":
-            return StemRootSampler(epsilon=self.epsilon)
+            return StemRootSampler(epsilon=self.epsilon, tree_cache=self.tree_cache)
         raise KeyError(
             f"unknown method {method!r}; available: {METHODS + EXTRA_METHODS}"
         )
@@ -435,12 +442,15 @@ def run_suite(
     config: Optional[ExperimentConfig] = None,
     methods: Optional[Iterable[str]] = None,
     workload_names: Optional[Iterable[str]] = None,
+    ground_truth: Optional[Callable[[ProfileStore, int], np.ndarray]] = None,
     checkpoint: Optional[Union[str, GridCheckpoint]] = None,
     jobs: Optional[int] = 1,
     profile_cache=None,
 ) -> List[ResultRow]:
     """Evaluate methods on every workload of a suite.
 
+    ``ground_truth`` overrides what plans are scored against, exactly as
+    in :func:`run_workload` (picklable when ``jobs != 1``);
     ``checkpoint`` (path or :class:`~repro.resilience.GridCheckpoint`)
     makes the grid resumable; ``jobs`` fans (workload, repetition) cells
     across processes with bit-identical results; ``profile_cache`` reuses
@@ -459,6 +469,7 @@ def run_suite(
             workloads,
             config=config,
             methods=methods,
+            ground_truth=ground_truth,
             checkpoint=checkpoint,
             profile_cache=profile_cache,
             jobs=jobs,
@@ -471,6 +482,7 @@ def run_suite(
                 workload,
                 config=config,
                 methods=methods,
+                ground_truth=ground_truth,
                 checkpoint=checkpoint,
                 profile_cache=profile_cache,
             )

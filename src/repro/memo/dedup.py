@@ -1,0 +1,78 @@
+"""Unique-sample dedup: collapse repeated draws, expand exact estimates.
+
+Sampling with replacement (the CLT's i.i.d. requirement) routinely draws
+the same invocation several times inside one plan — and simulating a
+drawn invocation is a pure function of (workload, invocation index,
+seed, GPU config), so every repeat is pure waste.  This module collapses
+a draw list to its unique invocations plus multiplicities, and expands
+per-unique results back to the per-draw layout.
+
+Bit-identity discipline
+-----------------------
+Estimates over the expanded values must run the *original* per-draw
+arithmetic.  Expansion is an inverse gather (``unique_vals[inverse]``),
+which reproduces the per-draw value array exactly; a "weighted" mean via
+``(counts * unique_vals).sum() / counts.sum()`` is **not** equivalent —
+IEEE addition of ``c`` repeated terms rounds differently from one
+multiply by ``c`` — and would drift in the last ulp.  Downstream code
+therefore gathers first and reuses the unchanged estimator code path,
+which is how dedup stays invisible to every report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DrawMultiset", "collapse_draws", "expand_unique"]
+
+
+@dataclass(frozen=True)
+class DrawMultiset:
+    """A draw list collapsed to unique invocations with multiplicities.
+
+    ``unique[inverse]`` reconstructs the original draw order exactly;
+    ``counts[j]`` is the multiplicity of ``unique[j]``.
+    """
+
+    unique: np.ndarray
+    inverse: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def num_draws(self) -> int:
+        return len(self.inverse)
+
+    @property
+    def num_unique(self) -> int:
+        return len(self.unique)
+
+    @property
+    def collapsed(self) -> int:
+        """How many simulations dedup avoids for this draw list."""
+        return self.num_draws - self.num_unique
+
+
+def collapse_draws(indices) -> DrawMultiset:
+    """Collapse a (possibly repeating) draw list to its unique support."""
+    draws = np.asarray(indices, dtype=np.int64).ravel()
+    unique, inverse, counts = np.unique(
+        draws, return_inverse=True, return_counts=True
+    )
+    return DrawMultiset(
+        unique=unique,
+        inverse=inverse.astype(np.int64, copy=False),
+        counts=counts.astype(np.int64, copy=False),
+    )
+
+
+def expand_unique(unique_values: np.ndarray, inverse: np.ndarray) -> np.ndarray:
+    """Inverse-gather per-unique values back to the per-draw layout.
+
+    The result is elementwise identical to evaluating every draw
+    directly, so any estimator applied to it (mean, scaled totals, the
+    KKT error model) produces bit-identical numbers to the per-draw
+    path.
+    """
+    return np.asarray(unique_values)[np.asarray(inverse, dtype=np.int64)]

@@ -38,10 +38,11 @@ PHASE_PREFIXES: List[Tuple[str, str]] = [
     ("sim", "simulate"),
     ("multigpu", "simulate"),
     ("resilience", "resilience"),
+    ("memo", "memo"),
 ]
 
 #: Canonical phase display order.
-PHASES: List[str] = ["profile", "cluster", "plan", "simulate", "resilience", "other"]
+PHASES: List[str] = ["profile", "cluster", "plan", "simulate", "resilience", "memo", "other"]
 
 
 def phase_of(name: str) -> str:

@@ -30,6 +30,8 @@ import numpy as np
 
 from .. import obs
 from ..hardware.gpu_config import GPUConfig
+from ..memo.dedup import collapse_draws
+from ..memo.sim_cache import RawKernelSim
 from ..workloads.workload import Workload
 from .cache import Cache
 from .memory import DramModel
@@ -100,6 +102,7 @@ class GpuSimulator:
         noise: float = 0.02,
         warmup=None,
         fault_injector=None,
+        sim_cache=None,
     ):
         self.config = config
         self.latencies = latencies or self._derive_latencies(config)
@@ -120,6 +123,10 @@ class GpuSimulator:
         #: fault plan dooms — the hook the resilient executor retries
         #: around.  ``None`` (the default) costs nothing.
         self.fault_injector = fault_injector
+        #: Optional :class:`~repro.memo.SimResultCache`; when set,
+        #: :meth:`simulate_workload` reuses raw per-invocation results
+        #: across calls, repetitions and runs instead of re-simulating.
+        self.sim_cache = sim_cache
 
     @staticmethod
     def _derive_latencies(config: GPUConfig) -> LatencyTable:
@@ -215,12 +222,51 @@ class GpuSimulator:
         trace = self.tracer.generate(workload.invocation(index), seed=seed)
         return self.simulate_trace(trace, seed=seed)
 
+    # -- memoization --------------------------------------------------------
+    def memo_identity(self) -> str:
+        """Everything beyond (workload, GPU, seed) that shapes raw results.
+
+        Part of the simulation-cache context key: the latency table and
+        trace-reduction knobs change raw wave cycles, and a warmup
+        strategy changes cache hit counters.  A warmup object without a
+        stable ``repr`` keys on its object identity, which degrades to
+        per-process caching — never to a stale hit.
+        """
+        return (
+            f"{self.latencies!r}"
+            f"|mi{self.tracer.max_instructions_per_warp}"
+            f"|mr{self.tracer.max_resident_warps}"
+            f"|warmup={self.warmup!r}"
+        )
+
+    def _raw_invocation(self, workload: Workload, index: int, seed: int) -> RawKernelSim:
+        """Raw (unscaled) simulation of one invocation — the pure core."""
+        trace = self.tracer.generate(workload.invocation(index), seed=seed)
+        wave_cycles, stats = self._execute_trace(trace)
+        return RawKernelSim(
+            wave_cycles=float(wave_cycles),
+            extrapolation=float(trace.extrapolation),
+            stall_cycles=float(stats.stall_cycles),
+            events=np.array(
+                [getattr(stats, f) for f in _EVENT_FIELDS], dtype=np.int64
+            ),
+        )
+
+    @staticmethod
+    def _stats_from_raw(raw: RawKernelSim) -> SimStats:
+        """Fresh mutable stats per result slot (post-processing mutates)."""
+        stats = SimStats(stall_cycles=raw.stall_cycles)
+        for j, field_name in enumerate(_EVENT_FIELDS):
+            setattr(stats, field_name, int(raw.events[j]))
+        return stats
+
     # -- workloads ---------------------------------------------------------
     def simulate_workload(
         self,
         workload: Workload,
         indices: Optional[Iterable[int]] = None,
         seed: int = 0,
+        dedup: bool = True,
     ) -> WorkloadSimResult:
         """Simulate the workload (or the subset ``indices``), in order.
 
@@ -230,6 +276,15 @@ class GpuSimulator:
         single array operations over all invocations.  Results are
         bit-identical to calling :meth:`simulate_invocation` per index —
         the arithmetic is the same IEEE ops, applied elementwise.
+
+        With ``dedup=True`` (the default) repeated indices — routine for
+        with-replacement sampling plans — are simulated once and their
+        raw results gathered back per slot; when a
+        :class:`~repro.memo.SimResultCache` is attached, unique
+        invocations already simulated by an earlier call, process or run
+        are reused from the cache.  Both reuse paths feed the identical
+        vectorized post-processing below, so every result and aggregate
+        stays bit-for-bit equal to ``dedup=False``.
         """
         if indices is None:
             indices = range(len(workload))
@@ -237,20 +292,48 @@ class GpuSimulator:
         n = len(index_list)
         aggregate = SimStats()
         with obs.span("sim.workload", workload=workload.name) as sp:
-            wave_list: List[float] = []
-            extrap_list: List[float] = []
-            stats_list: List[SimStats] = []
-            noise_list: List[float] = []
-            for index in index_list:
-                if self.fault_injector is not None:
+            # Fault decisions are pure functions of (plan seed, index,
+            # attempt), so checking every index upfront raises the same
+            # first failure as the interleaved loop — without paying for
+            # the simulations ahead of it.
+            if self.fault_injector is not None:
+                for index in index_list:
                     self.fault_injector.check_simulation(index, 1)
-                trace = self.tracer.generate(workload.invocation(index), seed=seed)
-                wave_cycles, stats = self._execute_trace(trace)
-                wave_list.append(wave_cycles)
-                extrap_list.append(trace.extrapolation)
-                stats_list.append(stats)
-                noise_list.append(self._noise_factor(seed, index))
+
+            if dedup:
+                draws = collapse_draws(index_list)
+                unique_list = [int(i) for i in draws.unique]
+                obs.inc("memo.dedup.draws", draws.num_draws)
+                obs.inc("memo.dedup.collapsed", draws.collapsed)
+                raw_by_index = {}
+                missing = unique_list
+                context = None
+                if self.sim_cache is not None and unique_list:
+                    context = self.sim_cache.context_for(
+                        workload, self.config, seed, self.memo_identity()
+                    )
+                    raw_by_index, missing = self.sim_cache.load(context, unique_list)
+                for index in missing:
+                    raw_by_index[index] = self._raw_invocation(workload, index, seed)
+                if self.sim_cache is not None and missing:
+                    self.sim_cache.store(context, unique_list, raw_by_index)
+                executed = len(missing)
+                raws = [raw_by_index[index] for index in index_list]
+            else:
+                raws = [
+                    self._raw_invocation(workload, index, seed)
+                    for index in index_list
+                ]
+                executed = n
+
+            wave_list: List[float] = [raw.wave_cycles for raw in raws]
+            extrap_list: List[float] = [raw.extrapolation for raw in raws]
+            stats_list: List[SimStats] = [self._stats_from_raw(raw) for raw in raws]
+            noise_list: List[float] = [
+                self._noise_factor(seed, index) for index in index_list
+            ]
             sp.attrs["kernels"] = n
+            sp.attrs["kernels_simulated"] = executed
 
             if n:
                 waves = np.asarray(wave_list, dtype=np.float64)
@@ -287,7 +370,9 @@ class GpuSimulator:
                         stats=stats,
                     )
                 )
-            obs.inc("sim.kernels_executed", n)
+            # Counts wave simulations actually run (deduped/cached reuse
+            # is free); per-slot cycles still land in the histogram below.
+            obs.inc("sim.kernels_executed", executed)
             if obs.is_enabled():
                 for kernel_cycles in cycles:
                     obs.observe("sim.kernel_cycles", float(kernel_cycles))
