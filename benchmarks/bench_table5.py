@@ -1,6 +1,6 @@
 """Table 5: profiling overheads of each method per suite."""
 
-from _shared import FULL, show
+from _shared import show
 from repro.analysis import render_table
 from repro.experiments.profiling_overhead import PAPER_TABLE5, run_profiling_overhead
 

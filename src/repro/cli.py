@@ -13,6 +13,8 @@ Commands
 ``suite``     run a whole suite and print per-method Table-3 summaries
 ``sweep``     error-bound sensitivity sweep (Figure 11) with memoization
 ``dse``       design-space exploration grid (Table 4)
+``lint``      AST-based invariant linter (determinism, cache keys, pool
+              safety — see :mod:`repro.lint` and docs/static-analysis.md)
 
 Parallelism & memoization
 -------------------------
@@ -221,6 +223,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace = sub.add_parser("trace", help="write a sampled-kernel trace")
     add_workload_args(p_trace)
     p_trace.add_argument("output", help="output .jsonl path")
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repo invariant linter (exit 0 clean / 1 findings / "
+             "2 internal error)",
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
 
     p_obs = sub.add_parser(
         "obs", help="pretty-print a run report from saved obs files"
@@ -737,6 +748,12 @@ def _cmd_dse(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .lint.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
 _COMMANDS = {
     "sample": _cmd_sample,
     "compare": _cmd_compare,
@@ -749,6 +766,7 @@ _COMMANDS = {
     "suite": _cmd_suite,
     "sweep": _cmd_sweep,
     "dse": _cmd_dse,
+    "lint": _cmd_lint,
 }
 
 

@@ -10,7 +10,7 @@ histogram analysis of Figure 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 from scipy import stats as _scipy_stats

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-import numpy as np
 
 from .stem import (
     DEFAULT_EPSILON,

@@ -18,7 +18,7 @@ import numpy as np
 
 from .. import obs
 from ..errors import EstimationError
-from ..profiling.metrics import COUNT_METRICS, aggregate_metrics
+from ..profiling.metrics import COUNT_METRICS
 from .plan import SamplingPlan
 
 __all__ = ["SampledSimulationResult", "evaluate_plan", "estimate_metrics", "sampling_error_percent"]

@@ -19,7 +19,7 @@ The paper's expectation: STEM's error stays low and flat across variants
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-import numpy as np
 
 from ..baselines import ProfileStore
 from ..core import StemRootSampler, estimate_metrics, metric_error_percents

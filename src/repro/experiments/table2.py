@@ -8,7 +8,7 @@ moves along (Rodinia ~1.4k calls, CASIO ~64k, HuggingFace millions).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

@@ -22,7 +22,7 @@ import numpy as np
 from ..baselines import ProfileStore
 from ..core import StemRootSampler, evaluate_plan
 from ..hardware import RTX_2080, GPUConfig
-from ..sim import GpuSimulator, NoWarmup, ProportionalWarmup, WarmupKernel
+from ..sim import GpuSimulator, ProportionalWarmup, WarmupKernel
 from ..workloads import load_workload
 
 __all__ = ["WarmupStudyRow", "run_warmup_study", "DEFAULT_STRATEGIES"]

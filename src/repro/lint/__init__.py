@@ -1,0 +1,51 @@
+"""``repro lint`` — AST-based invariant linter for this repository.
+
+The pipeline's correctness claims rest on invariants no type checker or
+generic linter enforces: bit-identical determinism (every RNG explicitly
+seeded, no wall-clock reads in result paths), cache-key completeness
+(every field of a keyed dataclass covered by its fingerprint function),
+typed error handling, and pool safety (picklable task callables).  This
+package machine-checks them:
+
+* :mod:`~repro.lint.engine` parses each file once and dispatches to the
+  registered passes (:mod:`~repro.lint.passes`);
+* findings are filtered by inline ``# repro-lint: disable=<rule>``
+  suppressions and the committed baseline
+  (:mod:`~repro.lint.baseline`);
+* configuration lives in ``[tool.repro.lint]`` in pyproject.toml
+  (:mod:`~repro.lint.config`);
+* ``repro lint`` (:mod:`~repro.lint.cli`) reports as text or JSON with
+  exit codes 0 (clean) / 1 (findings) / 2 (internal error).
+
+See ``docs/static-analysis.md`` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+from .baseline import load_baseline, match_baseline, write_baseline
+from .config import CacheKeySpec, LintConfig, LintUsageError, load_config
+from .engine import LintResult, SourceModule, run_lint
+from .findings import Finding
+from .passes import LintPass, load_builtin_passes, register, registered_passes
+from .reporters import render_json, render_text, report_dict
+
+__all__ = [
+    "CacheKeySpec",
+    "Finding",
+    "LintConfig",
+    "LintPass",
+    "LintResult",
+    "LintUsageError",
+    "SourceModule",
+    "load_baseline",
+    "load_builtin_passes",
+    "load_config",
+    "match_baseline",
+    "register",
+    "registered_passes",
+    "render_json",
+    "render_text",
+    "report_dict",
+    "run_lint",
+    "write_baseline",
+]

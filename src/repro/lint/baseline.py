@@ -1,0 +1,79 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets ``repro lint`` gate *new* violations in CI while
+pre-existing, explicitly-acknowledged ones are tracked instead of
+fixed-or-reverted in one PR.  Entries match findings by identity —
+(rule, path, message) — deliberately ignoring line numbers so unrelated
+edits to a file do not un-baseline its grandfathered findings.  Matching
+is multiset-aware: two identical findings need two baseline entries, so
+a *new* duplicate of a grandfathered violation still fails.
+
+``repro lint --update-baseline`` rewrites the file from the current
+(unsuppressed) findings; review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import List, Tuple
+
+from .config import LintUsageError
+from .findings import Finding
+
+__all__ = ["load_baseline", "match_baseline", "write_baseline"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Counter:
+    """Identity multiset of the baseline file (empty if absent)."""
+    if not os.path.isfile(path):
+        return Counter()
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        raise LintUsageError(f"unreadable baseline {path}: {err}") from err
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise LintUsageError(
+            f"baseline {path} has unsupported format "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    identities: Counter = Counter()
+    for entry in payload.get("findings", []):
+        identities[(str(entry["rule"]), str(entry["path"]), str(entry["message"]))] += 1
+    return identities
+
+
+def match_baseline(
+    findings: List[Finding], path: str
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, baselined-count) against the baseline."""
+    remaining = load_baseline(path)
+    if not remaining:
+        return findings, 0
+    fresh: List[Finding] = []
+    baselined = 0
+    for finding in findings:
+        identity = finding.identity()
+        if remaining.get(identity, 0) > 0:
+            remaining[identity] -= 1
+            baselined += 1
+        else:
+            fresh.append(finding)
+    return fresh, baselined
+
+
+def write_baseline(findings: List[Finding], path: str) -> int:
+    """Persist the given findings as the new baseline; returns the count."""
+    entries = [
+        {"rule": f.rule, "path": f.path, "message": f.message}
+        for f in sorted(findings)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(entries)

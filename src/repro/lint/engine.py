@@ -1,0 +1,223 @@
+"""The lint engine: file discovery, parsing, pass dispatch, filtering.
+
+One :func:`run_lint` call walks the configured roots, parses every
+Python file once into a shared :class:`SourceModule`, runs every enabled
+pass (module-local hooks first, then project-wide hooks), and filters
+the raw findings through two mechanisms, in order:
+
+1. **inline suppressions** — ``# repro-lint: disable=<rule>[,<rule>]``
+   on the flagged line (or ``disable`` with no ``=`` to suppress every
+   rule on that line);
+2. **the committed baseline** — grandfathered findings matched by
+   (rule, path, message) identity, so pre-existing debt doesn't fail CI
+   while any *new* finding still does.
+
+Suppressed and baselined findings are counted, never silently dropped.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from .baseline import match_baseline
+from .config import LintConfig, LintUsageError
+from .findings import Finding
+from .names import ImportMap
+from .passes import load_builtin_passes
+from .passes.base import registered_passes
+
+__all__ = ["LintResult", "SourceModule", "run_lint"]
+
+#: ``# repro-lint: disable=rule-a,rule-b`` (no ``=rules`` = all rules).
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(?:=(?P<rules>[A-Za-z0-9_,\- ]+))?"
+)
+
+
+@dataclass
+class SourceModule:
+    """One parsed Python file, shared by every pass."""
+
+    path: str  # absolute
+    rel: str  # POSIX path relative to the project root
+    source: str
+    tree: ast.Module
+    #: line number -> suppressed rule ids ("*" suppresses every rule).
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    _imports: Optional[ImportMap] = field(default=None, repr=False)
+
+    @property
+    def imports(self) -> ImportMap:
+        if self._imports is None:
+            self._imports = ImportMap(self.tree)
+        return self._imports
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules = self.suppressions.get(finding.line)
+        return bool(rules) and ("*" in rules or finding.rule in rules)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run, pre-rendered counts included."""
+
+    findings: List[Finding]
+    files_checked: int
+    suppressed: int
+    baselined: int
+    #: Raw (pre-suppression, pre-baseline) findings, newest baseline input.
+    raw_findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _scan_suppressions(source: str) -> Dict[int, Set[str]]:
+    table: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "repro-lint" not in line:
+            continue
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        raw = match.group("rules")
+        if raw is None:
+            table[lineno] = {"*"}
+        else:
+            table[lineno] = {r.strip() for r in raw.split(",") if r.strip()}
+    return table
+
+
+def _rel_posix(path: str, root: str) -> str:
+    try:
+        rel = os.path.relpath(path, root)
+    except ValueError:  # different drive on Windows
+        rel = path
+    if rel.startswith(".."):
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+def _excluded(rel: str, patterns: Sequence[str]) -> bool:
+    return any(
+        fnmatch.fnmatch(rel, pat) or fnmatch.fnmatch(os.path.basename(rel), pat)
+        for pat in patterns
+    )
+
+
+def discover_files(
+    config: LintConfig, paths: Optional[Sequence[str]] = None
+) -> List[str]:
+    """Absolute paths of every Python file to lint, sorted and deduped.
+
+    Explicit ``paths`` (CLI operands) override the configured roots; a
+    nonexistent operand is a usage error, not an empty result.
+    """
+    roots = [os.path.join(config.root, p) for p in (paths or config.paths)]
+    files: List[str] = []
+    for root in roots:
+        root = os.path.abspath(root)
+        if os.path.isfile(root):
+            files.append(root)
+        elif os.path.isdir(root):
+            for dirpath, dirnames, filenames in os.walk(root):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d != "__pycache__"
+                    and not _excluded(_rel_posix(os.path.join(dirpath, d), config.root), config.exclude)
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(dirpath, name))
+        else:
+            raise LintUsageError(f"no such file or directory: {root}")
+    unique: List[str] = []
+    seen: Set[str] = set()
+    for path in files:
+        rel = _rel_posix(path, config.root)
+        if path in seen or _excluded(rel, config.exclude):
+            continue
+        seen.add(path)
+        unique.append(path)
+    return sorted(unique)
+
+
+def parse_module(path: str, root: str) -> SourceModule:
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=path)
+    return SourceModule(
+        path=path,
+        rel=_rel_posix(path, root),
+        source=source,
+        tree=tree,
+        suppressions=_scan_suppressions(source),
+    )
+
+
+def run_lint(
+    config: LintConfig,
+    paths: Optional[Sequence[str]] = None,
+    use_baseline: bool = True,
+    rules: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Run every enabled pass over the configured (or given) paths."""
+    load_builtin_passes()
+    enabled = {
+        rule: cls
+        for rule, cls in registered_passes().items()
+        if rule not in config.disable and (rules is None or rule in rules)
+    }
+
+    modules: List[SourceModule] = []
+    raw: List[Finding] = []
+    for path in discover_files(config, paths):
+        try:
+            modules.append(parse_module(path, config.root))
+        except SyntaxError as err:
+            raw.append(
+                Finding(
+                    path=_rel_posix(path, config.root),
+                    line=int(err.lineno or 1),
+                    col=int(err.offset or 0),
+                    rule="parse-error",
+                    severity="error",
+                    message=f"file does not parse: {err.msg}",
+                    hint="fix the syntax error; unparseable files are unlintable",
+                )
+            )
+
+    module_by_rel = {m.rel: m for m in modules}
+    for cls in enabled.values():
+        instance = cls()
+        for module in modules:
+            raw.extend(instance.check_module(module, config))
+        raw.extend(instance.check_project(modules, config))
+    raw.sort()
+
+    visible: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        module = module_by_rel.get(finding.path)
+        if module is not None and module.is_suppressed(finding):
+            suppressed += 1
+        else:
+            visible.append(finding)
+
+    baselined = 0
+    if use_baseline:
+        visible, baselined = match_baseline(visible, config.baseline_path())
+
+    return LintResult(
+        findings=visible,
+        files_checked=len(modules),
+        suppressed=suppressed,
+        baselined=baselined,
+        raw_findings=raw,
+    )

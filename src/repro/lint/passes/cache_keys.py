@@ -1,0 +1,244 @@
+"""Rule ``cache-key-completeness``: keyed dataclasses hash every field.
+
+The content-addressed caches (:class:`repro.parallel.ProfileCache`,
+:class:`repro.memo.SimResultCache`) and the grid checkpoint derive their
+keys from dataclass *fingerprints*: ``Workload.fingerprint()``,
+``ExperimentConfig.fingerprint()``, ``FaultPlan.to_dict()``, and plain
+``repr()`` for :class:`~repro.hardware.GPUConfig` and the kernel-spec
+types.  A field added to one of these dataclasses but forgotten by its
+key function is the worst kind of bug: the cache keeps *hitting* on
+entries computed under a different value of the new field — silently
+stale results with no crash to notice.
+
+Keyed types are declared in pyproject.toml::
+
+    [[tool.repro.lint.cache-key]]
+    path = "src/repro/experiments/runner.py"
+    class = "ExperimentConfig"
+    key = "fingerprint"            # method name, or "repr"
+    exempt = ["tree_cache"]        # fields proven not to affect results
+
+For a method key, every declared field must appear as ``self.<field>``
+inside the method (a call to ``dataclasses.fields``/``fields`` makes the
+method complete by construction and satisfies all fields).  For a
+``repr`` key, no field may opt out via ``field(repr=False)`` — such a
+field is invisible to ``repr()`` and thus to the cache key.  Exempt
+entries must name real fields, so a rename cannot quietly turn an
+exemption into dead config.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, Optional, Set
+
+from ..config import CacheKeySpec
+from ..findings import Finding
+from ..names import dotted_name
+from .base import LintPass, register
+
+
+def _is_dataclass_decorated(cls: ast.ClassDef) -> bool:
+    for decorator in cls.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name and name.rsplit(".", 1)[-1] == "dataclass":
+            return True
+    return False
+
+
+def _is_classvar(annotation: ast.AST) -> bool:
+    name = None
+    if isinstance(annotation, ast.Subscript):
+        name = dotted_name(annotation.value)
+    else:
+        name = dotted_name(annotation)
+    return bool(name) and name.rsplit(".", 1)[-1] == "ClassVar"
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> Dict[str, ast.AnnAssign]:
+    """Declared field name -> its AnnAssign node, in declaration order."""
+    fields: Dict[str, ast.AnnAssign] = {}
+    for stmt in cls.body:
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and not _is_classvar(stmt.annotation)
+        ):
+            fields[stmt.target.id] = stmt
+    return fields
+
+
+def _field_call_kwarg(default: Optional[ast.AST], kwarg: str) -> Optional[ast.AST]:
+    """The ``kwarg`` value if ``default`` is a ``field(...)`` call."""
+    if not isinstance(default, ast.Call):
+        return None
+    name = dotted_name(default.func)
+    if not name or name.rsplit(".", 1)[-1] != "field":
+        return None
+    for kw in default.keywords:
+        if kw.arg == kwarg:
+            return kw.value
+    return None
+
+
+def _referenced_fields(method: ast.AST) -> Set[str]:
+    """Names accessed as ``self.<name>`` anywhere inside the method."""
+    referenced: Set[str] = set()
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            referenced.add(node.attr)
+    return referenced
+
+
+def _calls_dataclasses_fields(method: ast.AST) -> bool:
+    """True when the method enumerates ``dataclasses.fields(...)``.
+
+    ``{f.name: getattr(self, f.name) for f in fields(self)}`` is complete
+    by construction — new fields are picked up automatically — so it
+    satisfies every declared field.
+    """
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name and name.rsplit(".", 1)[-1] == "fields":
+                return True
+    return False
+
+
+@register
+class CacheKeyCompletenessPass(LintPass):
+    rule = "cache-key-completeness"
+    description = (
+        "every field of a cache-keyed dataclass must be covered by its "
+        "key function (or explicitly exempted); a missed field means "
+        "silently stale cache hits"
+    )
+
+    def check_project(self, modules, config) -> Iterable[Finding]:
+        by_rel = {m.rel: m for m in modules}
+        for spec in config.cache_keys:
+            yield from self._check_spec(spec, by_rel, config)
+
+    def _check_spec(
+        self, spec: CacheKeySpec, by_rel, config
+    ) -> Iterable[Finding]:
+        rel = spec.path.replace(os.sep, "/")
+        module = by_rel.get(rel)
+        if module is None:
+            if os.path.isfile(os.path.join(config.root, rel)):
+                # The keyed type's file exists but is not part of this
+                # run (explicit path operands): skip, don't cry wolf.
+                return
+            yield Finding(
+                path=rel,
+                line=1,
+                col=0,
+                rule=self.rule,
+                severity="error",
+                message=f"cache-key spec unresolved: cannot read {rel}",
+                hint="fix the 'path' of this [[tool.repro.lint.cache-key]] entry",
+            )
+            return
+
+        cls = self._find_class(module.tree, spec.cls)
+        if cls is None:
+            yield self.finding(
+                module,
+                module.tree,
+                f"cache-key spec unresolved: no class {spec.cls!r} in {rel}",
+                hint="fix the 'class' of this [[tool.repro.lint.cache-key]] entry",
+            )
+            return
+        if not _is_dataclass_decorated(cls):
+            yield self.finding(
+                module,
+                cls,
+                f"{spec.cls} is declared cache-keyed but is not a "
+                "@dataclass; field completeness cannot be verified",
+                hint="make it a dataclass or drop the cache-key entry",
+            )
+            return
+
+        fields = _dataclass_fields(cls)
+        for exempt in spec.exempt:
+            if exempt not in fields:
+                yield self.finding(
+                    module,
+                    cls,
+                    f"cache-key exemption {exempt!r} names no field of "
+                    f"{spec.cls}; stale exemptions hide future misses",
+                    hint="remove or update the 'exempt' entry in pyproject.toml",
+                )
+
+        if spec.key == "repr":
+            yield from self._check_repr_keyed(module, spec, cls, fields)
+        else:
+            yield from self._check_method_keyed(module, spec, cls, fields)
+
+    def _check_repr_keyed(self, module, spec, cls, fields) -> Iterable[Finding]:
+        for name, node in fields.items():
+            if name in spec.exempt:
+                continue
+            repr_kw = _field_call_kwarg(node.value, "repr")
+            if (
+                isinstance(repr_kw, ast.Constant)
+                and repr_kw.value is False
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{spec.cls}.{name} sets field(repr=False) but "
+                    f"{spec.cls} is keyed through repr(); the field is "
+                    "invisible to the cache key, so changing it serves "
+                    "stale entries",
+                    hint="drop repr=False, or exempt the field in the "
+                    "cache-key entry with a rationale",
+                )
+
+    def _check_method_keyed(self, module, spec, cls, fields) -> Iterable[Finding]:
+        method = None
+        for stmt in cls.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == spec.key
+            ):
+                method = stmt
+                break
+        if method is None:
+            yield self.finding(
+                module,
+                cls,
+                f"cache-key spec unresolved: {spec.cls} has no method "
+                f"{spec.key!r}",
+                hint="fix the 'key' of this [[tool.repro.lint.cache-key]] entry",
+            )
+            return
+        if _calls_dataclasses_fields(method):
+            return  # enumerates fields() — complete by construction
+        referenced = _referenced_fields(method)
+        for name in fields:
+            if name in spec.exempt or name in referenced:
+                continue
+            yield self.finding(
+                module,
+                method,
+                f"{spec.cls}.{name} is not referenced by key function "
+                f"{spec.key}(); entries keyed before the field changes "
+                "will be served as stale hits",
+                hint=f"hash self.{name} inside {spec.key}(), or add the "
+                "field to this cache-key entry's 'exempt' list with a "
+                "rationale",
+            )
+
+    @staticmethod
+    def _find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == name:
+                return node
+        return None

@@ -1,0 +1,110 @@
+"""Rule ``pool-safety``: task functions handed to the pool must pickle.
+
+:func:`repro.parallel.run_tasks` ships its ``worker`` callable to
+process-pool workers by pickling it **by qualified name**.  Lambdas,
+functions defined inside other functions, and the closures they form
+have no importable qualified name — they work by accident under the
+``fork`` start method (the child inherits the parent's memory) and
+explode with ``PicklingError`` under ``spawn`` (macOS/Windows default).
+Since ``run_tasks`` promises "any worker count or platform produces the
+same values", only module-level functions are legal task callables.
+
+The check covers the ``worker`` argument of ``run_tasks`` and any
+callable literal handed to ``execute_grid``; parent-side callbacks such
+as ``on_result`` never cross the process boundary and stay unrestricted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Optional
+
+from ..findings import Finding
+from ..names import dotted_name
+from .base import LintPass, register
+
+_POOL_ENTRYPOINTS = {"run_tasks", "execute_grid"}
+
+
+def _called_name(call: ast.Call) -> Optional[str]:
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    return dotted.rsplit(".", 1)[-1]
+
+
+def _nested_defs(tree: ast.Module) -> Dict[str, ast.AST]:
+    """Names of functions defined inside another function or lambda."""
+    nested: Dict[str, ast.AST] = {}
+
+    def walk(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            is_fn = isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if is_fn and inside_function:
+                nested[child.name] = child
+            walk(child, inside_function or is_fn or isinstance(child, ast.Lambda))
+
+    walk(tree, inside_function=False)
+    return nested
+
+
+@register
+class PoolSafetyPass(LintPass):
+    rule = "pool-safety"
+    description = (
+        "forbid lambdas, nested functions and closures as pool task "
+        "callables (run_tasks/execute_grid); spawn-start pickling needs "
+        "module-level functions"
+    )
+
+    def check_module(self, module, config) -> Iterable[Finding]:
+        nested = _nested_defs(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _called_name(node)
+            if name not in _POOL_ENTRYPOINTS:
+                continue
+            candidates = []
+            if name == "run_tasks":
+                if node.args:
+                    candidates.append(("worker", node.args[0]))
+                candidates.extend(
+                    (kw.arg, kw.value) for kw in node.keywords if kw.arg == "worker"
+                )
+            else:  # execute_grid: no worker parameter, but no callable
+                # literal in any argument may cross the pool boundary.
+                candidates.extend(
+                    (kw.arg or "*args", kw.value)
+                    for kw in node.keywords
+                    if isinstance(kw.value, ast.Lambda)
+                )
+                candidates.extend(
+                    ("positional", arg)
+                    for arg in node.args
+                    if isinstance(arg, ast.Lambda)
+                )
+            for role, value in candidates:
+                yield from self._check_callable(module, name, role, value, nested)
+
+    def _check_callable(
+        self, module, entrypoint: str, role: str, value: ast.AST, nested
+    ) -> Iterable[Finding]:
+        if isinstance(value, ast.Lambda):
+            yield self.finding(
+                module,
+                value,
+                f"lambda passed as {role} to {entrypoint}() cannot be "
+                "pickled to spawn-start pool workers",
+                hint="define a module-level function and pass it by name",
+            )
+        elif isinstance(value, ast.Name) and value.id in nested:
+            yield self.finding(
+                module,
+                value,
+                f"nested function '{value.id}' passed as {role} to "
+                f"{entrypoint}() is a closure with no importable qualified "
+                "name and cannot be pickled to pool workers",
+                hint="hoist it to module level and pass state through the "
+                "payloads instead of captured variables",
+            )

@@ -1,0 +1,68 @@
+"""Rule ``typed-errors``: expected failures raise the ReproError hierarchy.
+
+PR 2 introduced :mod:`repro.errors` precisely because orchestration code
+that catches generic ``RuntimeError`` relabels *any* runtime bug as an
+expected, handled condition (the runner once reported real crashes as
+"profiling infeasible").  This rule keeps the hierarchy load-bearing:
+
+* ``raise RuntimeError(...)`` / ``raise Exception(...)`` are forbidden —
+  expected failures get a :class:`~repro.errors.ReproError` subclass,
+  programming errors get a precise builtin (``ValueError``,
+  ``KeyError``, ``TypeError``);
+* bare ``except:`` is forbidden — it swallows ``KeyboardInterrupt`` and
+  ``SystemExit`` and hides the actual failure type.  Catch the typed
+  error you can handle (``except BaseException: ... raise`` cleanup
+  blocks that re-raise are still bare-``except``-free and allowed).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding
+from .base import LintPass, register
+
+_GENERIC_RAISES = {"RuntimeError", "Exception"}
+
+
+def _raised_name(node: ast.Raise) -> str:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return ""
+
+
+@register
+class TypedErrorsPass(LintPass):
+    rule = "typed-errors"
+    description = (
+        "forbid 'raise RuntimeError/Exception' and bare 'except:'; "
+        "expected failures must use the repro.errors.ReproError hierarchy"
+    )
+
+    def check_module(self, module, config) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Raise):
+                name = _raised_name(node)
+                if name in _GENERIC_RAISES:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"'raise {name}' hides the failure class; callers "
+                        "cannot catch it without also catching real bugs",
+                        hint="raise a repro.errors.ReproError subclass for "
+                        "expected failures, or a precise builtin "
+                        "(ValueError/KeyError/TypeError) for bugs",
+                    )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare 'except:' swallows KeyboardInterrupt/SystemExit "
+                    "and every bug",
+                    hint="catch the typed errors this code can actually "
+                    "handle (see repro.errors)",
+                )

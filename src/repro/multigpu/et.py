@@ -14,8 +14,8 @@ point.  This package implements that starting point:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
 
 import networkx as nx
 

@@ -30,7 +30,7 @@ from ..core.plan import PlanCluster, SamplingPlan
 from ..core.root import RootConfig, root_split
 from ..core.stem import DEFAULT_EPSILON, DEFAULT_Z, kkt_sample_sizes
 from .et import ExecutionTrace
-from .timeline import EtSimResult, TimelineSimulator
+from .timeline import TimelineSimulator
 
 __all__ = ["EtSamplingResult", "EtStemSampler"]
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 import random
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 

@@ -17,7 +17,7 @@ span wrapping many ``root.split`` spans) never double-counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Sequence, Tuple, Union
 
 from .metrics import MetricsRegistry
 from .tracer import Span, Tracer

@@ -17,7 +17,6 @@ single-SM path for speed.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

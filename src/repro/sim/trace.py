@@ -17,7 +17,7 @@ from typing import List
 
 import numpy as np
 
-from ..workloads.kernel import KernelInvocation, WARP_SIZE
+from ..workloads.kernel import KernelInvocation
 
 __all__ = ["Op", "WarpTrace", "KernelTrace", "TraceGenerator"]
 

@@ -1,0 +1,23 @@
+"""Fixture: generic raises and bare excepts the typed-errors rule bans."""
+
+
+def fails_generically(flag):
+    if flag:
+        raise RuntimeError("anything could have happened")  # line 6
+    raise Exception("even worse")  # line 7
+
+
+def swallows_everything(fn):
+    try:
+        return fn()
+    except:  # line 13: bare except
+        return None
+
+
+def fine(payload):
+    if "key" not in payload:
+        raise KeyError("key")  # precise builtin: allowed
+    try:
+        return payload["key"]
+    except LookupError:  # typed: allowed
+        return None

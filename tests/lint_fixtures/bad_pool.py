@@ -1,0 +1,27 @@
+"""Fixture: unpicklable task callables the pool-safety rule bans."""
+
+from repro.parallel import run_tasks
+
+
+def _module_level(x):
+    return x * 2
+
+
+def ships_a_lambda(payloads):
+    return run_tasks(lambda x: x * 2, payloads)  # line 11: lambda worker
+
+
+def ships_a_closure(payloads, factor):
+    def scaled(x):  # nested function capturing `factor`
+        return x * factor
+
+    return run_tasks(scaled, payloads)  # line 18: closure worker
+
+
+def ships_a_keyword_lambda(payloads):
+    return run_tasks(worker=lambda x: x, payloads=payloads)  # line 22
+
+
+def fine(payloads):
+    # Module-level worker and a parent-side on_result callback: allowed.
+    return run_tasks(_module_level, payloads, on_result=lambda i, v: None)

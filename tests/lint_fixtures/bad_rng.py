@@ -1,0 +1,25 @@
+"""Fixture: every way the global-rng rule must fire (and one it must not)."""
+
+import random  # line 3: banned stdlib module import
+
+import numpy as np
+
+
+def draw_badly(n):
+    values = np.random.rand(n)  # line 9: module-state RNG call
+    pick = random.choice(values)  # line 10: stdlib global RNG call
+    return values, pick
+
+
+def seedless():
+    return np.random.default_rng()  # line 15: seedless generator
+
+
+def seedless_none():
+    return np.random.default_rng(None)  # line 19: literal-None seed
+
+
+def fine(seed: int, rng: np.random.Generator):
+    # Annotation above and the seeded construction below must NOT fire.
+    fresh = np.random.default_rng(seed)
+    return fresh.random() + rng.random()

@@ -1,0 +1,20 @@
+"""Fixture: ambient wall-clock/entropy reads the wall-clock rule bans."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()  # line 10: wall clock
+    when = datetime.now()  # line 11: wall clock via from-import
+    token = uuid.uuid4()  # line 12: OS entropy
+    salt = os.urandom(8)  # line 13: OS entropy
+    return started, when, token, salt
+
+
+def fine_duration():
+    # Monotonic timers measure durations, never stamp results: allowed.
+    begin = time.perf_counter()
+    return time.perf_counter() - begin

@@ -1,0 +1,27 @@
+"""Fixture: idiomatic code that must produce zero findings."""
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class FixtureError(Exception):
+    """Typed error hierarchy root, mirroring repro.errors."""
+
+
+@dataclass(frozen=True)
+class Spec:
+    name: str
+    seed: int
+
+
+def sample(spec: Spec, rng: np.random.Generator = None) -> np.ndarray:
+    if rng is None:
+        rng = np.random.default_rng(spec.seed)
+    if not spec.name:
+        raise FixtureError("spec needs a name")
+    begin = time.perf_counter()
+    draws = rng.random(8)
+    _elapsed = time.perf_counter() - begin
+    return draws

@@ -1,0 +1,16 @@
+"""Fixture: inline suppressions the engine must honor (and count)."""
+
+import time
+
+
+def sanctioned_epoch():
+    # Rationale: fixture mirroring obs/tracer.py's sanctioned epoch read.
+    return time.time()  # repro-lint: disable=wall-clock
+
+
+def sanctioned_everything():
+    return time.time()  # repro-lint: disable
+
+
+def still_fires():
+    return time.time()  # line 16: no suppression -> must be reported

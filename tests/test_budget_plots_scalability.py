@@ -1,6 +1,5 @@
 """Tests for budget planning, ASCII plots, and scalability fitting."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.plots import ScatterPoint, render_gantt, render_scatter

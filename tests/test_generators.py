@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.hardware import RTX_2080, TimingModel
 from repro.workloads import load_suite, load_workload, suite_names
 from repro.workloads.generators.base import KernelPhase, WorkloadRegistry, scaled_count
 from repro.workloads.generators.casio import CASIO

@@ -13,7 +13,7 @@ from repro.hardware import (
     dse_variants,
     get_preset,
 )
-from repro.workloads.generators.synthetic import flat_workload, make_kernel_spec
+from repro.workloads.generators.synthetic import make_kernel_spec
 
 
 class TestGPUConfig:

@@ -1,0 +1,307 @@
+"""Tests for the ``repro lint`` invariant linter.
+
+Covers: every built-in pass firing on its fixture (and staying silent on
+the clean counterparts), inline suppressions, the committed baseline,
+the CLI exit-code contract (0 clean / 1 findings / 2 internal error),
+the JSON report schema, and — the invariant the whole pass exists for —
+cache-key-completeness catching a dataclass field added to a keyed type
+but omitted from its fingerprint function.  Fixtures live in
+``tests/lint_fixtures/`` as a self-contained lint project with its own
+pyproject.toml.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+
+from repro.cli import main
+from repro.lint import (
+    load_builtin_passes,
+    load_config,
+    registered_passes,
+    run_lint,
+)
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+FIXTURE_CONFIG = str(FIXTURES / "pyproject.toml")
+REPO_CONFIG = str(Path(__file__).resolve().parents[1] / "pyproject.toml")
+
+ALL_RULES = {
+    "global-rng",
+    "wall-clock",
+    "typed-errors",
+    "cache-key-completeness",
+    "pool-safety",
+    "unordered-iteration",
+}
+
+
+def lint_fixture(*paths, **kwargs):
+    config = load_config(FIXTURE_CONFIG)
+    return run_lint(config, paths=list(paths) or None, **kwargs)
+
+
+def lines_for(result, rule, path=None):
+    return sorted(
+        f.line
+        for f in result.findings
+        if f.rule == rule and (path is None or f.path == path)
+    )
+
+
+class TestPasses:
+    def test_registry_has_all_six_rules(self):
+        load_builtin_passes()
+        assert ALL_RULES <= set(registered_passes())
+
+    def test_global_rng_fires(self):
+        result = lint_fixture("bad_rng.py")
+        assert {f.rule for f in result.findings} == {"global-rng"}
+        assert lines_for(result, "global-rng") == [3, 9, 10, 15, 19]
+
+    def test_global_rng_allows_annotations_and_seeded_generators(self):
+        result = lint_fixture("bad_rng.py")
+        # `fine()` (lines 22-25) uses np.random.Generator annotation,
+        # seeded default_rng and instance draws: none may fire.
+        assert all(f.line < 22 for f in result.findings)
+
+    def test_wall_clock_fires(self):
+        result = lint_fixture("bad_wallclock.py")
+        assert {f.rule for f in result.findings} == {"wall-clock"}
+        assert lines_for(result, "wall-clock") == [10, 11, 12, 13]
+
+    def test_wall_clock_allows_monotonic_timers(self):
+        result = lint_fixture("bad_wallclock.py")
+        assert all(f.line < 17 for f in result.findings)
+
+    def test_typed_errors_fires(self):
+        result = lint_fixture("bad_errors.py")
+        assert {f.rule for f in result.findings} == {"typed-errors"}
+        assert lines_for(result, "typed-errors") == [6, 7, 13]
+
+    def test_pool_safety_fires_on_lambda_closure_and_keyword(self):
+        result = lint_fixture("bad_pool.py")
+        assert {f.rule for f in result.findings} == {"pool-safety"}
+        assert lines_for(result, "pool-safety") == [11, 18, 22]
+
+    def test_pool_safety_allows_module_level_worker_and_on_result(self):
+        result = lint_fixture("bad_pool.py")
+        assert all(f.line < 25 for f in result.findings)
+
+    def test_unordered_iteration_fires(self):
+        result = lint_fixture("bad_setiter.py")
+        assert {f.rule for f in result.findings} == {"unordered-iteration"}
+        assert lines_for(result, "unordered-iteration") == [13, 18, 21]
+
+    def test_unordered_iteration_allows_sorted_and_non_key_functions(self):
+        result = lint_fixture("bad_setiter.py")
+        assert all(f.line < 23 for f in result.findings)
+
+    def test_clean_module_has_zero_findings(self):
+        result = lint_fixture("clean_module.py")
+        assert result.clean
+        assert result.findings == []
+
+
+class TestCacheKeyCompleteness:
+    def test_missing_field_and_hidden_repr_field_fire(self):
+        result = lint_fixture("bad_cache_key.py")
+        messages = [f.message for f in result.findings]
+        assert any("IncompleteKeyed.threshold" in m for m in messages)
+        assert any("HiddenReprField.budget" in m for m in messages)
+        assert {f.rule for f in result.findings} == {"cache-key-completeness"}
+
+    def test_exemptions_and_fields_enumeration_pass(self):
+        result = lint_fixture("clean_cache_key.py")
+        assert result.clean
+
+    def test_field_added_but_omitted_from_fingerprint_is_caught(self, tmp_path):
+        """The acceptance-criterion scenario: a keyed dataclass gains a
+        field, the fingerprint function is not updated, the rule fires."""
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""\
+            [tool.repro.lint]
+            paths = ["."]
+            [[tool.repro.lint.cache-key]]
+            path = "cfg.py"
+            class = "Cfg"
+            key = "fingerprint"
+        """))
+        complete = textwrap.dedent("""\
+            from dataclasses import dataclass
+
+            @dataclass
+            class Cfg:
+                alpha: float
+                beta: float
+
+                def fingerprint(self):
+                    return (self.alpha, self.beta)
+        """)
+        (tmp_path / "cfg.py").write_text(complete)
+        config = load_config(str(tmp_path / "pyproject.toml"))
+        assert run_lint(config).clean
+
+        grown = complete.replace(
+            "    beta: float\n", "    beta: float\n    gamma: float = 0.0\n"
+        )
+        (tmp_path / "cfg.py").write_text(grown)
+        result = run_lint(load_config(str(tmp_path / "pyproject.toml")))
+        assert [f.rule for f in result.findings] == ["cache-key-completeness"]
+        assert "Cfg.gamma" in result.findings[0].message
+
+    def test_stale_exemption_fires(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""\
+            [tool.repro.lint]
+            paths = ["."]
+            [[tool.repro.lint.cache-key]]
+            path = "cfg.py"
+            class = "Cfg"
+            key = "fingerprint"
+            exempt = ["renamed_away"]
+        """))
+        (tmp_path / "cfg.py").write_text(textwrap.dedent("""\
+            from dataclasses import dataclass
+
+            @dataclass
+            class Cfg:
+                alpha: float
+
+                def fingerprint(self):
+                    return (self.alpha,)
+        """))
+        result = run_lint(load_config(str(tmp_path / "pyproject.toml")))
+        assert any("renamed_away" in f.message for f in result.findings)
+
+
+class TestSuppressions:
+    def test_inline_disable_suppresses_and_counts(self):
+        result = lint_fixture("suppressed.py")
+        assert lines_for(result, "wall-clock") == [16]
+        assert result.suppressed == 2
+
+    def test_wall_clock_allowlist(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""\
+            [tool.repro.lint]
+            paths = ["."]
+            [tool.repro.lint.wall-clock]
+            allow = ["stamped.py"]
+        """))
+        (tmp_path / "stamped.py").write_text(
+            "import time\n\n\ndef stamp():\n    return time.time()\n"
+        )
+        assert run_lint(load_config(str(tmp_path / "pyproject.toml"))).clean
+
+
+class TestCli:
+    def test_findings_exit_code_and_text_report(self, capsys):
+        status = main(["lint", "--config", FIXTURE_CONFIG])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "global-rng" in out and "finding(s)" in out
+
+    def test_clean_exit_code(self, capsys):
+        status = main(["lint", "--config", FIXTURE_CONFIG, "clean_module.py"])
+        assert status == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_bad_path_exits_2(self, capsys):
+        status = main(["lint", "--config", FIXTURE_CONFIG, "no_such_dir"])
+        assert status == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_config_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.toml"
+        status = main(["lint", "--config", str(missing)])
+        assert status == 2
+
+    def test_json_report_schema(self, capsys):
+        status = main(["lint", "--config", FIXTURE_CONFIG, "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 1
+        assert payload["version"] == 1
+        assert payload["clean"] is False
+        counts = payload["counts"]
+        for key in ("files", "findings", "suppressed", "baselined", "by_rule"):
+            assert key in counts
+        assert counts["findings"] == len(payload["findings"])
+        for finding in payload["findings"]:
+            assert set(finding) == {
+                "rule", "severity", "path", "line", "col", "message", "hint",
+            }
+        assert set(counts["by_rule"]) == ALL_RULES
+
+    def test_out_writes_json_artifact(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        main(["lint", "--config", FIXTURE_CONFIG, "--out", str(out)])
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["version"] == 1 and payload["findings"]
+
+    def test_rule_filter(self, capsys):
+        status = main([
+            "lint", "--config", FIXTURE_CONFIG, "--rule", "typed-errors",
+        ])
+        payload = capsys.readouterr().out
+        assert status == 1
+        assert "typed-errors" in payload and "global-rng" not in payload
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule in out
+
+    def test_baseline_roundtrip(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        status = main([
+            "lint", "--config", FIXTURE_CONFIG,
+            "--baseline", str(baseline), "--update-baseline",
+        ])
+        assert status == 0 and baseline.is_file()
+        capsys.readouterr()
+
+        # Grandfathered findings no longer fail ...
+        status = main([
+            "lint", "--config", FIXTURE_CONFIG,
+            "--baseline", str(baseline), "--format", "json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 0
+        assert payload["clean"] is True
+        assert payload["counts"]["baselined"] > 0
+
+        # ... but --no-baseline still reports them all.
+        status = main([
+            "lint", "--config", FIXTURE_CONFIG,
+            "--baseline", str(baseline), "--no-baseline",
+        ])
+        capsys.readouterr()
+        assert status == 1
+
+    def test_parse_error_is_a_finding(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text("[tool.repro.lint]\npaths = [\".\"]\n")
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        status = main(["lint", "--config", str(tmp_path / "pyproject.toml")])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "parse-error" in out
+
+
+class TestRepoIsClean:
+    def test_repo_lints_clean_under_committed_config(self):
+        """Zero non-baselined findings over src/ — the CI gate, as a test."""
+        result = run_lint(load_config(REPO_CONFIG))
+        assert result.findings == [], [f.format_text() for f in result.findings]
+        # The sanctioned sites stay visible in the counts: the tracer
+        # epoch suppression and the metrics reservoir baseline entries.
+        assert result.suppressed >= 1
+        assert result.baselined == 2
+
+    def test_repo_keyed_dataclasses_resolve(self):
+        """Every [[cache-key]] entry resolves (no 'unresolved' findings
+        hiding in the baseline or suppressions)."""
+        result = run_lint(load_config(REPO_CONFIG), use_baseline=False)
+        assert not any(
+            "unresolved" in f.message for f in result.raw_findings
+        ), [f.format_text() for f in result.raw_findings]

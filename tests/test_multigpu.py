@@ -1,6 +1,5 @@
 """Tests for the multi-GPU execution-trace extension."""
 
-import numpy as np
 import pytest
 
 from repro.multigpu import (

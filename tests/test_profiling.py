@@ -18,7 +18,7 @@ from repro.profiling import (
     ProfileResult,
     ProfilerCost,
 )
-from repro.workloads.generators.synthetic import flat_workload, mixed_workload
+from repro.workloads.generators.synthetic import flat_workload
 
 
 class TestProfilerCost:

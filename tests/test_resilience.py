@@ -38,7 +38,6 @@ from repro.hardware import RTX_2080
 from repro.resilience import (
     FaultInjector,
     FaultPlan,
-    GridCheckpoint,
     ManualClock,
     ResilientExecutor,
     RetryPolicy,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import StemRootSampler, evaluate_plan
-from repro.core.stem import ClusterStats
 
 
 class TestClusterStage:

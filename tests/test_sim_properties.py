@@ -1,7 +1,5 @@
 """Property-based tests on the simulator's cache and memory substrate."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines import ProfileStore
 from repro.core import StemRootSampler, evaluate_plan
-from repro.hardware import RTX_2080, TimingModel
+from repro.hardware import RTX_2080
 from repro.workloads import load_workload
 from repro.workloads.generators.casio import CASIO
 from repro.workloads.generators.huggingface import HUGGINGFACE

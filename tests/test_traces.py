@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core import StemRootSampler, evaluate_plan
+from repro.core import StemRootSampler
 from repro.hardware import RTX_2080, TimingModel
 from repro.traces import read_sampled_trace, write_sampled_trace
-from repro.workloads.generators.synthetic import mixed_workload
 
 
 @pytest.fixture

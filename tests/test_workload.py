@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.workloads import KernelSpec, Workload, WorkloadBuilder
+from repro.workloads import Workload, WorkloadBuilder
 from repro.workloads.generators.synthetic import make_kernel_spec
 
 
