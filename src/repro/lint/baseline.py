@@ -10,6 +10,9 @@ a *new* duplicate of a grandfathered violation still fails.
 
 ``repro lint --update-baseline`` rewrites the file from the current
 (unsuppressed) findings; review the diff like any other code change.
+When the update run linted only explicit path operands, entries for
+files *outside* those paths are carried over unchanged — a partial run
+must never drop another file's grandfathered findings.
 """
 
 from __future__ import annotations
@@ -17,7 +20,7 @@ from __future__ import annotations
 import json
 import os
 from collections import Counter
-from typing import List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .config import LintUsageError
 from .findings import Finding
@@ -27,10 +30,10 @@ __all__ = ["load_baseline", "match_baseline", "write_baseline"]
 BASELINE_VERSION = 1
 
 
-def load_baseline(path: str) -> Counter:
-    """Identity multiset of the baseline file (empty if absent)."""
+def _load_entries(path: str) -> List[Dict[str, str]]:
+    """Raw baseline entries (empty if the file is absent)."""
     if not os.path.isfile(path):
-        return Counter()
+        return []
     try:
         with open(path, "r", encoding="utf-8") as fh:
             payload = json.load(fh)
@@ -41,9 +44,21 @@ def load_baseline(path: str) -> Counter:
             f"baseline {path} has unsupported format "
             f"(expected version {BASELINE_VERSION})"
         )
+    return [
+        {
+            "rule": str(entry["rule"]),
+            "path": str(entry["path"]),
+            "message": str(entry["message"]),
+        }
+        for entry in payload.get("findings", [])
+    ]
+
+
+def load_baseline(path: str) -> Counter:
+    """Identity multiset of the baseline file (empty if absent)."""
     identities: Counter = Counter()
-    for entry in payload.get("findings", []):
-        identities[(str(entry["rule"]), str(entry["path"]), str(entry["message"]))] += 1
+    for entry in _load_entries(path):
+        identities[(entry["rule"], entry["path"], entry["message"])] += 1
     return identities
 
 
@@ -66,12 +81,28 @@ def match_baseline(
     return fresh, baselined
 
 
-def write_baseline(findings: List[Finding], path: str) -> int:
-    """Persist the given findings as the new baseline; returns the count."""
+def write_baseline(
+    findings: List[Finding],
+    path: str,
+    linted_paths: Optional[Sequence[str]] = None,
+) -> int:
+    """Persist the given findings as the new baseline; returns the count.
+
+    With ``linted_paths`` (the root-relative files a *partial* run
+    actually looked at), only entries for those files are replaced;
+    existing entries for every other file are preserved.  Without it,
+    the whole baseline is rewritten from ``findings``.
+    """
     entries = [
         {"rule": f.rule, "path": f.path, "message": f.message}
         for f in sorted(findings)
     ]
+    if linted_paths is not None:
+        linted = set(linted_paths)
+        entries.extend(
+            e for e in _load_entries(path) if e["path"] not in linted
+        )
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["message"]))
     payload = {"version": BASELINE_VERSION, "findings": entries}
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)

@@ -45,7 +45,9 @@ def add_lint_arguments(parser) -> None:
         help="report grandfathered findings too")
     parser.add_argument(
         "--update-baseline", action="store_true",
-        help="rewrite the baseline from the current findings and exit 0")
+        help="rewrite the baseline from the current findings and exit 0 "
+             "(with path operands, only entries for the linted files are "
+             "replaced; the rest of the baseline is preserved)")
     parser.add_argument(
         "--rule", action="append", default=None, metavar="RULE",
         help="run only this rule (repeatable)")
@@ -95,7 +97,13 @@ def _run(args) -> int:
     )
 
     if args.update_baseline:
-        count = write_baseline(result.findings, config.baseline_path())
+        count = write_baseline(
+            result.findings,
+            config.baseline_path(),
+            # A partial run (explicit path operands) must not drop
+            # grandfathered entries for files it never looked at.
+            linted_paths=result.linted_paths if args.paths else None,
+        )
         print(
             f"baseline updated: {count} finding(s) written to "
             f"{config.baseline_path()}",

@@ -21,7 +21,10 @@ from typing import Any, Dict, List, Optional
 try:  # Python >= 3.11
     import tomllib
 except ImportError:  # pragma: no cover - exercised only on 3.9/3.10
-    tomllib = None
+    try:
+        import tomli as tomllib  # type: ignore[no-redef]
+    except ImportError:
+        tomllib = None
 
 __all__ = ["CacheKeySpec", "LintConfig", "LintUsageError", "load_config"]
 
@@ -118,8 +121,8 @@ def load_config(
         raise LintUsageError(f"config file not found: {config_path}")
     if tomllib is None:
         raise LintUsageError(
-            "reading pyproject.toml requires Python >= 3.11 (tomllib); "
-            "pass explicit paths and --no-baseline to lint without config"
+            "reading pyproject.toml requires a TOML parser: use Python "
+            ">= 3.11 (tomllib) or install 'tomli' on older interpreters"
         )
     with open(config_path, "rb") as fh:
         try:

@@ -72,6 +72,9 @@ class LintResult:
     baselined: int
     #: Raw (pre-suppression, pre-baseline) findings, newest baseline input.
     raw_findings: List[Finding] = field(default_factory=list)
+    #: Root-relative POSIX paths of every file this run looked at —
+    #: what a partial --update-baseline may rewrite entries for.
+    linted_paths: List[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -169,6 +172,15 @@ def run_lint(
 ) -> LintResult:
     """Run every enabled pass over the configured (or given) paths."""
     load_builtin_passes()
+    known = set(registered_passes())
+    unknown = sorted(
+        {rule for rule in (list(rules or []) + list(config.disable)) if rule not in known}
+    )
+    if unknown:
+        raise LintUsageError(
+            "unknown rule id(s): " + ", ".join(unknown)
+            + " (run `repro lint --list-rules` for the registry)"
+        )
     enabled = {
         rule: cls
         for rule, cls in registered_passes().items()
@@ -177,7 +189,9 @@ def run_lint(
 
     modules: List[SourceModule] = []
     raw: List[Finding] = []
+    linted_rels: List[str] = []
     for path in discover_files(config, paths):
+        linted_rels.append(_rel_posix(path, config.root))
         try:
             modules.append(parse_module(path, config.root))
         except SyntaxError as err:
@@ -220,4 +234,5 @@ def run_lint(
         suppressed=suppressed,
         baselined=baselined,
         raw_findings=raw,
+        linted_paths=linted_rels,
     )

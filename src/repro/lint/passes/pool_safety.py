@@ -34,18 +34,28 @@ def _called_name(call: ast.Call) -> Optional[str]:
 
 
 def _nested_defs(tree: ast.Module) -> Dict[str, ast.AST]:
-    """Names of functions defined inside another function or lambda."""
+    """Names of functions defined inside another function or lambda.
+
+    A name that *also* has a module-level def is excluded: a bare-name
+    reference to it at a pool call site resolves to the (picklable)
+    module-level function, not to some other function's local of the
+    same name, so flagging it would be a false positive.
+    """
     nested: Dict[str, ast.AST] = {}
+    toplevel: set = set()
 
     def walk(node: ast.AST, inside_function: bool) -> None:
         for child in ast.iter_child_nodes(node):
             is_fn = isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
-            if is_fn and inside_function:
-                nested[child.name] = child
+            if is_fn:
+                if inside_function:
+                    nested[child.name] = child
+                elif isinstance(node, ast.Module):
+                    toplevel.add(child.name)
             walk(child, inside_function or is_fn or isinstance(child, ast.Lambda))
 
     walk(tree, inside_function=False)
-    return nested
+    return {name: node for name, node in nested.items() if name not in toplevel}
 
 
 @register

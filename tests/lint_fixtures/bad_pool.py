@@ -25,3 +25,20 @@ def ships_a_keyword_lambda(payloads):
 def fine(payloads):
     # Module-level worker and a parent-side on_result callback: allowed.
     return run_tasks(_module_level, payloads, on_result=lambda i, v: None)
+
+
+def shared_name(x):  # module-level; same name as a nested def below
+    return x + 1
+
+
+def defines_a_local_twin(values):
+    def shared_name(v):  # local twin never reaches the pool
+        return v - 1
+
+    return [shared_name(v) for v in values]
+
+
+def fine_shared_name(payloads):
+    # Resolves to the module-level `shared_name`, which pickles fine;
+    # the nested def of the same name elsewhere must not trip the rule.
+    return run_tasks(shared_name, payloads)

@@ -14,6 +14,7 @@ import json
 import textwrap
 from pathlib import Path
 
+import pytest
 
 from repro.cli import main
 from repro.lint import (
@@ -22,6 +23,14 @@ from repro.lint import (
     registered_passes,
     run_lint,
 )
+from repro.lint import config as lint_config
+
+if lint_config.tomllib is None:  # pragma: no cover - 3.9/3.10 without tomli
+    pytest.skip(
+        "lint tests need a TOML parser (stdlib tomllib on 3.11+, "
+        "the tomli package otherwise)",
+        allow_module_level=True,
+    )
 
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 FIXTURE_CONFIG = str(FIXTURES / "pyproject.toml")
@@ -88,6 +97,13 @@ class TestPasses:
     def test_pool_safety_allows_module_level_worker_and_on_result(self):
         result = lint_fixture("bad_pool.py")
         assert all(f.line < 25 for f in result.findings)
+
+    def test_pool_safety_ignores_module_level_name_shared_with_nested_def(self):
+        # `shared_name` exists both at module level and as a nested def
+        # elsewhere; passing it to run_tasks resolves to the picklable
+        # module-level function and must not fire.
+        result = lint_fixture("bad_pool.py")
+        assert not any("shared_name" in f.message for f in result.findings)
 
     def test_unordered_iteration_fires(self):
         result = lint_fixture("bad_setiter.py")
@@ -246,6 +262,25 @@ class TestCli:
         assert status == 1
         assert "typed-errors" in payload and "global-rng" not in payload
 
+    def test_unknown_rule_exits_2(self, capsys):
+        """A typoed --rule must be a usage error, not a vacuous clean run."""
+        status = main([
+            "lint", "--config", FIXTURE_CONFIG, "--rule", "typo-name",
+        ])
+        assert status == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_unknown_disable_in_config_exits_2(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""\
+            [tool.repro.lint]
+            paths = ["."]
+            disable = ["no-such-rule"]
+        """))
+        (tmp_path / "mod.py").write_text("X = 1\n")
+        status = main(["lint", "--config", str(tmp_path / "pyproject.toml")])
+        assert status == 2
+        assert "no-such-rule" in capsys.readouterr().err
+
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
@@ -278,6 +313,38 @@ class TestCli:
         ])
         capsys.readouterr()
         assert status == 1
+
+    def test_partial_update_baseline_preserves_other_files(
+        self, tmp_path, capsys
+    ):
+        """--update-baseline with path operands must merge, not clobber:
+        entries for files outside the operand list survive."""
+        baseline = tmp_path / "baseline.json"
+        main([
+            "lint", "--config", FIXTURE_CONFIG,
+            "--baseline", str(baseline), "--update-baseline",
+        ])
+        capsys.readouterr()
+        full = json.loads(baseline.read_text())["findings"]
+        assert any(e["path"] != "bad_rng.py" for e in full)
+
+        main([
+            "lint", "--config", FIXTURE_CONFIG,
+            "--baseline", str(baseline), "--update-baseline", "bad_rng.py",
+        ])
+        capsys.readouterr()
+        partial = json.loads(baseline.read_text())["findings"]
+        assert partial == full
+
+        # A partial run over a clean file drops that file's entries
+        # (there are none) and keeps everyone else's.
+        main([
+            "lint", "--config", FIXTURE_CONFIG,
+            "--baseline", str(baseline), "--update-baseline",
+            "clean_module.py",
+        ])
+        capsys.readouterr()
+        assert json.loads(baseline.read_text())["findings"] == full
 
     def test_parse_error_is_a_finding(self, tmp_path, capsys):
         (tmp_path / "pyproject.toml").write_text("[tool.repro.lint]\npaths = [\".\"]\n")
