@@ -12,14 +12,18 @@ EXPERIMENTS.md records results from a full run.
 
 from __future__ import annotations
 
+import json
 import os
 from functools import lru_cache
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.runner import ExperimentConfig, ResultRow, run_suite
 from repro.experiments.speedup_error import summarize
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+#: Schema tag stamped into every BENCH_*.json this harness writes.
+BENCH_SCHEMA_VERSION = 1
 
 #: (workload_scale, repetitions) per suite at bench scale.
 SUITE_SETTINGS: Dict[str, Tuple[float, int]] = (
@@ -68,3 +72,44 @@ def dse_results():
 def show(text: str) -> None:
     """Print a rendered table with a blank line around it."""
     print("\n" + text + "\n")
+
+
+def write_bench_report(
+    path: str,
+    payload: Dict[str, object],
+    command: str,
+    label: str = "",
+    config: Optional[Dict[str, object]] = None,
+    metrics: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Write one BENCH_*.json and append a matching run-ledger record.
+
+    Stamps ``schema_version`` into the payload, then records the run in
+    the ledger (``$REPRO_RUNS_DIR`` or ``.repro/runs``; an empty
+    ``REPRO_RUNS_DIR`` disables recording).  ``metrics`` are the
+    SLO-relevant numbers (``warm_sweep_speedup``, cache hit rates, …)
+    that ``repro obs check`` enforces budgets against; ``config`` is the
+    run's identity (scale, repetitions, jobs) and feeds the record's
+    ``run_id`` so histories group correctly.
+    """
+    from repro import obs
+
+    payload = dict(payload)
+    payload.setdefault("schema_version", BENCH_SCHEMA_VERSION)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+    runs_dir = os.environ.get(obs.RUNS_DIR_ENV)
+    if runs_dir is None:
+        runs_dir = obs.DEFAULT_RUNS_DIR
+    if runs_dir:
+        record = obs.build_run_record(
+            command=command,
+            label=label,
+            config=dict(config or {}),
+            extra_metrics=dict(metrics or {}),
+        )
+        ledger = obs.RunLedger(runs_dir)
+        ledger.append(record)
+        print(f"ledger: run {record.run_id} appended to {ledger.path}")
+    return payload

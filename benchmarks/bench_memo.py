@@ -27,7 +27,6 @@ they are the real acceptance criterion at any scale.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import tempfile
@@ -35,6 +34,9 @@ import time
 from typing import Dict, List, Optional
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _shared import write_bench_report
 
 import numpy as np
 
@@ -233,8 +235,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     report["all_identical"] = ok
 
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
+    write_bench_report(
+        args.out,
+        report,
+        command="bench_memo",
+        label="quick" if args.quick else ("full" if FULL else "default"),
+        config={
+            "quick": bool(args.quick),
+            "full": FULL,
+            "epsilons": sweep["epsilons"],
+            "workload_scale": sweep["workload_scale"],
+            "repetitions": sweep["repetitions"],
+        },
+        metrics={
+            "warm_sweep_speedup": sweep["warm_speedup"],
+            "warm_dse_speedup": dse["warm_speedup"],
+            "dedup_speedup": dedup["dedup_speedup"],
+            "all_identical": ok,
+            "cache": {
+                "sim_cache": {"hit_rate": sweep["sim_cache"]["hit_rate"]},
+                "tree_cache": {"hit_rate": sweep["tree_cache"]["hit_rate"]},
+            },
+        },
+    )
     print(f"report written to {args.out}")
 
     if not ok:

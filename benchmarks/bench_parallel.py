@@ -20,7 +20,6 @@ acceptance criterion and holds at any core count.
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import os
 import sys
@@ -29,6 +28,9 @@ import time
 from typing import Dict, List, Optional
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _shared import write_bench_report
 
 from repro.experiments.runner import ExperimentConfig, ResultRow, run_suite
 from repro.parallel import ProfileCache
@@ -148,8 +150,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         report["profile_cache_entries"] = len(cache)
 
     report["rows_identical"] = ok
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
+    speedups = {
+        run["jobs"]: run["speedup_vs_jobs1"]
+        for run in report["runs"]
+        if run["speedup_vs_jobs1"]
+    }
+    max_jobs = max(speedups) if speedups else 1
+    write_bench_report(
+        args.out,
+        report,
+        command="bench_parallel",
+        label="quick" if args.quick else "default",
+        config={
+            "suite": args.suite,
+            "quick": bool(args.quick),
+            "jobs": job_settings,
+            "repetitions": config.repetitions,
+            "workload_scale": config.workload_scale,
+        },
+        metrics={
+            "rows_identical": ok,
+            "max_jobs": max_jobs,
+            "parallel_speedup": speedups.get(max_jobs),
+        },
+    )
     print(f"report written to {args.out}")
 
     if not ok:

@@ -7,7 +7,11 @@ Commands
 ``suites``    list available suites and workloads
 ``report``    transparency report for a freshly built plan
 ``trace``     write a sampled-kernel trace file for a plan
-``obs``       pretty-print a run report from saved trace/metrics files
+``obs``       run ledger & reports: ``report`` (pretty-print a saved
+              trace), ``record``/``show``/``history`` (append to and
+              inspect the run ledger), ``compare`` (diff two runs or a
+              run against the ledger median), ``check`` (enforce
+              ``[tool.repro.slo]`` budgets — the CI perf gate)
 ``faults``    describe a fault spec and dry-run it against a workload
 ``grid``      run a (method x workload x repetition) grid, resumably
 ``suite``     run a whole suite and print per-method Table-3 summaries
@@ -43,13 +47,28 @@ progress and continue a killed run exactly where it stopped.
 Observability
 -------------
 Every workload command accepts ``--trace-out PATH`` (Chrome-trace JSON,
-open in ``chrome://tracing``) and ``--metrics-out PATH`` (counters,
-gauges and histogram sketches as JSON).  Either flag — or setting the
-``REPRO_LOG_LEVEL`` environment variable (debug/info/warning/error) —
-enables the :mod:`repro.obs` layer for the run; with ``REPRO_LOG_LEVEL``
-set, structured JSONL events also stream to stderr.  Without any of the
-three, observability stays in no-op mode and runs are bit-identical to
-uninstrumented ones.
+open in ``chrome://tracing``), ``--metrics-out PATH`` (counters, gauges
+and histogram sketches as JSON) and ``--flame-out PATH``
+(collapsed-stack flamegraph lines for flamegraph.pl / speedscope).  Any
+of the flags — or setting the ``REPRO_LOG_LEVEL`` environment variable
+(debug/info/warning/error) — enables the :mod:`repro.obs` layer for the
+run; with ``REPRO_LOG_LEVEL`` set, structured JSONL events also stream
+to stderr.  Without them, observability stays in no-op mode and runs
+are bit-identical to uninstrumented ones.
+
+Run ledger
+----------
+Plan/estimate verbs (``sample``, ``compare``, ``report``, ``trace``,
+``grid``, ``suite``, ``sweep``, ``dse``) append one schema-versioned
+run record — config fingerprint, git rev, per-phase self time, cache
+hit rates, requested vs achieved ε, peak RSS per worker — to
+``.repro/runs/ledger.jsonl``.  ``--runs-dir DIR`` moves it,
+``--no-ledger`` (or an empty ``REPRO_RUNS_DIR``) disables it, and
+``--run-label NAME`` names the run.  ``obs history``/``show`` inspect
+the ledger, ``obs compare`` diffs runs, ``obs check`` enforces the
+``[tool.repro.slo]`` budgets from pyproject.toml and exits non-zero on
+breach.  Everything clock-dependent lives under the record's ``timing``
+key, so identical runs are byte-identical elsewhere.
 """
 
 from __future__ import annotations
@@ -87,6 +106,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_obs_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write a Chrome-trace JSON of the run's spans")
+        p.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write the run's metrics registry as JSON")
+        p.add_argument("--flame-out", metavar="PATH", default=None,
+                       help="write collapsed-stack self-time lines "
+                            "(flamegraph.pl / speedscope format)")
+        p.add_argument("--runs-dir", metavar="DIR", default=None,
+                       help="run-ledger directory (default .repro/runs, "
+                            "or $REPRO_RUNS_DIR; empty disables)")
+        p.add_argument("--no-ledger", action="store_true",
+                       help="skip appending this run to the run ledger")
+        p.add_argument("--run-label", metavar="LABEL", default=None,
+                       help="free-form label stored in the run record")
+
     def add_workload_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("suite", choices=suite_names())
         p.add_argument("workload")
@@ -96,10 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--epsilon", type=float, default=0.05,
                        help="STEM error bound")
-        p.add_argument("--trace-out", metavar="PATH", default=None,
-                       help="write a Chrome-trace JSON of the run's spans")
-        p.add_argument("--metrics-out", metavar="PATH", default=None,
-                       help="write the run's metrics registry as JSON")
+        add_obs_args(p)
         p.add_argument("--faults", metavar="SPEC", default=None,
                        help="fault-injection spec, e.g. "
                             "'seed=3,sim_fail=0.1,nan=0.02' (see repro faults)")
@@ -148,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--fsync-every", type=int, default=1,
                        help="fsync the checkpoint once per N rows "
                             "(default 1 = every row)")
+        add_obs_args(p)
 
     p_grid = sub.add_parser(
         "grid", help="run a (method x workload x repetition) grid"
@@ -185,8 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "directory across points and runs")
     p_sweep.add_argument("--out", metavar="PATH", default=None,
                          help="write points + cache hit rates as JSON")
-    p_sweep.add_argument("--trace-out", metavar="PATH", default=None)
-    p_sweep.add_argument("--metrics-out", metavar="PATH", default=None)
+    add_obs_args(p_sweep)
 
     p_dse = sub.add_parser(
         "dse", help="design-space exploration grid (Table 4)"
@@ -213,8 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "directory across runs")
     p_dse.add_argument("--out", metavar="PATH", default=None,
                        help="write results + cache hit rates as JSON")
-    p_dse.add_argument("--trace-out", metavar="PATH", default=None)
-    p_dse.add_argument("--metrics-out", metavar="PATH", default=None)
+    add_obs_args(p_dse)
 
     p_report = sub.add_parser("report", help="plan transparency report")
     add_workload_args(p_report)
@@ -234,13 +265,97 @@ def build_parser() -> argparse.ArgumentParser:
     add_lint_arguments(p_lint)
 
     p_obs = sub.add_parser(
-        "obs", help="pretty-print a run report from saved obs files"
+        "obs",
+        help="run reports, the run ledger, and SLO checks "
+             "(report/record/show/history/compare/check)",
     )
-    p_obs.add_argument("trace", help="Chrome-trace JSON written by --trace-out")
-    p_obs.add_argument("--metrics", default=None,
-                       help="metrics JSON written by --metrics-out")
-    p_obs.add_argument("--top", type=int, default=8,
-                       help="how many hottest spans to list")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    def add_runs_dir_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--runs-dir", metavar="DIR", default=None,
+                       help="run-ledger directory (default .repro/runs, "
+                            "or $REPRO_RUNS_DIR)")
+
+    p_obs_report = obs_sub.add_parser(
+        "report", help="pretty-print a run report from saved obs files"
+    )
+    p_obs_report.add_argument(
+        "trace", help="Chrome-trace JSON written by --trace-out"
+    )
+    p_obs_report.add_argument("--metrics", default=None,
+                              help="metrics JSON written by --metrics-out")
+    p_obs_report.add_argument("--top", type=int, default=8,
+                              help="how many hottest spans to list")
+
+    p_obs_record = obs_sub.add_parser(
+        "record", help="append a run record built from saved obs files "
+                       "and/or explicit metrics"
+    )
+    p_obs_record.add_argument("name", help="command name stored in the record")
+    p_obs_record.add_argument("--label", default="")
+    p_obs_record.add_argument("--config", metavar="JSON", default=None,
+                              help="JSON object of run-identity config")
+    p_obs_record.add_argument("--trace", metavar="PATH", default=None,
+                              help="Chrome-trace JSON to derive phase times")
+    p_obs_record.add_argument("--metrics", metavar="PATH", default=None,
+                              help="metrics JSON to derive counters")
+    p_obs_record.add_argument("--metric", metavar="KEY=VALUE",
+                              action="append", default=[],
+                              help="extra numeric metric (repeatable)")
+    add_runs_dir_arg(p_obs_record)
+
+    p_obs_show = obs_sub.add_parser(
+        "show", help="print one ledger record as JSON (default: latest)"
+    )
+    p_obs_show.add_argument("run_id", nargs="?", default=None,
+                            help="run-id prefix (default: latest record)")
+    add_runs_dir_arg(p_obs_show)
+
+    p_obs_history = obs_sub.add_parser(
+        "history", help="list ledger records, oldest first"
+    )
+    p_obs_history.add_argument("--run-id", default=None,
+                               help="filter by run-id prefix")
+    p_obs_history.add_argument("--command", dest="filter_command", default=None,
+                               help="filter by recorded command")
+    p_obs_history.add_argument("--limit", type=int, default=20,
+                               help="show at most the last N matches")
+    add_runs_dir_arg(p_obs_history)
+
+    p_obs_compare = obs_sub.add_parser(
+        "compare", help="diff two runs, or a run against the ledger "
+                        "median of its earlier runs, with tolerances"
+    )
+    p_obs_compare.add_argument("baseline", nargs="?", default=None,
+                               help="baseline run-id prefix (default: "
+                                    "median of the candidate's history)")
+    p_obs_compare.add_argument("candidate", nargs="?", default=None,
+                               help="candidate run-id prefix (default: "
+                                    "the latest record)")
+    p_obs_compare.add_argument("--all", action="store_true",
+                               help="show every compared metric, not just "
+                                    "regressions")
+    p_obs_compare.add_argument("--pyproject", metavar="PATH", default=None,
+                               help="pyproject.toml carrying "
+                                    "[tool.repro.slo] tolerances")
+    add_runs_dir_arg(p_obs_compare)
+
+    p_obs_check = obs_sub.add_parser(
+        "check", help="enforce [tool.repro.slo] budgets over ledger "
+                      "records; non-zero exit on breach (the CI perf gate)"
+    )
+    p_obs_check.add_argument("--last", type=int, default=0,
+                             help="check only the last N records "
+                                  "(default: all)")
+    p_obs_check.add_argument("--command", dest="filter_command", default=None,
+                             help="check only records of this command")
+    p_obs_check.add_argument("--against-median", action="store_true",
+                             help="additionally compare each group's "
+                                  "latest record against the median of "
+                                  "its earlier records")
+    p_obs_check.add_argument("--pyproject", metavar="PATH", default=None,
+                             help="pyproject.toml carrying [tool.repro.slo]")
+    add_runs_dir_arg(p_obs_check)
     return parser
 
 
@@ -410,12 +525,272 @@ def _cmd_trace(args) -> int:
     return 0
 
 
-def _cmd_obs(args) -> int:
+#: Commands whose runs are appended to the run ledger by default.
+_LEDGERED = {"sample", "compare", "report", "trace", "grid", "suite",
+             "sweep", "dse"}
+
+#: argparse fields that are plumbing, not run identity: they never
+#: change results, so they stay out of the config fingerprint (and
+#: therefore out of run_id).
+_NON_IDENTITY_ARGS = {
+    "command", "obs_command", "trace_out", "metrics_out", "flame_out",
+    "runs_dir", "no_ledger", "run_label", "out", "output", "checkpoint",
+    "resume", "fsync_every", "profile_cache", "sim_cache", "top",
+}
+
+
+def _resolve_runs_dir(args) -> Optional[str]:
+    """Ledger directory for this invocation, or None when disabled.
+
+    Precedence: ``--no-ledger`` > ``--runs-dir`` > ``$REPRO_RUNS_DIR``
+    (empty value disables) > ``.repro/runs``.
+    """
+    if getattr(args, "no_ledger", False):
+        return None
+    explicit = getattr(args, "runs_dir", None)
+    if explicit is not None:
+        return explicit or None
+    env = os.environ.get(obs.RUNS_DIR_ENV)
+    if env is not None:
+        return env or None
+    return obs.DEFAULT_RUNS_DIR
+
+
+def _run_config(args) -> dict:
+    """The run's identity config: every result-relevant CLI argument."""
+    return {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in _NON_IDENTITY_ARGS
+    }
+
+
+def _default_label(args) -> str:
+    label = getattr(args, "run_label", None)
+    if label:
+        return str(label)
+    parts = [str(p) for p in (getattr(args, "suite", None),
+                              getattr(args, "workload", None)) if p]
+    return "/".join(parts)
+
+
+def _obs_ledger(args) -> "obs.RunLedger":
+    explicit = getattr(args, "runs_dir", None)
+    if explicit:
+        return obs.RunLedger(explicit)
+    env = os.environ.get(obs.RUNS_DIR_ENV)
+    return obs.RunLedger(env or obs.DEFAULT_RUNS_DIR)
+
+
+def _cmd_obs_report(args) -> int:
     events = obs.load_chrome_trace(args.trace)
     metrics = obs.load_metrics_json(args.metrics) if args.metrics else None
     report = obs.build_run_report(events, metrics)
     print(report.to_text(top=args.top))
     return 0
+
+
+def _cmd_obs_record(args) -> int:
+    import json
+
+    report = None
+    snapshot = None
+    if args.trace:
+        metrics = obs.load_metrics_json(args.metrics) if args.metrics else None
+        report = obs.build_run_report(obs.load_chrome_trace(args.trace), metrics)
+    if args.metrics:
+        snapshot = obs.load_metrics_json(args.metrics)
+    extra = {}
+    for item in args.metric:
+        if "=" not in item:
+            print(f"--metric expects KEY=VALUE, got {item!r}", file=sys.stderr)
+            return 2
+        key, _, raw = item.partition("=")
+        try:
+            extra[key.strip()] = float(raw)
+        except ValueError:
+            print(f"--metric value must be numeric, got {item!r}",
+                  file=sys.stderr)
+            return 2
+    config = json.loads(args.config) if args.config else {}
+    if not isinstance(config, dict):
+        print("--config must be a JSON object", file=sys.stderr)
+        return 2
+    record = obs.build_run_record(
+        command=args.name,
+        label=args.label,
+        config=config,
+        report=report,
+        snapshot=snapshot,
+        extra_metrics=extra,
+    )
+    ledger = _obs_ledger(args)
+    ledger.append(record)
+    print(f"recorded run {record.run_id} (seq {record.timing['seq']}) "
+          f"to {ledger.path}")
+    return 0
+
+
+def _cmd_obs_show(args) -> int:
+    import json
+
+    ledger = _obs_ledger(args)
+    record = ledger.latest(run_id=args.run_id)
+    if record is None:
+        what = f"run id {args.run_id!r}" if args.run_id else "any record"
+        print(f"no ledger record matching {what} in {ledger.path}",
+              file=sys.stderr)
+        return 1
+    print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_obs_history(args) -> int:
+    ledger = _obs_ledger(args)
+    records = ledger.history(run_id=args.run_id, command=args.filter_command)
+    if not records:
+        print(f"no ledger records in {ledger.path}", file=sys.stderr)
+        return 1
+    if args.limit > 0:
+        records = records[-args.limit:]
+    rows = []
+    for r in records:
+        rows.append([
+            r.timing.get("seq", "-"),
+            r.run_id[:10],
+            r.command,
+            r.label or "-",
+            r.timing.get("wall_s", float("nan")),
+            r.metrics.get("status", "-"),
+            (r.context.get("git_rev") or "")[:10] or "-",
+        ])
+    print(
+        render_table(
+            ["seq", "run id", "command", "label", "wall s", "status", "rev"],
+            rows,
+            title=f"run ledger: {ledger.path} ({len(rows)} shown)",
+        )
+    )
+    return 0
+
+
+def _cmd_obs_compare(args) -> int:
+    from .obs.slo import (
+        comparable_leaves,
+        compare_records,
+        median_record_leaves,
+        render_compare,
+    )
+
+    budgets = obs.load_slo_budgets(args.pyproject)
+    ledger = _obs_ledger(args)
+    # One positional id = candidate; two = baseline then candidate.
+    if args.baseline is not None and args.candidate is None:
+        candidate_id, baseline_id = args.baseline, None
+    else:
+        candidate_id, baseline_id = args.candidate, args.baseline
+    candidate = ledger.latest(run_id=candidate_id)
+    if candidate is None:
+        print("no candidate record in the ledger", file=sys.stderr)
+        return 2
+    if baseline_id is not None:
+        baseline_record = ledger.latest(run_id=baseline_id)
+        if baseline_record is None:
+            print(f"no baseline record matching {baseline_id!r}",
+                  file=sys.stderr)
+            return 2
+        baseline = comparable_leaves(baseline_record)
+        label_base = f"run {baseline_record.run_id[:8]}"
+    else:
+        history = ledger.history(run_id=candidate.run_id)
+        prior = [r for r in history
+                 if r.timing.get("seq") != candidate.timing.get("seq")]
+        if not prior:
+            print(
+                f"run {candidate.run_id[:8]} has no earlier records to "
+                "compare against; record more runs or name a baseline",
+                file=sys.stderr,
+            )
+            return 2
+        baseline = median_record_leaves(prior)
+        label_base = f"median of {len(prior)}"
+    rows = compare_records(candidate, baseline, budgets)
+    print(f"candidate: run {candidate.run_id[:8]} ({candidate.command}"
+          f"{', ' + candidate.label if candidate.label else ''})")
+    print(render_compare(rows, only_breaches=not args.all,
+                         label_base=label_base, label_cand="candidate"))
+    return 1 if any(r.breach for r in rows) else 0
+
+
+def _cmd_obs_check(args) -> int:
+    from .obs.slo import (
+        check_record,
+        compare_records,
+        median_record_leaves,
+        render_compare,
+        render_violations,
+    )
+
+    budgets = obs.load_slo_budgets(args.pyproject)
+    ledger = _obs_ledger(args)
+    records = ledger.history(command=args.filter_command)
+    if args.last > 0:
+        records = records[-args.last:]
+    if not records:
+        print(f"no ledger records to check in {ledger.path}", file=sys.stderr)
+        return 2
+    if budgets.is_empty():
+        print("no [tool.repro.slo] budgets configured; nothing to enforce",
+              file=sys.stderr)
+        return 2
+
+    violations = []
+    for record in records:
+        violations.extend(check_record(record, budgets))
+    print(render_violations(violations, checked=len(records)))
+
+    regressions = 0
+    if args.against_median:
+        groups = ledger.groups()
+        for run_id, group in sorted(groups.items()):
+            latest = group[-1]
+            if args.filter_command and latest.command != args.filter_command:
+                continue
+            prior = group[:-1]
+            if not prior:
+                continue
+            rows = compare_records(
+                latest, median_record_leaves(prior), budgets
+            )
+            breached = [r for r in rows if r.breach]
+            if breached:
+                regressions += len(breached)
+                print(f"\nregressions vs median — run {run_id[:8]} "
+                      f"({latest.command}):")
+                print(render_compare(breached, only_breaches=True,
+                                     label_base=f"median of {len(prior)}",
+                                     label_cand="latest"))
+    return 1 if (violations or regressions) else 0
+
+
+_OBS_COMMANDS = {
+    "report": _cmd_obs_report,
+    "record": _cmd_obs_record,
+    "show": _cmd_obs_show,
+    "history": _cmd_obs_history,
+    "compare": _cmd_obs_compare,
+    "check": _cmd_obs_check,
+}
+
+
+def _cmd_obs(args) -> int:
+    from .errors import ReproError
+
+    try:
+        return _OBS_COMMANDS[args.obs_command](args)
+    except ReproError as err:
+        print(f"repro obs: {err}", file=sys.stderr)
+        return 2
 
 
 def _cmd_faults(args) -> int:
@@ -775,8 +1150,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
+    flame_out = getattr(args, "flame_out", None)
     log_level = os.environ.get(obs.LOG_LEVEL_ENV)
-    enable = bool(trace_out or metrics_out or log_level)
+    runs_dir = _resolve_runs_dir(args) if args.command in _LEDGERED else None
+    enable = bool(trace_out or metrics_out or flame_out or log_level or runs_dir)
     if not enable:
         return _COMMANDS[args.command](args)
 
@@ -786,8 +1163,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         log_level=log_level,
         event_stream=sys.stderr if log_level else None,
     )
+    monitor = obs.ResourceMonitor()
     try:
-        status = _COMMANDS[args.command](args)
+        with monitor:
+            status = _COMMANDS[args.command](args)
     finally:
         if trace_out:
             count = session.write_trace(trace_out)
@@ -795,7 +1174,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         if metrics_out:
             session.write_metrics(metrics_out)
             print(f"wrote metrics to {metrics_out}", file=sys.stderr)
+        if flame_out:
+            count = session.write_flame(flame_out)
+            print(f"wrote {count} collapsed stacks to {flame_out}",
+                  file=sys.stderr)
         obs.disable()
+    if runs_dir is not None and status == 0:
+        record = obs.build_run_record(
+            command=args.command,
+            label=_default_label(args),
+            config=_run_config(args),
+            session=session,
+            resources=monitor.snapshot(),
+            status=status,
+        )
+        ledger = obs.RunLedger(runs_dir)
+        ledger.append(record)
+        print(f"ledger: run {record.run_id} appended to {ledger.path}",
+              file=sys.stderr)
     return status
 
 

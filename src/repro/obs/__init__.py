@@ -42,8 +42,30 @@ from .export import (
     write_chrome_trace,
     write_metrics_json,
 )
+from .flame import (
+    CriticalStep,
+    collapsed_stacks,
+    critical_path,
+    write_collapsed,
+)
+from .ledger import (
+    DEFAULT_RUNS_DIR,
+    RUN_SCHEMA_VERSION,
+    RUNS_DIR_ENV,
+    RunLedger,
+    RunRecord,
+    build_run_record,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .report import PHASES, PhaseSummary, RunReport, build_run_report, phase_of
+from .resource import ResourceMonitor
+from .slo import (
+    SloBudgets,
+    SloViolation,
+    check_record,
+    compare_records,
+    load_slo_budgets,
+)
 from .tracer import NOOP_SPAN, NoopSpan, Span, Tracer
 
 __all__ = [
@@ -59,6 +81,14 @@ __all__ = [
     "chrome_trace", "write_chrome_trace", "load_chrome_trace",
     "metrics_to_dict", "write_metrics_json", "load_metrics_json",
     "RunReport", "PhaseSummary", "build_run_report", "phase_of", "PHASES",
+    # profiling: flames, critical path, resources
+    "CriticalStep", "critical_path", "collapsed_stacks", "write_collapsed",
+    "ResourceMonitor",
+    # run ledger and SLOs
+    "RunLedger", "RunRecord", "build_run_record",
+    "RUN_SCHEMA_VERSION", "DEFAULT_RUNS_DIR", "RUNS_DIR_ENV",
+    "SloBudgets", "SloViolation", "load_slo_budgets",
+    "check_record", "compare_records",
 ]
 
 #: Environment variable controlling the event-log level (and, in the CLI,
@@ -79,6 +109,16 @@ class ObsSession:
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
         self.events = EventLog(level=log_level, stream=event_stream)
+        #: (worker label, resource snapshot) pairs merged from pool
+        #: workers, mirroring how worker spans merge into the tracer.
+        self.worker_resources: list = []
+        self._worker_lock = threading.Lock()
+
+    def record_worker_resource(self, worker: str, snapshot) -> None:
+        """Attach one worker's resource snapshot to this session."""
+        if snapshot:
+            with self._worker_lock:
+                self.worker_resources.append((str(worker), dict(snapshot)))
 
     # -- convenience ---------------------------------------------------------
     def run_report(self) -> RunReport:
@@ -89,6 +129,10 @@ class ObsSession:
 
     def write_metrics(self, path: str) -> None:
         write_metrics_json(path, self.metrics)
+
+    def write_flame(self, path: str) -> int:
+        """Write collapsed-stack lines for flamegraph.pl / speedscope."""
+        return write_collapsed(path, self.tracer)
 
 
 _session: Optional[ObsSession] = None

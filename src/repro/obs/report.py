@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence, Tuple, Union
 
+from .flame import CriticalStep, critical_path, normalize_events, self_times
 from .metrics import MetricsRegistry
 from .tracer import Span, Tracer
 
@@ -73,6 +74,8 @@ class RunReport:
     gauges: Dict[str, float]
     histograms: Dict[str, Dict[str, float]]
     wall_us: float = 0.0
+    #: Heaviest-descendant chain from the longest root span, root first.
+    critical_path: List[CriticalStep] = field(default_factory=list)
 
     @property
     def accounted_us(self) -> float:
@@ -104,6 +107,19 @@ class RunReport:
         )
         if self.wall_us:
             lines.append(f"elapsed wall-clock: {self.wall_us / 1000.0:.3f} ms")
+
+        if self.critical_path:
+            lines.append("")
+            lines.append("Critical path (heaviest descendant chain)")
+            header = f"{'span':<32} {'total ms':>10} {'self ms':>10}"
+            lines.append(header)
+            lines.append("-" * len(header))
+            for step in self.critical_path[:top]:
+                indent = "  " * step.depth + step.name
+                lines.append(
+                    f"{indent:<32} {step.dur_us / 1000.0:>10.3f} "
+                    f"{step.self_us / 1000.0:>10.3f}"
+                )
 
         hot = self.hottest_spans(top)
         if hot:
@@ -149,46 +165,11 @@ class RunReport:
         return [(n, c, s) for n, (c, s) in ranked[: max(0, top)]]
 
 
-def _normalize(events_or_spans: Union[Tracer, Sequence[Span], Sequence[Dict[str, Any]]]) -> List[Dict[str, Any]]:
-    """Unify live spans and loaded Chrome-trace events into plain dicts."""
-    if isinstance(events_or_spans, Tracer):
-        events_or_spans = events_or_spans.finished()
-    normalized = []
-    for item in events_or_spans:
-        if isinstance(item, Span):
-            normalized.append(
-                {"name": item.name, "ts": item.start_us, "dur": item.dur_us,
-                 "tid": item.thread_id}
-            )
-        else:
-            normalized.append(
-                {"name": str(item.get("name", "?")),
-                 "ts": float(item.get("ts", 0.0)),
-                 "dur": float(item.get("dur", 0.0)),
-                 "tid": item.get("tid", 0)}
-            )
-    return normalized
-
-
-def _self_times(events: List[Dict[str, Any]]) -> List[float]:
-    """Per-event self time via interval containment within each thread."""
-    self_us = [e["dur"] for e in events]
-    by_tid: Dict[Any, List[int]] = {}
-    for i, e in enumerate(events):
-        by_tid.setdefault(e["tid"], []).append(i)
-    for indices in by_tid.values():
-        # Parents start no later and end no earlier than their children;
-        # sorting by (start asc, duration desc) puts parents first.
-        indices.sort(key=lambda i: (events[i]["ts"], -events[i]["dur"]))
-        stack: List[int] = []
-        for i in indices:
-            start, end = events[i]["ts"], events[i]["ts"] + events[i]["dur"]
-            while stack and events[stack[-1]]["ts"] + events[stack[-1]]["dur"] <= start:
-                stack.pop()
-            if stack:
-                self_us[stack[-1]] -= events[i]["dur"]
-            stack.append(i)
-    return self_us
+# Containment analysis lives in .flame (shared with the collapsed-stack
+# exporter and critical-path extraction); keep private aliases for the
+# report's own call sites.
+_normalize = normalize_events
+_self_times = self_times
 
 
 def build_run_report(
@@ -227,4 +208,5 @@ def build_run_report(
         gauges=dict(snapshot.get("gauges", {})),
         histograms=dict(snapshot.get("histograms", {})),
         wall_us=wall_us,
+        critical_path=critical_path(events),
     )

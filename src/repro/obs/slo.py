@@ -1,0 +1,400 @@
+"""SLO budgets over the run ledger: load, check, compare.
+
+Budgets live in ``[tool.repro.slo]`` in pyproject.toml and constrain
+what a :class:`~repro.obs.ledger.RunRecord` may report::
+
+    [tool.repro.slo]
+    max_wall_s = 120.0            # whole-run wall-clock ceiling
+    max_rss_kb = 4194304          # peak RSS ceiling (parent or any worker)
+    epsilon_margin = 1.5          # achieved ε <= requested ε * margin
+
+    [tool.repro.slo.phase_budget_s]   # per-phase self-time ceilings
+    simulate = 90.0
+
+    [tool.repro.slo.cache_hit_rate_min]  # hit-rate floors
+    sim_cache = 0.25
+
+    [tool.repro.slo.metric_min]       # floors on top-level metrics
+    warm_sweep_speedup = 1.2
+
+    [tool.repro.slo.metric_max]       # ceilings on top-level metrics
+    disabled_overhead = 0.02
+
+    [tool.repro.slo.compare]          # regression tolerances
+    wall_rel = 0.5                    # candidate wall <= baseline * 1.5
+    rss_rel = 0.5
+    hit_rate_abs = 0.10               # hit rate may drop at most 0.10
+    metric_rel = 0.25
+
+A budget only constrains what a record actually reports: a record with
+no ``sim_cache`` traffic is not in breach of the ``sim_cache`` floor.
+:func:`check_record` enforces the absolute budgets (the CI gate);
+:func:`compare_records` diffs a candidate against a baseline record or
+the ledger median under the ``compare`` tolerances, with per-metric
+direction (time and RSS regress upward, hit rates and speedups regress
+downward).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from .ledger import RunRecord, iter_numeric_leaves
+
+try:  # Python 3.11+
+    import tomllib  # type: ignore[import]
+except ImportError:  # pragma: no cover - depends on interpreter
+    try:
+        import tomli as tomllib  # type: ignore[no-redef]
+    except ImportError:
+        tomllib = None
+
+__all__ = [
+    "CompareRow",
+    "SloBudgets",
+    "SloViolation",
+    "check_record",
+    "compare_records",
+    "load_slo_budgets",
+    "median_record_leaves",
+    "render_compare",
+    "render_violations",
+]
+
+#: Default regression tolerances for ``compare``.  ``min_time_s`` is a
+#: noise floor: timing keys below it never breach — sub-50ms phases are
+#: dominated by scheduler jitter, not code.
+DEFAULT_TOLERANCES: Dict[str, float] = {
+    "wall_rel": 0.5,
+    "rss_rel": 0.5,
+    "hit_rate_abs": 0.10,
+    "metric_rel": 0.25,
+    "min_time_s": 0.05,
+}
+
+
+@dataclass
+class SloBudgets:
+    """Parsed ``[tool.repro.slo]`` budgets (all optional)."""
+
+    max_wall_s: Optional[float] = None
+    max_rss_kb: Optional[float] = None
+    epsilon_margin: Optional[float] = None
+    phase_budget_s: Dict[str, float] = field(default_factory=dict)
+    cache_hit_rate_min: Dict[str, float] = field(default_factory=dict)
+    metric_min: Dict[str, float] = field(default_factory=dict)
+    metric_max: Dict[str, float] = field(default_factory=dict)
+    tolerances: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_TOLERANCES)
+    )
+    source: Optional[str] = None
+
+    def is_empty(self) -> bool:
+        return not (
+            self.max_wall_s is not None
+            or self.max_rss_kb is not None
+            or self.epsilon_margin is not None
+            or self.phase_budget_s
+            or self.cache_hit_rate_min
+            or self.metric_min
+            or self.metric_max
+        )
+
+
+def load_slo_budgets(pyproject_path: Optional[str] = None) -> SloBudgets:
+    """Budgets from ``[tool.repro.slo]``; empty budgets when absent."""
+    path = pyproject_path or "pyproject.toml"
+    if not os.path.exists(path):
+        return SloBudgets(source=None)
+    if tomllib is None:
+        raise ReproError(
+            "reading [tool.repro.slo] requires tomllib (Python 3.11+) or "
+            "the tomli backport; neither is available"
+        )
+    with open(path, "rb") as fh:
+        try:
+            payload = tomllib.load(fh)
+        except Exception as exc:
+            raise ReproError(f"unparseable {path}: {exc}") from exc
+    table = payload.get("tool", {}).get("repro", {}).get("slo", {})
+    if not isinstance(table, dict):
+        raise ReproError("[tool.repro.slo] must be a table")
+    budgets = SloBudgets(source=path)
+    if "max_wall_s" in table:
+        budgets.max_wall_s = float(table["max_wall_s"])
+    if "max_rss_kb" in table:
+        budgets.max_rss_kb = float(table["max_rss_kb"])
+    if "epsilon_margin" in table:
+        budgets.epsilon_margin = float(table["epsilon_margin"])
+    for key, target in (
+        ("phase_budget_s", budgets.phase_budget_s),
+        ("cache_hit_rate_min", budgets.cache_hit_rate_min),
+        ("metric_min", budgets.metric_min),
+        ("metric_max", budgets.metric_max),
+    ):
+        raw = table.get(key, {})
+        if not isinstance(raw, dict):
+            raise ReproError(f"[tool.repro.slo.{key}] must be a table")
+        for name, value in raw.items():
+            target[str(name)] = float(value)
+    compare = table.get("compare", {})
+    if not isinstance(compare, dict):
+        raise ReproError("[tool.repro.slo.compare] must be a table")
+    for name, value in compare.items():
+        if name not in DEFAULT_TOLERANCES:
+            raise ReproError(
+                f"unknown [tool.repro.slo.compare] key '{name}' "
+                f"(known: {', '.join(sorted(DEFAULT_TOLERANCES))})"
+            )
+        budgets.tolerances[str(name)] = float(value)
+    return budgets
+
+
+@dataclass
+class SloViolation:
+    """One breached budget, with enough context to read in CI logs."""
+
+    run_id: str
+    command: str
+    key: str
+    actual: float
+    limit: float
+    kind: str  # "max" | "min"
+
+    def describe(self) -> str:
+        relation = ">" if self.kind == "max" else "<"
+        return (
+            f"✗ {self.command} [{self.run_id[:8]}] {self.key}: "
+            f"{self.actual:.6g} {relation} budget {self.limit:.6g}"
+        )
+
+
+def _record_peak_rss(record: RunRecord) -> Optional[float]:
+    """Max over the parent resource snap and every worker snap."""
+    peaks: List[float] = []
+    resource = record.timing.get("resource")
+    if isinstance(resource, dict) and "max_rss_kb" in resource:
+        peaks.append(float(resource["max_rss_kb"]))
+    for worker in record.timing.get("workers") or []:
+        if isinstance(worker, dict) and "max_rss_kb" in worker:
+            peaks.append(float(worker["max_rss_kb"]))
+    return max(peaks) if peaks else None
+
+
+def check_record(record: RunRecord, budgets: SloBudgets) -> List[SloViolation]:
+    """Absolute-budget breaches for one record (empty list = within SLO)."""
+    violations: List[SloViolation] = []
+
+    def breach(key: str, actual: float, limit: float, kind: str) -> None:
+        violations.append(SloViolation(
+            run_id=record.run_id, command=record.command,
+            key=key, actual=float(actual), limit=float(limit), kind=kind,
+        ))
+
+    wall = record.timing.get("wall_s")
+    if budgets.max_wall_s is not None and isinstance(wall, (int, float)):
+        if wall > budgets.max_wall_s:
+            breach("timing.wall_s", wall, budgets.max_wall_s, "max")
+
+    if budgets.max_rss_kb is not None:
+        peak = _record_peak_rss(record)
+        if peak is not None and peak > budgets.max_rss_kb:
+            breach("timing.max_rss_kb", peak, budgets.max_rss_kb, "max")
+
+    phases = record.timing.get("phases") or {}
+    for phase, budget in sorted(budgets.phase_budget_s.items()):
+        summary = phases.get(phase)
+        if isinstance(summary, dict):
+            self_s = float(summary.get("self_s", 0.0))
+            if self_s > budget:
+                breach(f"timing.phases.{phase}.self_s", self_s, budget, "max")
+
+    caches = record.metrics.get("cache") or {}
+    for cache, floor in sorted(budgets.cache_hit_rate_min.items()):
+        stats = caches.get(cache)
+        if isinstance(stats, dict) and "hit_rate" in stats:
+            rate = float(stats["hit_rate"])
+            if rate < floor:
+                breach(f"metrics.cache.{cache}.hit_rate", rate, floor, "min")
+
+    for metric, floor in sorted(budgets.metric_min.items()):
+        value = record.metrics.get(metric)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if value < floor:
+                breach(f"metrics.{metric}", value, floor, "min")
+    for metric, ceiling in sorted(budgets.metric_max.items()):
+        value = record.metrics.get(metric)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if value > ceiling:
+                breach(f"metrics.{metric}", value, ceiling, "max")
+
+    epsilon = record.metrics.get("epsilon") or {}
+    if budgets.epsilon_margin is not None and isinstance(epsilon, dict):
+        requested = epsilon.get("requested")
+        achieved = epsilon.get("achieved")
+        if isinstance(requested, (int, float)) and isinstance(achieved, (int, float)):
+            limit = float(requested) * budgets.epsilon_margin
+            if achieved > limit:
+                breach("metrics.epsilon.achieved", achieved, limit, "max")
+
+    return violations
+
+
+def render_violations(violations: Sequence[SloViolation],
+                      checked: int) -> str:
+    lines = [v.describe() for v in violations]
+    if violations:
+        lines.append(
+            f"{len(violations)} SLO breach(es) across {checked} record(s)"
+        )
+    else:
+        lines.append(f"✓ {checked} record(s) within SLO budgets")
+    return "\n".join(lines)
+
+
+# -- comparison ---------------------------------------------------------------
+
+#: (dotted-key classifier, tolerance key, direction) — direction "up"
+#: means increases regress, "down" means decreases regress.
+def _classify(key: str) -> Optional[Tuple[str, str]]:
+    if key.endswith("hit_rate"):
+        return ("hit_rate_abs", "down")
+    if "rss" in key:
+        return ("rss_rel", "up")
+    if key.startswith("timing."):
+        if key.endswith((".spans", ".seq", ".samples", ".timestamp")):
+            return None
+        return ("wall_rel", "up")
+    if "speedup" in key:
+        return ("metric_rel", "down")
+    if key.startswith("metrics.") and key.endswith(
+        ("_s", "_seconds", "overhead")
+    ):
+        return ("metric_rel", "up")
+    return None
+
+
+@dataclass
+class CompareRow:
+    """One numeric leaf diffed between baseline and candidate."""
+
+    key: str
+    baseline: float
+    candidate: float
+    tolerance_key: Optional[str]
+    breach: bool
+
+    @property
+    def delta(self) -> float:
+        return self.candidate - self.baseline
+
+    @property
+    def delta_rel(self) -> Optional[float]:
+        if self.baseline == 0:
+            return None
+        return self.delta / abs(self.baseline)
+
+
+def comparable_leaves(record: RunRecord) -> Dict[str, float]:
+    """Numeric leaves of the metrics + timing sections, dotted keys."""
+    leaves: Dict[str, float] = {}
+    for key, value in iter_numeric_leaves(record.metrics, "metrics"):
+        leaves[key] = value
+    for key, value in iter_numeric_leaves(record.timing, "timing"):
+        leaves[key] = value
+    return leaves
+
+
+def median_record_leaves(records: Sequence[RunRecord]) -> Dict[str, float]:
+    """Element-wise median of every numeric leaf across records.
+
+    Only leaves present in **every** record participate — a metric that
+    appears in some runs and not others has no meaningful median.
+    """
+    if not records:
+        return {}
+    per_record = [comparable_leaves(r) for r in records]
+    common = set(per_record[0])
+    for leaves in per_record[1:]:
+        common &= set(leaves)
+    medians: Dict[str, float] = {}
+    for key in sorted(common):
+        values = sorted(leaves[key] for leaves in per_record)
+        mid = len(values) // 2
+        if len(values) % 2:
+            medians[key] = values[mid]
+        else:
+            medians[key] = (values[mid - 1] + values[mid]) / 2.0
+    return medians
+
+
+def compare_records(
+    candidate: RunRecord,
+    baseline: Dict[str, float],
+    budgets: SloBudgets,
+) -> List[CompareRow]:
+    """Diff a candidate's leaves against baseline leaves with tolerances.
+
+    ``baseline`` is either one record's :func:`comparable_leaves` or a
+    :func:`median_record_leaves` aggregate.  Keys missing on either side
+    are skipped; only classified keys (time, RSS, hit rates, speedups)
+    can breach.
+    """
+    candidate_leaves = comparable_leaves(candidate)
+    tolerances = budgets.tolerances
+    rows: List[CompareRow] = []
+    for key in sorted(set(baseline) & set(candidate_leaves)):
+        base = baseline[key]
+        cand = candidate_leaves[key]
+        classified = _classify(key)
+        breach = False
+        tolerance_key: Optional[str] = None
+        if classified is not None:
+            tolerance_key, direction = classified
+            tol = tolerances.get(tolerance_key, DEFAULT_TOLERANCES[tolerance_key])
+            if tolerance_key.endswith("_abs"):
+                if direction == "down":
+                    breach = cand < base - tol
+                else:
+                    breach = cand > base + tol
+            else:
+                if direction == "up":
+                    breach = cand > base * (1.0 + tol)
+                else:
+                    breach = cand < base * (1.0 - tol)
+            if breach and tolerance_key == "wall_rel":
+                floor = tolerances.get("min_time_s",
+                                       DEFAULT_TOLERANCES["min_time_s"])
+                if max(base, cand) < floor:
+                    breach = False
+        rows.append(CompareRow(key=key, baseline=base, candidate=cand,
+                               tolerance_key=tolerance_key, breach=breach))
+    return rows
+
+
+def render_compare(rows: Sequence[CompareRow], only_breaches: bool = False,
+                   label_base: str = "baseline",
+                   label_cand: str = "candidate") -> str:
+    """Readable diff table; breached rows are marked ✗."""
+    shown = [r for r in rows if r.breach] if only_breaches else list(rows)
+    if not shown:
+        return "✓ no comparable differences" if not rows else "✓ within tolerances"
+    width = max(len(r.key) for r in shown)
+    lines = [
+        f"{'':2}{'metric':<{width}} {label_base:>14} {label_cand:>14} {'Δ%':>8}"
+    ]
+    for row in shown:
+        mark = "✗" if row.breach else ("·" if row.tolerance_key else " ")
+        rel = row.delta_rel
+        rel_text = f"{rel * 100.0:+.1f}" if rel is not None else "n/a"
+        lines.append(
+            f"{mark:<2}{row.key:<{width}} {row.baseline:>14.6g} "
+            f"{row.candidate:>14.6g} {rel_text:>8}"
+        )
+    breaches = sum(r.breach for r in shown)
+    if breaches:
+        lines.append(f"{breaches} regression(s) beyond tolerance")
+    return "\n".join(lines)

@@ -54,12 +54,14 @@ def _invoke(worker: Callable[[Any], Any], payload: Any, capture_obs: bool) -> Di
     if not capture_obs:
         return {"value": worker(payload)}
     with obs.scoped() as session:
-        value = worker(payload)
+        with obs.ResourceMonitor() as monitor:
+            value = worker(payload)
         return {
             "value": value,
             "spans": [s.to_dict() for s in session.tracer.finished()],
             "metrics": session.metrics.export_state(),
             "epoch_wall": session.tracer.epoch_wall,
+            "resource": monitor.snapshot(),
         }
 
 
@@ -71,6 +73,7 @@ def _merge_worker_obs(result: Dict, worker_label: str) -> None:
         result["spans"], worker=worker_label, epoch_wall=result.get("epoch_wall")
     )
     session.metrics.merge_state(result.get("metrics") or {})
+    session.record_worker_resource(worker_label, result.get("resource"))
 
 
 def run_tasks(

@@ -274,6 +274,16 @@ def sample_resiliently(
         requested_epsilon=epsilon,
         achieved_epsilon=achieved,
     )
+    # Exported for run ledgers: the ε contract and the fault ledger of
+    # this run, in the same counters/gauges every other phase uses.
+    obs.set_gauge("resilience.requested_epsilon", epsilon)
+    obs.set_gauge("resilience.achieved_epsilon", achieved)
+    if quarantined_total:
+        obs.inc("resilience.samples_quarantined", quarantined_total)
+    if executor.total_retries:
+        obs.inc("resilience.retries", executor.total_retries)
+    if quarantined_total > 0 or health.repaired:
+        obs.inc("resilience.degraded_runs")
     return ResilientSampleResult(
         plan=plan,
         result=result,

@@ -12,6 +12,17 @@ from repro.workloads.generators.synthetic import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _isolate_run_ledger(monkeypatch):
+    """Keep CLI runs in tests from appending to the repo's run ledger.
+
+    The ledger is on by default for CLI commands (an empty
+    ``REPRO_RUNS_DIR`` disables it); tests that want ledger behaviour
+    pass ``--runs-dir`` or set the variable themselves.
+    """
+    monkeypatch.setenv("REPRO_RUNS_DIR", "")
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(1234)

@@ -100,7 +100,8 @@ class TestObservability:
             "--trace-out", str(trace_path), "--metrics-out", str(metrics_path),
         ])
         capsys.readouterr()
-        assert main(["obs", str(trace_path), "--metrics", str(metrics_path)]) == 0
+        assert main(["obs", "report", str(trace_path),
+                     "--metrics", str(metrics_path)]) == 0
         out = capsys.readouterr().out
         assert "Wall-clock by phase" in out
         assert "cluster" in out
@@ -111,7 +112,7 @@ class TestObservability:
         main(["sample", "rodinia", "bfs", "--scale", "0.5",
               "--trace-out", str(trace_path)])
         capsys.readouterr()
-        assert main(["obs", str(trace_path)]) == 0
+        assert main(["obs", "report", str(trace_path)]) == 0
         assert "Wall-clock by phase" in capsys.readouterr().out
 
     def test_disabled_run_matches_traced_run(self, tmp_path, capsys):

@@ -361,9 +361,10 @@ class TestRepoIsClean:
         result = run_lint(load_config(REPO_CONFIG))
         assert result.findings == [], [f.format_text() for f in result.findings]
         # The sanctioned sites stay visible in the counts: the tracer
-        # epoch suppression and the metrics reservoir baseline entries.
-        assert result.suppressed >= 1
-        assert result.baselined == 2
+        # epoch and the ledger timestamp suppressions.  The baseline is
+        # empty — grandfathered debt has been paid down, and stays down.
+        assert result.suppressed >= 2
+        assert result.baselined == 0
 
     def test_repo_keyed_dataclasses_resolve(self):
         """Every [[cache-key]] entry resolves (no 'unresolved' findings
