@@ -180,6 +180,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--fsync-every", type=int, default=1,
                        help="fsync the checkpoint once per N rows "
                             "(default 1 = every row)")
+        p.add_argument("--no-supervise", action="store_true",
+                       help="disable the self-healing pool supervisor "
+                            "(worker death then aborts the whole grid)")
+        p.add_argument("--speculate", action="store_true",
+                       help="speculatively duplicate straggling tasks on "
+                            "idle workers (first copy wins; results are "
+                            "still bit-identical)")
+        p.add_argument("--max-task-kills", type=int, default=2,
+                       help="kills attributed to one task before it is "
+                            "quarantined as poisoned (default 2)")
+        p.add_argument("--heartbeat-timeout", type=float, default=None,
+                       help="seconds without a worker heartbeat before the "
+                            "task is declared stalled and its worker killed "
+                            "(default: no stall detection)")
         add_obs_args(p)
 
     p_grid = sub.add_parser(
@@ -536,6 +550,9 @@ _NON_IDENTITY_ARGS = {
     "command", "obs_command", "trace_out", "metrics_out", "flame_out",
     "runs_dir", "no_ledger", "run_label", "out", "output", "checkpoint",
     "resume", "fsync_every", "profile_cache", "sim_cache", "top",
+    # Supervision knobs never change results (quarantine excepted, and a
+    # quarantined cell is visible in the rows themselves, not run_id).
+    "no_supervise", "speculate", "max_task_kills", "heartbeat_timeout",
 }
 
 
@@ -880,6 +897,18 @@ def _run_grid(args):
         from .parallel import ProfileCache
 
         profile_cache = ProfileCache(args.profile_cache)
+        if config.fault_plan is not None and config.fault_plan.corrupts_cache:
+            from .resilience import FaultInjector
+
+            profile_cache.fault_injector = FaultInjector(config.fault_plan)
+    from .parallel import SupervisionPolicy
+
+    policy = SupervisionPolicy(
+        enabled=not args.no_supervise,
+        speculate=args.speculate,
+        max_task_kills=args.max_task_kills,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
     methods = args.methods.split(",") if args.methods else METHODS
     try:
         return run_suite(
@@ -890,6 +919,7 @@ def _run_grid(args):
             checkpoint=checkpoint,
             jobs=args.jobs,
             profile_cache=profile_cache,
+            policy=policy,
         )
     finally:
         if checkpoint is not None:

@@ -29,6 +29,9 @@ __all__ = [
     "SimulationTimeout",
     "EstimationError",
     "CheckpointError",
+    "WorkerCrashError",
+    "PoisonedTaskError",
+    "GridExecutionError",
 ]
 
 
@@ -107,3 +110,49 @@ class EstimationError(ReproError, ValueError):
 
 class CheckpointError(ReproError):
     """A checkpoint file is unreadable or inconsistent with the run."""
+
+
+class WorkerCrashError(ReproError):
+    """A process-pool worker died (SIGKILL, OOM, hard crash).
+
+    Raised instead of the raw ``concurrent.futures`` pool-breakage
+    errors so orchestration code can catch pool death as a pipeline
+    failure.  ``indices`` lists the payload indices that were in flight
+    when the pool broke — one of them is the likely culprit.
+    """
+
+    def __init__(self, message: str, indices: Optional[List[int]] = None):
+        super().__init__(message)
+        self.indices: List[int] = list(indices or [])
+
+
+class PoisonedTaskError(WorkerCrashError):
+    """One task killed its worker ``kills`` times and was quarantined.
+
+    The supervisor attributes worker deaths to tasks by re-running
+    suspects in isolation; a task whose isolated re-runs keep breaking
+    the pool is poison (it SIGKILLs, OOMs or corrupts its process) and
+    retrying it further would sink the whole sweep.
+    """
+
+    def __init__(self, message: str, index: int = -1, kills: int = 0):
+        super().__init__(message, indices=[index] if index >= 0 else [])
+        self.index = index
+        self.kills = kills
+
+
+class GridExecutionError(ReproError, RuntimeError):
+    """A parallel grid failed after some cells already completed.
+
+    Carries the partial state: ``completed_cells`` lists the
+    ``(suite, workload, method, repetition)`` keys whose rows were
+    computed (and flushed to the checkpoint, when one is attached)
+    before the failure surfaced.  Subclasses ``RuntimeError`` for
+    backward compatibility with callers that caught the raw worker
+    exception; the original failure is chained as ``__cause__`` and
+    quoted in the message.
+    """
+
+    def __init__(self, message: str, completed_cells: Optional[List[tuple]] = None):
+        super().__init__(message)
+        self.completed_cells: List[tuple] = list(completed_cells or [])

@@ -102,6 +102,11 @@ class ResultRow:
     num_samples: int
     num_clusters: int
     feasible: bool = True
+    #: The cell's task kept killing pool workers and was quarantined by
+    #: the supervisor (see :mod:`repro.parallel.supervisor`); the value
+    #: columns are NaN/0 like an infeasible row.  Quarantined rows are
+    #: never checkpointed, so a resumed grid retries them.
+    quarantined: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -114,6 +119,7 @@ class ResultRow:
             "num_samples": self.num_samples,
             "num_clusters": self.num_clusters,
             "feasible": self.feasible,
+            "quarantined": self.quarantined,
         }
 
     @classmethod
@@ -128,6 +134,7 @@ class ResultRow:
             num_samples=int(payload["num_samples"]),  # type: ignore[arg-type]
             num_clusters=int(payload["num_clusters"]),  # type: ignore[arg-type]
             feasible=bool(payload.get("feasible", True)),
+            quarantined=bool(payload.get("quarantined", False)),
         )
 
 
@@ -209,6 +216,13 @@ class ExperimentConfig:
                 injector = FaultInjector(self.fault_plan)
                 if validation == "off":
                     validation = "repair"
+            if self.fault_plan.corrupts_cache and cache is not None:
+                if getattr(cache, "fault_injector", None) is None:
+                    # Chaos-testing hook: corrupt freshly stored cache
+                    # entries on disk.  Results stay bit-identical — the
+                    # in-memory array is what gets used, and corrupted
+                    # entries are quarantined and recollected on read.
+                    cache.fault_injector = FaultInjector(self.fault_plan)
         return ProfileStore(
             workload,
             self.gpu,
@@ -251,6 +265,22 @@ def _infeasible_row(workload: Workload, method: str, rep: int) -> ResultRow:
         num_samples=0,
         num_clusters=0,
         feasible=False,
+    )
+
+
+def _quarantined_row(workload: Workload, method: str, rep: int) -> ResultRow:
+    """An N/A-shaped row for a cell whose task was poison-quarantined."""
+    return ResultRow(
+        suite=workload.suite,
+        workload=workload.name,
+        method=method,
+        repetition=rep,
+        error_percent=float("nan"),
+        speedup=float("nan"),
+        num_samples=0,
+        num_clusters=0,
+        feasible=False,
+        quarantined=True,
     )
 
 
@@ -358,6 +388,7 @@ def run_workload(
     checkpoint: Optional[Union[str, GridCheckpoint]] = None,
     jobs: Optional[int] = 1,
     profile_cache=None,
+    policy=None,
 ) -> List[ResultRow]:
     """Evaluate methods on one workload across repetitions.
 
@@ -379,7 +410,9 @@ def run_workload(
     cell's randomness derives from :func:`repetition_seed` alone.  With
     ``jobs != 1``, ``ground_truth`` must be picklable (a module-level
     function).  ``profile_cache`` (a :class:`repro.parallel.ProfileCache`)
-    reuses collected profiles across runs and processes.
+    reuses collected profiles across runs and processes.  ``policy`` (a
+    :class:`repro.parallel.SupervisionPolicy`) tunes worker-death
+    supervision for the parallel path; it never affects results.
     """
     if config is None:
         config = ExperimentConfig()
@@ -394,6 +427,7 @@ def run_workload(
             checkpoint=checkpoint,
             profile_cache=profile_cache,
             jobs=jobs,
+            policy=policy,
         )
     checkpoint = _as_checkpoint(checkpoint, config)
     method_list = list(methods or METHODS)
@@ -446,6 +480,7 @@ def run_suite(
     checkpoint: Optional[Union[str, GridCheckpoint]] = None,
     jobs: Optional[int] = 1,
     profile_cache=None,
+    policy=None,
 ) -> List[ResultRow]:
     """Evaluate methods on every workload of a suite.
 
@@ -473,6 +508,7 @@ def run_suite(
             checkpoint=checkpoint,
             profile_cache=profile_cache,
             jobs=jobs,
+            policy=policy,
         )
     checkpoint = _as_checkpoint(checkpoint, config)
     rows: List[ResultRow] = []

@@ -29,6 +29,16 @@ are keyed by ``sha256(context, sorted unique index list)`` — one file
 per simulate-call — while the in-process layer additionally memoizes
 per (context, index), so a later call over a *different* index subset
 still reuses every invocation the process has already simulated.
+
+Integrity
+---------
+Entry metadata carries a SHA-256 checksum over every stored array
+(indices, wave cycles, extrapolation, stall cycles, events), verified
+on each disk read.  A mismatch or an unreadable file moves the entry
+into the cache's ``quarantine/`` subdirectory (kept for forensics,
+excluded from ``len()``), counts it in obs metrics, and reports a miss
+so the invocations are transparently re-simulated — a corrupted cache
+can cost simulation time but can never poison results.
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ import hashlib
 import json
 import os
 import tempfile
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -48,7 +59,21 @@ from .. import obs
 __all__ = ["RawKernelSim", "SimResultCache", "SIM_VERSION"]
 
 #: Bump when the on-disk entry layout changes incompatibly.
-CACHE_FORMAT_VERSION = 1
+#: v2 added the content checksum to entry metadata.
+CACHE_FORMAT_VERSION = 2
+
+#: Subdirectory (under the cache root) holding quarantined entries.
+QUARANTINE_DIR = "quarantine"
+
+
+def _entry_checksum(arrays: Iterable[np.ndarray]) -> str:
+    """SHA-256 over each array's bytes, dtype and shape, in order."""
+    h = hashlib.sha256()
+    for array in arrays:
+        h.update(str(array.dtype).encode())
+        h.update(repr(tuple(array.shape)).encode())
+        h.update(np.ascontiguousarray(array).tobytes())
+    return h.hexdigest()
 
 #: Simulator version salt — bump whenever :mod:`repro.sim` changes in a
 #: way that alters raw simulation outputs, so stale entries can never be
@@ -87,6 +112,10 @@ class SimResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
+        #: Optional :class:`~repro.resilience.FaultInjector` used by the
+        #: chaos harness to flip entry bytes right after a store.
+        self.fault_injector = None
 
     # -- keys ----------------------------------------------------------------
     @staticmethod
@@ -113,6 +142,27 @@ class SimResultCache:
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".npz")
+
+    # -- integrity -----------------------------------------------------------
+    def _quarantine_entry(self, path: str, reason: str) -> None:
+        """Move a bad entry into ``quarantine/`` and count it.
+
+        The file is kept (not deleted) so corruption can be inspected
+        after the fact; quarantined entries are invisible to ``load``
+        and excluded from ``len()``, so the invocations are simply
+        re-simulated.
+        """
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        os.makedirs(qdir, exist_ok=True)
+        try:
+            os.replace(path, os.path.join(qdir, os.path.basename(path)))
+        except OSError:
+            pass  # racing reader already moved it; counting still applies
+        self.corrupt += 1
+        obs.inc("memo.sim_cache.corrupt_quarantined")
+        obs.log_event(
+            "memo.sim_cache_quarantined", level="warning", path=path, reason=reason
+        )
 
     # -- memory layer --------------------------------------------------------
     def _memory_get(self, context: str, index: int) -> Optional[RawKernelSim]:
@@ -188,6 +238,7 @@ class SimResultCache:
             "sim_version": SIM_VERSION,
             "context": context,
             "n": int(n),
+            "checksum": _entry_checksum([index_arr, wave, extrap, stall, events]),
         }
         blob = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
         fd, tmp = tempfile.mkstemp(
@@ -211,6 +262,10 @@ class SimResultCache:
             raise
         self.stores += 1
         obs.inc("memo.sim_cache.stores")
+        if self.fault_injector is not None and self.fault_injector.cache_corrupt_decision(
+            key
+        ):
+            self.fault_injector.corrupt_cache_entry(path, key)
         return key
 
     # -- disk layer ----------------------------------------------------------
@@ -228,9 +283,10 @@ class SimResultCache:
                 extrap = np.array(payload["extrapolation"])
                 stall = np.array(payload["stall_cycles"])
                 events = np.array(payload["events"])
-        except (OSError, ValueError, KeyError, json.JSONDecodeError):
-            # Torn or foreign file: treat as a miss, re-simulate.
-            obs.log_event("memo.sim_cache_unreadable", level="warning", path=path)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile,
+                json.JSONDecodeError):
+            # Torn or foreign file: quarantine it, then re-simulate.
+            self._quarantine_entry(path, reason="unreadable")
             return None
         if (
             not isinstance(meta, dict)
@@ -239,6 +295,13 @@ class SimResultCache:
             or meta.get("context") != context
             or not np.array_equal(stored, indices)
         ):
+            return None
+        if meta.get("checksum") != _entry_checksum(
+            [stored, wave, extrap, stall, events]
+        ):
+            # Bit rot or a flipped byte: the entry parsed but its content
+            # no longer matches what was stored.
+            self._quarantine_entry(path, reason="checksum_mismatch")
             return None
         return {
             int(index): RawKernelSim(
@@ -259,10 +322,12 @@ class SimResultCache:
         return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
 
     def __len__(self) -> int:
-        """Number of complete entries on disk."""
+        """Number of complete entries on disk (quarantine excluded)."""
         count = 0
         if os.path.isdir(self.root):
             for sub in os.listdir(self.root):
+                if sub == QUARANTINE_DIR:
+                    continue
                 subdir = os.path.join(self.root, sub)
                 if os.path.isdir(subdir):
                     count += sum(

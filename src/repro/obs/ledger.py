@@ -306,9 +306,22 @@ def _resilience_summary(counters: Dict[str, int],
         ("retries", "resilience.retries"),
         ("degraded_runs", "resilience.degraded_runs"),
         ("checkpoint_cells_replayed", "resilience.checkpoint_cells_replayed"),
+        # Self-healing parallel execution (repro.parallel.supervisor).
+        ("worker_deaths", "parallel.supervisor.worker_deaths"),
+        ("pool_rebuilds", "parallel.supervisor.pool_rebuilds"),
+        ("task_redispatches", "parallel.supervisor.redispatches"),
+        ("stalls_detected", "parallel.supervisor.stalls_detected"),
+        ("speculation_wins", "parallel.supervisor.speculation_wins"),
+        ("tasks_poisoned", "parallel.supervisor.tasks_poisoned"),
+        ("cells_quarantined", "parallel.grid.cells_quarantined"),
     ):
         if counter in counters:
             summary[key] = int(counters[counter])
+    cache_quarantined = int(
+        counters.get("parallel.profile_cache.corrupt_quarantined", 0)
+    ) + int(counters.get("memo.sim_cache.corrupt_quarantined", 0))
+    if cache_quarantined:
+        summary["cache_entries_quarantined"] = cache_quarantined
     return summary
 
 

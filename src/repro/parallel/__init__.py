@@ -8,8 +8,13 @@ Three layers, each useful on its own:
   workers;
 * :func:`run_tasks` — a generic ordered process-pool executor that
   merges worker observability (spans, metrics) back into the parent;
-* :func:`execute_grid` — the experiment-grid fan-out built on both,
-  guaranteed bit-identical to the sequential runner (see
+* :mod:`~repro.parallel.supervisor` — the self-healing layer under
+  pooled ``run_tasks``: pool-rebuild on worker death, deterministic
+  re-dispatch, poison-task quarantine, heartbeat stall detection and
+  speculative straggler re-execution
+  (:class:`SupervisionPolicy` / :class:`SupervisionReport`);
+* :func:`execute_grid` — the experiment-grid fan-out built on all of
+  the above, guaranteed bit-identical to the sequential runner (see
   :mod:`repro.parallel.grid` for the determinism contract).
 
 Everything is opt-in: ``jobs=1`` (the default throughout the code base)
@@ -17,9 +22,11 @@ never touches a process pool, and no cache is consulted unless one is
 passed explicitly or via ``--profile-cache`` on the CLI.
 """
 
+from ..errors import GridExecutionError, PoisonedTaskError, WorkerCrashError
 from .executor import resolve_jobs, run_tasks
 from .grid import GridTask, execute_grid
 from .profile_cache import ProfileCache
+from .supervisor import SupervisionPolicy, SupervisionReport, supervise_tasks
 
 __all__ = [
     "ProfileCache",
@@ -27,4 +34,10 @@ __all__ = [
     "execute_grid",
     "resolve_jobs",
     "run_tasks",
+    "SupervisionPolicy",
+    "SupervisionReport",
+    "supervise_tasks",
+    "WorkerCrashError",
+    "PoisonedTaskError",
+    "GridExecutionError",
 ]

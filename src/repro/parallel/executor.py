@@ -23,6 +23,13 @@ Workers are processes, not threads: the simulators and samplers are
 CPU-bound NumPy/Python code, so threads would serialize on the GIL.
 The pool uses the ``fork`` start method where available (cheap, and
 payloads stay picklable anyway so ``spawn`` platforms work too).
+
+Pooled runs are dispatched through the self-healing supervisor by
+default (:mod:`repro.parallel.supervisor`): a SIGKILLed or OOMed worker
+rebuilds the pool and re-dispatches unfinished tasks instead of sinking
+the run, and tasks that keep killing workers are quarantined with a
+typed error.  ``SupervisionPolicy(enabled=False)`` restores the legacy
+single-dispatch pool (kept for the overhead benchmark).
 """
 
 from __future__ import annotations
@@ -30,9 +37,11 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .. import obs
+from ..errors import WorkerCrashError
 
 __all__ = ["resolve_jobs", "run_tasks"]
 
@@ -82,6 +91,9 @@ def run_tasks(
     jobs: Optional[int] = 1,
     on_result: Optional[Callable[[int, Any], None]] = None,
     label: str = "parallel",
+    policy: Optional["SupervisionPolicy"] = None,
+    fault_plan: Optional[object] = None,
+    report: Optional["SupervisionReport"] = None,
 ) -> List[Any]:
     """Run ``worker`` over ``payloads``; results come back in payload order.
 
@@ -92,6 +104,22 @@ def run_tasks(
     the moment they complete.  On a worker exception the first failure
     propagates after pending work is cancelled; results delivered before
     the failure have already been passed to ``on_result``.
+
+    Pooled execution is **supervised** by default (see
+    :mod:`repro.parallel.supervisor`): worker death rebuilds the pool
+    and re-dispatches only unfinished tasks (purity keeps retried
+    results bit-identical), a task that keeps killing workers is
+    quarantined with a typed
+    :class:`~repro.errors.PoisonedTaskError` — recorded in ``report``
+    when one is passed, raised otherwise — and ``policy`` opts into
+    heartbeat stall detection and speculative re-execution.  Pass
+    ``policy=SupervisionPolicy(enabled=False)`` for the legacy
+    unsupervised pool, where pool breakage raises a typed
+    :class:`~repro.errors.WorkerCrashError` naming the in-flight
+    payload indices.  ``fault_plan`` (a
+    :class:`~repro.resilience.FaultPlan` with process-level rates)
+    injects real worker kills/stalls inside the pool — it never reaches
+    the sequential path, which by definition cannot lose a worker.
     """
     jobs = resolve_jobs(jobs)
     results: List[Any] = [None] * len(payloads)
@@ -105,6 +133,24 @@ def run_tasks(
 
     capture = obs.is_enabled()
     obs.log_event(f"{label}.fanout", tasks=len(payloads), jobs=jobs)
+    from .supervisor import SupervisionPolicy, supervise_tasks
+
+    if policy is None:
+        policy = SupervisionPolicy()
+    if policy.enabled:
+        results, _ = supervise_tasks(
+            worker,
+            payloads,
+            jobs=jobs,
+            on_result=on_result,
+            label=label,
+            policy=policy,
+            capture_obs=capture,
+            fault_plan=fault_plan,
+            report=report,
+        )
+        return results
+
     executor = ProcessPoolExecutor(
         max_workers=min(jobs, len(payloads)), mp_context=_pool_context()
     )
@@ -118,7 +164,18 @@ def run_tasks(
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 index = future_index[future]
-                wrapped = future.result()  # re-raises worker exceptions
+                try:
+                    wrapped = future.result()  # re-raises worker exceptions
+                except BrokenProcessPool as err:
+                    unfinished = sorted({index} | {future_index[f] for f in pending})
+                    raise WorkerCrashError(
+                        f"{label}: a worker process died unsupervised "
+                        f"(payload index {index} observed the breakage; "
+                        f"unfinished indices: {unfinished}); supervised "
+                        "execution (the default policy) recovers from this "
+                        "automatically",
+                        indices=unfinished,
+                    ) from err
                 _merge_worker_obs(wrapped, worker_label=f"{label}-{index}")
                 results[index] = wrapped["value"]
                 obs.inc(f"{label}.tasks_completed")

@@ -35,8 +35,10 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from .. import obs
+from ..errors import GridExecutionError
 from .executor import resolve_jobs, run_tasks
 from .profile_cache import ProfileCache
+from .supervisor import SupervisionPolicy, SupervisionReport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from ..experiments.runner import ExperimentConfig, ResultRow
@@ -78,6 +80,13 @@ def _grid_task_worker(task: GridTask) -> List[Tuple[str, Dict[str, object]]]:
         if task.cache_root
         else None
     )
+    plan = task.config.fault_plan
+    if cache is not None and plan is not None and plan.corrupts_cache:
+        from ..resilience.faults import FaultInjector
+
+        # Chaos-testing hook: freshly stored entries get their on-disk
+        # bytes flipped, exercising checksum quarantine on later reads.
+        cache.fault_injector = FaultInjector(plan)
     with obs.span(
         "parallel.grid_task", workload=task.workload.name, repetition=task.rep
     ):
@@ -102,6 +111,7 @@ def execute_grid(
     checkpoint=None,
     profile_cache: Optional[ProfileCache] = None,
     jobs: Optional[int] = None,
+    policy: Optional[SupervisionPolicy] = None,
 ) -> List["ResultRow"]:
     """Run an experiment grid across worker processes.
 
@@ -112,6 +122,17 @@ def execute_grid(
 
     ``ground_truth`` must be picklable (a module-level function) since it
     rides inside worker payloads.
+
+    Execution is supervised (``policy``, default
+    :class:`~repro.parallel.SupervisionPolicy`): a killed worker
+    rebuilds the pool and re-dispatches unfinished tasks with
+    bit-identical results, and a task that keeps killing workers is
+    quarantined — its cells come back as non-feasible rows flagged
+    ``quarantined`` (never checkpointed, so a resume retries them) while
+    the rest of the grid completes normally.  On an *unrecoverable*
+    failure every completed cell is flushed to the checkpoint before a
+    :class:`~repro.errors.GridExecutionError` carrying the completed
+    cell keys propagates with the original failure as its cause.
     """
     from ..experiments import runner  # lazy: keeps import graph acyclic
 
@@ -167,14 +188,66 @@ def execute_grid(
                     workload.suite, workload.name, method, rep, row_dict
                 )
 
+    def _completed_cell_keys() -> List[Tuple[str, str, str, int]]:
+        keys = []
+        for (wl_idx, method, rep), row in computed.items():
+            workload = workload_list[wl_idx]
+            keys.append((workload.suite, workload.name, method, rep))
+        return sorted(keys)
+
+    fault_plan = config.fault_plan
+    report = SupervisionReport()
     with obs.span("parallel.execute_grid", tasks=len(payloads), jobs=jobs):
-        run_tasks(
-            _grid_task_worker,
-            payloads,
-            jobs=jobs,
-            on_result=on_result,
-            label="parallel.grid",
-        )
+        try:
+            run_tasks(
+                _grid_task_worker,
+                payloads,
+                jobs=jobs,
+                on_result=on_result,
+                label="parallel.grid",
+                policy=policy,
+                fault_plan=(
+                    fault_plan
+                    if fault_plan is not None and fault_plan.faults_workers
+                    else None
+                ),
+                report=report,
+            )
+        except Exception as err:
+            # Unrecoverable (a genuine worker exception, or pool death
+            # beyond the rebuild budget): salvage what completed.  Every
+            # finished cell is already in the checkpoint via on_result;
+            # force the pending fsync so the file survives the caller.
+            if checkpoint is not None:
+                checkpoint.flush()
+            completed = _completed_cell_keys()
+            raise GridExecutionError(
+                f"parallel grid failed with {len(completed)} cells completed "
+                f"(flushed to checkpoint: {checkpoint is not None}): {err}",
+                completed_cells=completed,
+            ) from err
+
+    # Tasks the supervisor quarantined come back as explicit non-feasible
+    # rows (never checkpointed, so a resume retries them) and are
+    # enumerated in the obs stream for the run ledger.
+    quarantined: Dict[Tuple[int, str, int], "runner.ResultRow"] = {}
+    for poisoned in report.poisoned:
+        wl_idx, rep = task_keys[poisoned.index]
+        workload = workload_list[wl_idx]
+        for method in missing[(wl_idx, rep)]:
+            quarantined[(wl_idx, method, rep)] = runner._quarantined_row(
+                workload, method, rep
+            )
+            obs.inc("parallel.grid.cells_quarantined")
+            obs.log_event(
+                "parallel.grid.cell_quarantined",
+                level="error",
+                suite=workload.suite,
+                workload=workload.name,
+                method=method,
+                repetition=rep,
+                kills=poisoned.kills,
+            )
 
     # Reassemble in grid order — identical to the sequential runner's.
     rows: List["runner.ResultRow"] = []
@@ -182,5 +255,10 @@ def execute_grid(
         for rep in range(config.repetitions):
             for method in method_list:
                 key = (wl_idx, method, rep)
-                rows.append(stored[key] if key in stored else computed[key])
+                if key in stored:
+                    rows.append(stored[key])
+                elif key in quarantined:
+                    rows.append(quarantined[key])
+                else:
+                    rows.append(computed[key])
     return rows

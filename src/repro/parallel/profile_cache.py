@@ -26,6 +26,17 @@ Writes are atomic: the entry is serialized to a unique temp file in the
 cache directory and ``os.replace``-d into place, so concurrent workers
 racing on a cold cache can only ever observe a complete entry (the race
 costs one redundant collection, never a torn read).
+
+Integrity
+---------
+Every entry's metadata carries a SHA-256 checksum of the profile bytes
+(plus dtype and shape), verified on each disk read.  A mismatch — bit
+rot, torn storage, a hand-edited file — moves the entry into the
+cache's ``quarantine/`` subdirectory (kept for forensics, excluded from
+``len()``), counts it in obs metrics, and reports a miss so the profile
+is transparently recollected; unreadable entries are quarantined the
+same way.  A corrupted cache can cost recollection time but can never
+poison results.
 """
 
 from __future__ import annotations
@@ -34,6 +45,7 @@ import hashlib
 import json
 import os
 import tempfile
+import zipfile
 from collections import OrderedDict
 from typing import Dict, Optional
 
@@ -44,7 +56,20 @@ from .. import obs
 __all__ = ["ProfileCache"]
 
 #: Bump when the on-disk entry layout changes incompatibly.
-CACHE_FORMAT_VERSION = 1
+#: v2 added the content checksum to entry metadata.
+CACHE_FORMAT_VERSION = 2
+
+#: Subdirectory (under the cache root) holding quarantined entries.
+QUARANTINE_DIR = "quarantine"
+
+
+def _array_checksum(array: np.ndarray) -> str:
+    """SHA-256 over the array's bytes, dtype and shape."""
+    h = hashlib.sha256()
+    h.update(str(array.dtype).encode())
+    h.update(repr(tuple(array.shape)).encode())
+    h.update(np.ascontiguousarray(array).tobytes())
+    return h.hexdigest()
 
 
 class ProfileCache:
@@ -69,6 +94,10 @@ class ProfileCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
+        #: Optional :class:`~repro.resilience.FaultInjector` used by the
+        #: chaos harness to flip entry bytes right after a store.
+        self.fault_injector = None
 
     # -- keys ----------------------------------------------------------------
     @staticmethod
@@ -82,6 +111,29 @@ class ProfileCache:
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".npz")
+
+    # -- integrity -----------------------------------------------------------
+    def _quarantine_entry(self, path: str, reason: str) -> None:
+        """Move a bad entry into ``quarantine/`` and count it.
+
+        The file is kept (not deleted) so corruption can be inspected
+        after the fact; quarantined entries are invisible to ``get`` and
+        excluded from ``len()``, so the profile is simply recollected.
+        """
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        os.makedirs(qdir, exist_ok=True)
+        try:
+            os.replace(path, os.path.join(qdir, os.path.basename(path)))
+        except OSError:
+            pass  # racing reader already moved it; counting still applies
+        self.corrupt += 1
+        obs.inc("parallel.profile_cache.corrupt_quarantined")
+        obs.log_event(
+            "parallel.profile_cache_quarantined",
+            level="warning",
+            path=path,
+            reason=reason,
+        )
 
     # -- memory layer --------------------------------------------------------
     def _memory_get(self, key: str) -> Optional[np.ndarray]:
@@ -113,17 +165,21 @@ class ProfileCache:
                 with np.load(path, allow_pickle=False) as payload:
                     meta = json.loads(bytes(payload["meta"]).decode())
                     arr = np.array(payload["profile"])
-            except (OSError, ValueError, KeyError, json.JSONDecodeError):
-                # Torn or foreign file: treat as a miss, recollect.
-                obs.log_event(
-                    "parallel.profile_cache_unreadable", level="warning", path=path
-                )
+            except (OSError, ValueError, KeyError, zipfile.BadZipFile,
+                    json.JSONDecodeError):
+                # Torn or foreign file: quarantine it, then recollect.
+                self._quarantine_entry(path, reason="unreadable")
                 meta, arr = None, None
             if arr is not None and self._meta_fresh(meta, workload, gpu, seed, kind):
-                self.hits += 1
-                obs.inc("parallel.profile_cache.disk_hits")
-                self._memory_put(key, arr)
-                return arr
+                if meta.get("checksum") != _array_checksum(arr):
+                    # Bit rot or a flipped byte: the entry parsed but its
+                    # content no longer matches what was stored.
+                    self._quarantine_entry(path, reason="checksum_mismatch")
+                else:
+                    self.hits += 1
+                    obs.inc("parallel.profile_cache.disk_hits")
+                    self._memory_put(key, arr)
+                    return arr
         self.misses += 1
         obs.inc("parallel.profile_cache.misses")
         return None
@@ -138,6 +194,7 @@ class ProfileCache:
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         meta = self._meta(workload, gpu, seed, kind)
+        meta["checksum"] = _array_checksum(array)
         blob = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
         fd, tmp = tempfile.mkstemp(
             prefix=".tmp-" + key[:8] + "-", suffix=".npz", dir=os.path.dirname(path)
@@ -152,6 +209,10 @@ class ProfileCache:
             raise
         self.stores += 1
         obs.inc("parallel.profile_cache.stores")
+        if self.fault_injector is not None and self.fault_injector.cache_corrupt_decision(
+            key
+        ):
+            self.fault_injector.corrupt_cache_entry(path, key)
         return key
 
     def get_or_collect(
@@ -193,10 +254,12 @@ class ProfileCache:
         self._memory.clear()
 
     def __len__(self) -> int:
-        """Number of complete entries on disk."""
+        """Number of complete entries on disk (quarantine excluded)."""
         count = 0
         if os.path.isdir(self.root):
             for sub in os.listdir(self.root):
+                if sub == QUARANTINE_DIR:
+                    continue
                 subdir = os.path.join(self.root, sub)
                 if os.path.isdir(subdir):
                     count += sum(

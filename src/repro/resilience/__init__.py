@@ -30,14 +30,17 @@ from .degraded import DegradedPlanResult, achieved_epsilon_of, degrade_plan
 from .errors import (
     CheckpointError,
     EstimationError,
+    GridExecutionError,
     InfeasibleProfilingError,
+    PoisonedTaskError,
     ProfileValidationError,
     ReproError,
     SimulationFailure,
     SimulationTimeout,
+    WorkerCrashError,
 )
 from .executor import ManualClock, ResilientExecutor, RetryPolicy, SampleOutcome
-from .faults import FaultInjector, FaultPlan, SimDecision
+from .faults import FaultInjector, FaultPlan, SimDecision, WorkerDecision
 from .pipeline import ResilientSampleResult, sample_resiliently
 from .validation import ProfileHealth, validate_times
 
@@ -50,10 +53,14 @@ __all__ = [
     "SimulationTimeout",
     "EstimationError",
     "CheckpointError",
+    "WorkerCrashError",
+    "PoisonedTaskError",
+    "GridExecutionError",
     # faults
     "FaultPlan",
     "FaultInjector",
     "SimDecision",
+    "WorkerDecision",
     # executor
     "RetryPolicy",
     "SampleOutcome",

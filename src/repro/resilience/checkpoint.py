@@ -187,12 +187,22 @@ class GridCheckpoint:
     def __len__(self) -> int:
         return len(self._rows)
 
+    def flush(self) -> None:
+        """Force the pending durability barrier without closing.
+
+        Used by the parallel grid's failure path: before a
+        :class:`~repro.errors.GridExecutionError` propagates, every
+        already-recorded cell is fsynced so the salvage survives
+        whatever kills the process next.
+        """
+        if self._fh is not None and self._rows_since_fsync:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._rows_since_fsync = 0
+
     def close(self) -> None:
         if self._fh is not None:
-            if self._rows_since_fsync:
-                self._fh.flush()
-                os.fsync(self._fh.fileno())
-                self._rows_since_fsync = 0
+            self.flush()
             self._fh.close()
             self._fh = None
 

@@ -11,11 +11,14 @@ SimulationFailure``.
 from ..errors import (
     CheckpointError,
     EstimationError,
+    GridExecutionError,
     InfeasibleProfilingError,
+    PoisonedTaskError,
     ProfileValidationError,
     ReproError,
     SimulationFailure,
     SimulationTimeout,
+    WorkerCrashError,
 )
 
 __all__ = [
@@ -26,4 +29,7 @@ __all__ = [
     "SimulationTimeout",
     "EstimationError",
     "CheckpointError",
+    "WorkerCrashError",
+    "PoisonedTaskError",
+    "GridExecutionError",
 ]

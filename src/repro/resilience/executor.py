@@ -24,6 +24,7 @@ work the fault model caused.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
@@ -46,6 +47,12 @@ class RetryPolicy:
     deadline: float = float("inf")
     #: Total per-sample budget across attempts and backoffs.
     total_budget: float = float("inf")
+    #: Maximum fractional jitter added to the backoff when a sample key
+    #: is supplied: the wait becomes ``base * (1 + jitter * u)`` with
+    #: ``u`` a deterministic function of (key, attempt).  Spreads the
+    #: retry storm after a correlated failure without wall-clock
+    #: randomness — the same (key, attempt) always waits the same time.
+    jitter: float = 0.1
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -54,10 +61,25 @@ class RetryPolicy:
             raise ValueError("backoff must be non-negative and non-shrinking")
         if self.deadline <= 0 or self.total_budget <= 0:
             raise ValueError("deadline and total_budget must be positive")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
 
-    def backoff(self, attempt: int) -> float:
-        """Seconds to wait before retrying after ``attempt`` failed."""
-        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+    def backoff(self, attempt: int, key: Optional[int] = None) -> float:
+        """Seconds to wait before retrying after ``attempt`` failed.
+
+        Without a ``key`` (or with ``jitter=0``) this is the exact
+        exponential schedule; with one, a seeded per-(key, attempt)
+        jitter fraction is mixed in so concurrent samples failing
+        together don't all retry in lockstep.
+        """
+        base = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        if key is None or self.jitter <= 0 or base <= 0:
+            return base
+        digest = hashlib.sha256(
+            f"retry-jitter\x00{int(key)}\x00{int(attempt)}".encode()
+        ).digest()
+        u = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return base * (1.0 + self.jitter * u)
 
 
 @dataclass
@@ -168,7 +190,7 @@ class ResilientExecutor:
                 break
             if attempt < policy.max_attempts:
                 obs.inc("resilience.retries")
-                self.sleep(policy.backoff(attempt))
+                self.sleep(policy.backoff(attempt, key=int(key)))
         else:
             outcome.gave_up = "max attempts exhausted"
         outcome.retries = max(0, outcome.attempts - 1)

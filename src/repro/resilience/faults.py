@@ -23,6 +23,15 @@ Fault classes (all rates are probabilities in ``[0, 1]``):
 ``sim_perm_fail_rate`` an invocation's simulation always crashes (corrupt
                     trace record — retries cannot help)
 ``sim_hang_rate``   one simulation attempt hangs for ``hang_seconds``
+``worker_kill_rate`` one parallel task attempt SIGKILLs its own worker
+                    process (OOM-killer / hard crash; drawn per attempt,
+                    so the supervisor's re-dispatch can succeed)
+``worker_stall_rate`` one parallel task attempt stalls for
+                    ``worker_stall_s`` real seconds before proceeding
+                    (a wedged worker, detectable via heartbeats)
+``cache_corrupt_rate`` a cache entry's on-disk bytes are flipped right
+                    after the atomic write (bit rot / torn storage),
+                    exercising checksum verification on read
 ==================  =========================================================
 
 Faults are **off by default**: ``FaultPlan()`` has every rate at zero and
@@ -32,6 +41,8 @@ pipeline never consults an injector and stays bit-identical.
 
 from __future__ import annotations
 
+import hashlib
+import os
 from dataclasses import dataclass, fields, replace
 from typing import Callable, Dict, Optional
 
@@ -40,13 +51,16 @@ import numpy as np
 from .. import obs
 from .errors import SimulationFailure
 
-__all__ = ["FaultPlan", "FaultInjector", "SimDecision"]
+__all__ = ["FaultPlan", "FaultInjector", "SimDecision", "WorkerDecision"]
 
 # Seed-sequence salts keeping every decision family independent.
 _SALT_PROFILE = 101
 _SALT_PERM = 211
 _SALT_FAIL = 307
 _SALT_HANG = 401
+_SALT_KILL = 503
+_SALT_STALL = 601
+_SALT_CACHE = 701
 
 #: Aliases accepted by :meth:`FaultPlan.from_spec`.
 _SPEC_ALIASES: Dict[str, str] = {
@@ -71,6 +85,17 @@ _SPEC_ALIASES: Dict[str, str] = {
     "sim_hang_rate": "sim_hang_rate",
     "hang": "sim_hang_rate",
     "hang_seconds": "hang_seconds",
+    "worker_kill": "worker_kill_rate",
+    "worker_kill_rate": "worker_kill_rate",
+    "kill": "worker_kill_rate",
+    "worker_stall": "worker_stall_rate",
+    "worker_stall_rate": "worker_stall_rate",
+    "stall": "worker_stall_rate",
+    "worker_stall_s": "worker_stall_s",
+    "stall_s": "worker_stall_s",
+    "cache_corrupt": "cache_corrupt_rate",
+    "cache_corrupt_rate": "cache_corrupt_rate",
+    "corrupt": "cache_corrupt_rate",
 }
 
 
@@ -88,15 +113,23 @@ class FaultPlan:
     sim_perm_fail_rate: float = 0.0
     sim_hang_rate: float = 0.0
     hang_seconds: float = 30.0
+    worker_kill_rate: float = 0.0
+    worker_stall_rate: float = 0.0
+    worker_stall_s: float = 5.0
+    cache_corrupt_rate: float = 0.0
+
+    #: Duration fields (seconds, not probabilities) — validated as
+    #: non-negative and excluded from the ``enabled`` test.
+    _DURATION_FIELDS = ("hang_seconds", "worker_stall_s")
 
     def __post_init__(self) -> None:
         for f in fields(self):
             value = getattr(self, f.name)
             if f.name == "seed":
                 continue
-            if f.name == "hang_seconds":
+            if f.name in self._DURATION_FIELDS:
                 if value < 0:
-                    raise ValueError("hang_seconds must be non-negative")
+                    raise ValueError(f"{f.name} must be non-negative")
                 continue
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{f.name} must be a probability in [0, 1]")
@@ -107,7 +140,7 @@ class FaultPlan:
         return any(
             getattr(self, f.name) > 0.0
             for f in fields(self)
-            if f.name not in ("seed", "hang_seconds")
+            if f.name != "seed" and f.name not in self._DURATION_FIELDS
         )
 
     @property
@@ -127,6 +160,16 @@ class FaultPlan:
             or self.sim_perm_fail_rate > 0
             or self.sim_hang_rate > 0
         )
+
+    @property
+    def faults_workers(self) -> bool:
+        """True when parallel worker processes are killed or stalled."""
+        return self.worker_kill_rate > 0 or self.worker_stall_rate > 0
+
+    @property
+    def corrupts_cache(self) -> bool:
+        """True when on-disk cache entries are corrupted after writes."""
+        return self.cache_corrupt_rate > 0
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> Dict[str, float]:
@@ -178,7 +221,9 @@ class FaultPlan:
         active = [
             (f.name, getattr(self, f.name))
             for f in fields(self)
-            if f.name not in ("seed", "hang_seconds") and getattr(self, f.name) > 0
+            if f.name != "seed"
+            and f.name not in self._DURATION_FIELDS
+            and getattr(self, f.name) > 0
         ]
         if not active:
             lines.append("all fault rates zero — injection disabled")
@@ -187,6 +232,8 @@ class FaultPlan:
             lines.append(f"{name}: {value:g}")
         if self.sim_hang_rate > 0:
             lines.append(f"hang_seconds: {self.hang_seconds:g}")
+        if self.worker_stall_rate > 0:
+            lines.append(f"worker_stall_s: {self.worker_stall_s:g}")
         return "\n".join(lines)
 
 
@@ -197,6 +244,20 @@ class SimDecision:
     #: "ok", "fail", "perm_fail" or "hang".
     kind: str
     #: Virtual seconds the attempt wastes before its outcome (hangs only).
+    delay: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.kind == "ok"
+
+
+@dataclass(frozen=True)
+class WorkerDecision:
+    """The injector's verdict for one parallel task attempt."""
+
+    #: "ok", "kill" or "stall".
+    kind: str
+    #: Real seconds a stalled attempt sleeps before proceeding.
     delay: float = 0.0
 
     @property
@@ -312,4 +373,86 @@ class FaultInjector:
             key=index,
             attempt=attempt,
             permanent=decision.kind == "perm_fail",
+        )
+
+    # -- process-level faults ------------------------------------------------
+    def worker_decision(self, index: int, attempt: int = 1) -> WorkerDecision:
+        """Verdict for running parallel task ``index`` on ``attempt``.
+
+        Both kills and stalls are drawn independently per attempt, so
+        the supervisor's deterministic re-dispatch can succeed; a kill
+        verdict takes precedence over a stall.
+        """
+        plan = self.plan
+        index = int(index)
+        if plan.worker_kill_rate > 0:
+            if self._rng(_SALT_KILL, index, attempt).random() < plan.worker_kill_rate:
+                return WorkerDecision("kill")
+        if plan.worker_stall_rate > 0:
+            if self._rng(_SALT_STALL, index, attempt).random() < plan.worker_stall_rate:
+                return WorkerDecision("stall", delay=plan.worker_stall_s)
+        return WorkerDecision("ok")
+
+    def apply_worker_faults(self, index: int, attempt: int = 1) -> None:
+        """Enact this attempt's process fault; runs *inside* the worker.
+
+        A kill verdict SIGKILLs the worker's own process — the real
+        thing, not an exception — so the parent observes genuine pool
+        breakage.  A stall verdict sleeps ``worker_stall_s`` real
+        seconds (monotonic duration, not a wall-clock read), long
+        enough for heartbeat supervision to declare the worker wedged.
+        """
+        import signal
+        import time
+
+        decision = self.worker_decision(index, attempt)
+        if decision.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif decision.kind == "stall" and decision.delay > 0:
+            time.sleep(decision.delay)
+
+    # -- cache corruption ----------------------------------------------------
+    @staticmethod
+    def _cache_key_int(key: str) -> int:
+        return int(hashlib.sha256(str(key).encode()).hexdigest()[:15], 16)
+
+    def cache_corrupt_decision(self, key: str) -> bool:
+        """Whether the entry stored under ``key`` gets its bytes flipped.
+
+        Keyed by the entry's content-addressed key, so the same plan
+        always corrupts the same entries no matter which process or run
+        stored them.
+        """
+        if self.plan.cache_corrupt_rate <= 0:
+            return False
+        rng = self._rng(_SALT_CACHE, self._cache_key_int(key))
+        return bool(rng.random() < self.plan.cache_corrupt_rate)
+
+    def corrupt_cache_entry(self, path: str, key: str) -> None:
+        """Deterministically flip bytes of the entry file at ``path``.
+
+        Offsets derive from ``(plan.seed, key)``; flips land across the
+        whole file, so a hit corrupts either the payload arrays (caught
+        by the content checksum) or the container structure (caught as
+        an unreadable entry) — both must quarantine and recompute.
+        """
+        size = os.path.getsize(path)
+        if size == 0:
+            return
+        rng = self._rng(_SALT_CACHE, self._cache_key_int(key), 1)
+        offsets = rng.integers(0, size, size=min(16, size))
+        with open(path, "r+b") as fh:
+            for offset in sorted(int(o) for o in set(offsets.tolist())):
+                fh.seek(offset)
+                byte = fh.read(1)
+                if not byte:
+                    continue
+                fh.seek(offset)
+                fh.write(bytes([byte[0] ^ 0xFF]))
+        obs.inc("resilience.cache_faults_injected")
+        obs.log_event(
+            "resilience.cache_entry_corrupted",
+            level="warning",
+            path=path,
+            key=str(key)[:16],
         )

@@ -287,6 +287,52 @@ class TestExecutor:
         assert policy.backoff(1) == pytest.approx(0.1)
         assert policy.backoff(3) == pytest.approx(0.9)
 
+    def test_backoff_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=3.0, jitter=0.1)
+        for attempt in (1, 2, 3):
+            base = 0.1 * 3.0 ** (attempt - 1)
+            for key in (0, 7, 12345):
+                delay = policy.backoff(attempt, key=key)
+                # Stable for the same (key, attempt)...
+                assert delay == policy.backoff(attempt, key=key)
+                # ...and bounded by [base, base * (1 + jitter)].
+                assert base <= delay <= base * 1.1
+        # Distinct keys de-synchronize: not every key gets the same delay.
+        delays = {policy.backoff(2, key=k) for k in range(16)}
+        assert len(delays) > 1
+        # No key (the legacy call) keeps the exact un-jittered schedule.
+        assert policy.backoff(2) == pytest.approx(0.3)
+        # jitter=0 opts out even with a key.
+        flat = RetryPolicy(backoff_base=0.1, backoff_factor=3.0, jitter=0.0)
+        assert flat.backoff(2, key=9) == pytest.approx(0.3)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.5)
+
+    def test_executor_jitters_by_sample_key(self):
+        slept = {}
+
+        def flaky(key, attempt):
+            if attempt == 1:
+                raise SimulationFailure("boom", key=key, attempt=attempt)
+            return float(key)
+
+        policy = RetryPolicy(max_attempts=2, backoff_base=1.0, jitter=0.5)
+        for key in (3, 4):
+            clock = ManualClock()
+            sleeps = []
+
+            def spy_sleep(seconds, _sleeps=sleeps, _clock=clock):
+                _sleeps.append(seconds)
+                _clock.sleep(seconds)
+
+            ex = ResilientExecutor(policy, clock=clock.now, sleep=spy_sleep)
+            assert ex.run(key, flaky).ok
+            assert len(sleeps) == 1
+            assert sleeps[0] == policy.backoff(1, key=key)
+            slept[key] = sleeps[0]
+        # Two samples retrying at once back off at different moments.
+        assert slept[3] != slept[4]
+
 
 # ---------------------------------------------------------------------------
 # Degraded estimation
