@@ -1,10 +1,12 @@
 """Cycle-level GPU simulator (the reproduction's MacSim substitute)."""
 
+from .batch import BatchExecReport, BatchPolicy, execute_wave_batch
 from .cache import Cache, CacheStats
 from .energy import EnergyBreakdown, EnergyModel
 from .intra_kernel import AdaptiveWaveSimulator, WaveSampleResult
 from .memory import DramModel
 from .multi_sm import MultiSmSimulator
+from .noise import noise_factors
 from .sm import LatencyTable, StreamingMultiprocessor
 from .simulator import GpuSimulator, KernelSimResult, WorkloadSimResult
 from .stats import SimStats
@@ -12,6 +14,10 @@ from .trace import KernelTrace, Op, TraceGenerator, WarpTrace
 from .warmup import NoWarmup, ProportionalWarmup, WarmupKernel, WarmupStrategy
 
 __all__ = [
+    "BatchExecReport",
+    "BatchPolicy",
+    "execute_wave_batch",
+    "noise_factors",
     "Cache",
     "EnergyModel",
     "EnergyBreakdown",

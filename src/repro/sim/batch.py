@@ -1,0 +1,546 @@
+"""Batched structure-of-arrays wave simulation: many traces in lock-step.
+
+The event-driven :class:`~repro.sim.sm.StreamingMultiprocessor` loop is
+inherently sequential *within* one trace — the single issue port orders
+every instruction — but kernel invocations are independent of each other:
+each gets its own L1/L2/DRAM state.  That makes "many invocations" a free
+SIMD axis.  This module converts a set of :class:`KernelTrace`s into
+structure-of-arrays form (per-warp program counters, ready times, op
+latencies and pre-resolved cache-line numbers padded to the widest trace)
+and advances *all* waves in lock-step, one instruction per trace per
+step:
+
+* ready-warp selection is a row-wise ``argmin`` (ties resolve to the
+  lowest warp index, exactly like the scalar ``(ready, w)`` heap);
+* the per-trace issue port serializes issues through a ``port`` array;
+* L1/L2/DRAM lookups run as array gathers against timestamp-LRU caches
+  that reproduce the scalar list-LRU decision for decision.
+
+Bit-identity with the scalar path is a structural property, not a
+numerical accident: step *t* of lane *b* performs the same IEEE float
+operations, in the same order, on the same values as iteration *t* of
+the scalar event loop for trace *b*.  The parity suite
+(``tests/test_simbatch.py``) asserts this across every bundled workload,
+and the scalar path stays available as the oracle.
+
+Performance shape: one lock-step iteration costs a fixed number of numpy
+calls regardless of batch width, so throughput grows with width while
+the scalar path grows with width x trace length.  Below
+``BatchPolicy.min_width`` lanes the fixed per-step overhead loses to the
+plain Python loop, which is why the policy keeps a floor.
+
+Traces are sorted by total instruction count (descending) so finished
+lanes form a suffix: the active set is always a zero-copy prefix slice.
+Lanes whose scaled cache would need a pathologically large dense tag
+array run through the scalar oracle instead (see
+``BatchPolicy.max_lane_cache_bytes``); results are identical either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cache import Cache
+from .memory import DramModel
+from .sm import LatencyTable, StreamingMultiprocessor
+from .stats import SimStats
+from .trace import KernelTrace, Op
+
+__all__ = ["BatchPolicy", "BatchExecReport", "execute_wave_batch"]
+
+#: Sentinel "never ready" time for finished warps.  Deliberately a huge
+#: *finite* float rather than ``inf``: finite arithmetic keeps every
+#: masked lane's numbers well-defined (``inf - inf`` would poison NaN
+#: into adjacent where-expressions) while still losing every ``argmin``
+#: against any real ready time.
+_BIG = 1.0e300
+
+#: Stamp value larger than any step index, used to mask ways beyond a
+#: lane's associativity out of the LRU victim argmin.
+_IBIG = np.int64(2**62)
+
+_MEM_KINDS = (Op.LOAD, Op.STORE)
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Tuning knobs for the batched engine.
+
+    Every knob here is pure performance policy: any setting produces
+    bit-identical results (the parity suite pins this), so none of these
+    fields may enter ``memo_identity()`` — cached results computed at any
+    width must keep hitting.  ``repro lint``'s cache-key pass enforces
+    exactly that via the ``[[tool.repro.lint.cache-key]]`` spec in
+    pyproject.toml.
+    """
+
+    #: Master switch; ``False`` forces the scalar oracle everywhere.
+    enabled: bool = True
+    #: Fewest pending traces worth batching.  One lock-step iteration
+    #: costs a fixed ~30 numpy calls however wide the batch is, so very
+    #: narrow batches lose to the plain Python loop (measured breakeven
+    #: is near 16 lanes on CPython 3.11; see docs/performance.md).
+    min_width: int = 16
+    #: Widest single lock-step chunk; wider batches run as consecutive
+    #: chunks (lanes are independent, so chunk boundaries cannot change
+    #: results — they only bound peak memory).
+    max_width: int = 512
+    #: A lane whose scaled L1+L2 would need a dense tag/stamp array
+    #: bigger than this runs through the scalar oracle instead (its
+    #: dict-backed cache is sparse).  Keeps degenerate cache_scale
+    #: values from allocating gigabytes.
+    max_lane_cache_bytes: int = 8 << 20
+    #: Ceiling for one chunk's dense cache arrays; chunks close early
+    #: when the running (width x widest-geometry) product would pass it.
+    max_chunk_cache_bytes: int = 256 << 20
+
+    def memo_identity(self) -> str:
+        """Contribution to the simulation-cache key: always empty.
+
+        Batched and scalar execution are bit-identical, so no batch knob
+        may invalidate cached raw results.  Changing this to return
+        anything non-constant requires evidence that results changed —
+        which would be a bug in the engine, not a cache-key concern.
+        """
+        return ""
+
+
+@dataclass
+class BatchExecReport:
+    """What one ``execute_wave_batch`` call did (feeds ``sim.batch.*``)."""
+
+    #: Traces simulated in lock-step (excludes scalar-oracle lanes).
+    batched_lanes: int = 0
+    #: Traces routed through the scalar oracle (oversized caches).
+    scalar_lanes: int = 0
+    #: Number of lock-step chunks run.
+    chunks: int = 0
+    #: Useful-work fraction of the padded step grid: sum of per-lane
+    #: steps over (width x longest lane), averaged over chunks weighted
+    #: by their step counts.  1.0 means no padding waste.
+    fill_ratio: float = 1.0
+
+
+class _LaneCaches:
+    """Timestamp-LRU set-associative caches for a chunk of lanes.
+
+    Reproduces :class:`repro.sim.cache.Cache` exactly: tags live in a
+    dense, flat ``[lane * set, way]`` array, recency is a monotone
+    per-step stamp, the victim on a full-set miss is the stamped-oldest
+    way (``== ways.pop(0)``), and fills below associativity append in
+    fill order (``== ways.append``).  Stamps within one lane are
+    distinct — a lane makes at most one access per cache per step — so
+    the victim argmin never ties among real ways; ways beyond a lane's
+    associativity are pre-stamped with a sentinel larger than any step,
+    so they lose every argmin and need no masking in the hot path.
+
+    Only hits are counted: every memory slot is accessed exactly once,
+    so misses (and the DRAM traffic behind L2) follow statically from
+    the per-lane access totals.
+    """
+
+    __slots__ = ("nsets", "assoc", "tags", "stamps", "tags_flat",
+                 "stamps_flat", "fill", "hits", "assoc_per_set", "n_ways",
+                 "n_sets_max")
+
+    def __init__(self, size_bytes: np.ndarray, line_bytes: int, associativity: int):
+        num_lines = np.maximum(1, size_bytes // line_bytes)
+        assoc = np.minimum(associativity, num_lines)
+        self.nsets = np.maximum(1, num_lines // assoc)
+        self.assoc = assoc
+        lanes = len(size_bytes)
+        n_sets = int(self.nsets.max())
+        n_ways = int(assoc.max())
+        self.n_ways = n_ways
+        self.n_sets_max = n_sets
+        self.tags = np.full((lanes * n_sets, n_ways), -1, dtype=np.int64)
+        stamps = np.zeros((lanes, n_sets, n_ways), dtype=np.int64)
+        pad_ways = np.arange(n_ways)[None, :] >= assoc[:, None]  # [lanes, ways]
+        stamps += np.where(pad_ways, _IBIG, np.int64(0))[:, None, :]
+        self.stamps = stamps.reshape(lanes * n_sets, n_ways)
+        # Flat 1-D views over the same memory: scatters through a single
+        # flat index are markedly cheaper than multi-axis fancy indexing.
+        self.tags_flat = self.tags.reshape(-1)
+        self.stamps_flat = self.stamps.reshape(-1)
+        self.fill = np.zeros(lanes * n_sets, dtype=np.int64)
+        self.hits = np.zeros(lanes, dtype=np.int64)
+        # Per-(lane, set) associativity, for one-gather clamping.
+        self.assoc_per_set = np.repeat(assoc, n_sets)
+
+    @staticmethod
+    def dense_bytes(size_bytes: np.ndarray, line_bytes: int, associativity: int) -> np.ndarray:
+        """Per-lane dense tag+stamp footprint of the given geometry."""
+        num_lines = np.maximum(1, size_bytes // line_bytes)
+        assoc = np.minimum(associativity, num_lines)
+        nsets = np.maximum(1, num_lines // assoc)
+        return nsets * assoc * 16  # int64 tags + int64 stamps
+
+    def access(self, lanes: np.ndarray, lines: np.ndarray, stamp: int) -> np.ndarray:
+        """Access one line per lane; returns the hit mask.
+
+        ``lanes`` must be unique (one access per lane per step), which
+        makes the fancy-indexed updates race-free.
+        """
+        flat_set = lanes * self.n_sets_max + lines % self.nsets.take(lanes)
+        ways = self.tags.take(flat_set, axis=0)
+        match = ways == lines[:, None]
+        hit = match.any(axis=1)
+        self.hits[lanes] += hit
+        # Touched way per row: the (unique) matching way on a hit — the
+        # argmax is computed for every row but only believed where ``hit``
+        # is set — and the fill/LRU victim on a miss.
+        flat_way = flat_set * self.n_ways + match.argmax(axis=1)
+        miss = (~hit).nonzero()[0]
+        if len(miss):
+            flat_miss = flat_set.take(miss)
+            filled = self.fill.take(flat_miss)
+            assoc = self.assoc_per_set.take(flat_miss)
+            full = filled >= assoc
+            victim = np.where(
+                full, self.stamps.take(flat_miss, axis=0).argmin(axis=1), filled
+            )
+            flat_miss_way = flat_miss * self.n_ways + victim
+            flat_way[miss] = flat_miss_way
+            self.tags_flat[flat_miss_way] = lines.take(miss)
+            self.fill[flat_miss] = np.minimum(filled + 1, assoc)
+        # One recency-stamp scatter covers hits and misses alike.
+        self.stamps_flat[flat_way] = stamp
+        return hit
+
+
+class _Chunk:
+    """Structure-of-arrays state for one lock-step chunk."""
+
+    __slots__ = (
+        "traces", "steps", "ready", "pcs", "warp_len", "lat", "memidx",
+        "addr_lines", "l1", "l2", "busy", "events", "instructions",
+    )
+
+    def __init__(self, traces: Sequence[KernelTrace], latencies: LatencyTable, config):
+        self.traces = traces
+        lanes = len(traces)
+        n_warps = max(len(t.warps) for t in traces)
+        n_instr = max(max(len(w.kinds) for w in t.warps) for t in traces)
+        n_mem = max(max(len(w.addresses) for w in t.warps) for t in traces)
+
+        kinds = np.zeros((lanes, n_warps, n_instr), dtype=np.int8)
+        self.warp_len = np.zeros((lanes, n_warps), dtype=np.int64)
+        self.addr_lines = np.zeros((lanes, n_warps, max(n_mem, 1)), dtype=np.int64)
+        self.ready = np.full((lanes, n_warps), _BIG, dtype=np.float64)
+        line_bytes = config.cache_line_bytes
+        for b, trace in enumerate(traces):
+            for w, warp in enumerate(trace.warps):
+                k = len(warp.kinds)
+                kinds[b, w, :k] = warp.kinds
+                self.warp_len[b, w] = k
+                m = len(warp.addresses)
+                self.addr_lines[b, w, :m] = warp.addresses // line_bytes
+                self.ready[b, w] = 0.0
+        self.pcs = np.zeros((lanes, n_warps), dtype=np.int64)
+        self.steps = self.warp_len.sum(axis=1)
+
+        # Latency per slot: compute kinds resolve now; memory kinds get
+        # NaN so the step loop can detect them with one isnan.  The
+        # division mirrors ``_compute_latency`` bit for bit.
+        lat = latencies
+        base = np.array(
+            [lat.fp32, lat.fp16, lat.int_alu, lat.sfu, lat.shared, lat.branch,
+             np.nan, np.nan],
+            dtype=np.float64,
+        )
+        efficiency = np.array(
+            [t.invocation.context.efficiency for t in traces], dtype=np.float64
+        )
+        denom = lat.ilp * np.maximum(efficiency, 1e-3)
+        self.lat = base[kinds] / denom[:, None, None]
+
+        is_mem = (kinds == Op.LOAD) | (kinds == Op.STORE)
+        self.memidx = np.cumsum(is_mem, axis=2, dtype=np.int64) - is_mem
+
+        scales = np.array([t.cache_scale for t in traces], dtype=np.float64)
+        l1_bytes = np.maximum(
+            line_bytes * 2, (config.l1_bytes_per_sm * scales).astype(np.int64)
+        )
+        l2_bytes = np.maximum(
+            line_bytes * 4, (config.l2_bytes * scales).astype(np.int64)
+        )
+        self.l1 = _LaneCaches(l1_bytes, line_bytes, 8)
+        self.l2 = _LaneCaches(l2_bytes, line_bytes, 16)
+        self.busy = np.zeros(lanes, dtype=np.float64)
+
+        # Static event counts: every traced instruction issues exactly
+        # once, so per-kind totals never depend on timing.
+        self.events = np.zeros((lanes, 8), dtype=np.int64)
+        valid = np.arange(n_instr)[None, None, :] < self.warp_len[:, :, None]
+        lane_ids = np.broadcast_to(np.arange(lanes)[:, None, None], kinds.shape)[valid]
+        np.add.at(self.events, (lane_ids, kinds[valid].astype(np.int64)), 1)
+        self.instructions = self.steps.copy()
+
+
+def _dram_service_cycles(config) -> float:
+    """Exactly ``GpuSimulator._make_dram()``'s service time in cycles."""
+    per_sm_gbps = config.dram_bandwidth_gbps / config.num_sms
+    bytes_per_cycle = per_sm_gbps / config.clock_ghz
+    return config.cache_line_bytes / max(bytes_per_cycle, 1e-3)
+
+
+def _run_chunk(
+    chunk: _Chunk, latencies: LatencyTable, config
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Advance every lane of the chunk to completion.
+
+    Returns (wave_cycles[lanes], stall_cycles[lanes]); hit counters
+    accumulate inside the chunk's cache state.  Lanes must be ordered by
+    descending step count so the active set stays a prefix — the lane
+    ids inside the loop are then just ``arange(active)``, and every
+    per-lane array is addressed by zero-copy prefix slices.
+
+    The loop body works on *flat* views with single-axis ``take``/fancy
+    scatters: multi-axis fancy indexing costs 2-3x as much per call, and
+    at a fixed ~30 numpy calls per lock-step iteration the constant
+    factor is the whole game.
+    """
+    lanes = len(chunk.traces)
+    steps = chunk.steps
+    total = int(steps.max()) if lanes else 0
+    n_warps = chunk.ready.shape[1]
+    n_instr = chunk.lat.shape[2]
+    n_mem = chunk.addr_lines.shape[2]
+
+    # Active-lane count per step, precomputed: lanes are sorted by
+    # descending step count, so the count still running at step t is a
+    # searchsorted on the reversed (ascending) array.
+    active_at = lanes - np.searchsorted(steps[::-1], np.arange(total), side="right")
+
+    ready = chunk.ready            # [lanes, W] — argmin runs on 2-D rows
+    ready_flat = ready.reshape(-1)
+    pcs_flat = chunk.pcs.reshape(-1)
+    lat_flat = chunk.lat.reshape(-1)
+    memidx_flat = chunk.memidx.reshape(-1)
+    addr_flat = chunk.addr_lines.reshape(-1)
+    warp_len_flat = chunk.warp_len.reshape(-1)
+    l1, l2 = chunk.l1, chunk.l2
+    busy = chunk.busy
+
+    port = np.zeros(lanes, dtype=np.float64)
+    stall = np.zeros(lanes, dtype=np.float64)
+    last_completion = np.zeros(lanes, dtype=np.float64)
+    lane_range = np.arange(lanes)
+
+    lat_tbl = latencies
+    l1_latency = lat_tbl.l1_hit / lat_tbl.ilp
+    l2_latency = lat_tbl.l2_hit / lat_tbl.ilp
+    dram_latency = lat_tbl.dram / lat_tbl.ilp
+    service = _dram_service_cycles(config)
+
+    for t in range(total):
+        active = int(active_at[t])
+        row_base = lane_range[:active] * n_warps
+        w = ready[:active].argmin(axis=1)
+        flat_w = row_base + w
+        ready_w = ready_flat.take(flat_w)
+        port_a = port[:active]
+        issue = np.maximum(ready_w, port_a)
+        stall[:active] += issue - ready_w
+        np.add(issue, 1.0, out=port_a)
+
+        pc = pcs_flat.take(flat_w)
+        flat_pc = flat_w * n_instr + pc
+        lat = lat_flat.take(flat_pc)
+        mem = np.isnan(lat)
+        m = mem.nonzero()[0]  # == lane ids: the active set is a prefix
+        if len(m):
+            flat_w_m = flat_w.take(m)
+            lines = addr_flat.take(
+                flat_w_m * n_mem + memidx_flat.take(flat_pc.take(m))
+            )
+            now = issue.take(m)
+            mem_lat = np.empty(len(m), dtype=np.float64)
+            hit1 = l1.access(m, lines, t)
+            mem_lat[hit1] = l1_latency
+            pos1 = (~hit1).nonzero()[0]
+            if len(pos1):
+                hit2 = l2.access(m.take(pos1), lines.take(pos1), t)
+                mem_lat[pos1.compress(hit2)] = l2_latency
+                pos2 = pos1.compress(~hit2)
+                if len(pos2):
+                    m_dram = m.take(pos2)
+                    now_dram = now.take(pos2)
+                    start = np.maximum(now_dram, busy.take(m_dram))
+                    dram_done = start + service
+                    busy[m_dram] = dram_done
+                    # DramModel adds latency_cycles == 0.0 into the
+                    # completion; x + 0.0 is bit-identical for the
+                    # positive times here, so the term is elided.
+                    mem_lat[pos2] = (dram_done - now_dram) + dram_latency
+            lat[m] = mem_lat
+        completion = issue + lat
+        new_pc = pc + 1
+        pcs_flat[flat_w] = new_pc
+        finished = new_pc >= warp_len_flat.take(flat_w)
+        ready_flat[flat_w] = np.where(finished, _BIG, completion)
+        np.maximum(last_completion[:active], completion, out=last_completion[:active])
+
+    return last_completion, stall
+
+
+def _stats_for_lane(
+    chunk: _Chunk, lane: int, wave_cycles: float, stall: float, line_bytes: int
+) -> SimStats:
+    """Assemble the SimStats exactly as ``execute_wave`` + caller do.
+
+    Misses are not counted in the hot loop: every memory slot is
+    accessed exactly once, so ``l1_misses = accesses - l1_hits``, L2
+    sees exactly the L1 misses, and every L2 miss is one DRAM line.
+    """
+    kind_counts = chunk.events[lane]
+    loads = int(kind_counts[Op.LOAD])
+    stores = int(kind_counts[Op.STORE])
+    l1_hits = int(chunk.l1.hits[lane])
+    l1_misses = loads + stores - l1_hits
+    l2_hits = int(chunk.l2.hits[lane])
+    l2_misses = l1_misses - l2_hits
+    stats = SimStats(
+        instructions=int(chunk.instructions[lane]),
+        fp32_ops=int(kind_counts[Op.FP32]),
+        fp16_ops=int(kind_counts[Op.FP16]),
+        int_ops=int(kind_counts[Op.INT]),
+        sfu_ops=int(kind_counts[Op.SFU]),
+        shared_ops=int(kind_counts[Op.SHARED]),
+        branches=int(kind_counts[Op.BRANCH]),
+        global_loads=loads,
+        global_stores=stores,
+        l1_hits=l1_hits,
+        l1_misses=l1_misses,
+        l2_hits=l2_hits,
+        l2_misses=l2_misses,
+        dram_accesses=l2_misses,
+        dram_bytes=l2_misses * line_bytes,
+        stall_cycles=float(stall),
+    )
+    stats.cycles = float(wave_cycles)
+    return stats
+
+
+def _execute_scalar(trace: KernelTrace, latencies: LatencyTable, config) -> Tuple[float, SimStats]:
+    """The oracle: per-trace scalar execution, as ``_execute_trace`` runs it."""
+    scale = trace.cache_scale
+    line = config.cache_line_bytes
+    l1 = Cache(
+        max(line * 2, int(config.l1_bytes_per_sm * scale)),
+        line_bytes=line,
+        associativity=8,
+    )
+    l2 = Cache(
+        max(line * 4, int(config.l2_bytes * scale)),
+        line_bytes=line,
+        associativity=16,
+    )
+    per_sm_gbps = config.dram_bandwidth_gbps / config.num_sms
+    dram = DramModel(
+        latency_cycles=0.0,
+        bandwidth_bytes_per_cycle=max(per_sm_gbps / config.clock_ghz, 1e-3),
+        line_bytes=line,
+    )
+    sm = StreamingMultiprocessor(latencies, l1, l2, dram)
+    wave_cycles, stats = sm.execute_wave(trace)
+    stats.l1_hits = l1.stats.hits
+    stats.l1_misses = l1.stats.misses
+    return wave_cycles, stats
+
+
+def execute_wave_batch(
+    traces: Sequence[KernelTrace],
+    latencies: LatencyTable,
+    config,
+    policy: Optional[BatchPolicy] = None,
+) -> Tuple[List[Tuple[float, SimStats]], BatchExecReport]:
+    """Execute every trace's wave; returns per-trace (cycles, stats).
+
+    Results are returned in input order and are bit-identical to calling
+    the scalar ``_execute_trace`` per trace.  The report carries the
+    batching shape for ``sim.batch.*`` observability.
+    """
+    policy = policy or BatchPolicy()
+    report = BatchExecReport()
+    results: List[Optional[Tuple[float, SimStats]]] = [None] * len(traces)
+    if not traces:
+        return [], report
+
+    line_bytes = config.cache_line_bytes
+    scales = np.array([t.cache_scale for t in traces], dtype=np.float64)
+    l1_sizes = np.maximum(
+        line_bytes * 2, (config.l1_bytes_per_sm * scales).astype(np.int64)
+    )
+    l2_sizes = np.maximum(
+        line_bytes * 4, (config.l2_bytes * scales).astype(np.int64)
+    )
+    lane_cost = (
+        _LaneCaches.dense_bytes(l1_sizes, line_bytes, 8)
+        + _LaneCaches.dense_bytes(l2_sizes, line_bytes, 16)
+    )
+
+    batchable: List[int] = []
+    for i, cost in enumerate(lane_cost):
+        if policy.enabled and int(cost) <= policy.max_lane_cache_bytes:
+            batchable.append(i)
+        else:
+            results[i] = _execute_scalar(traces[i], latencies, config)
+            report.scalar_lanes += 1
+
+    if len(batchable) < max(2, policy.min_width):
+        for i in batchable:
+            results[i] = _execute_scalar(traces[i], latencies, config)
+            report.scalar_lanes += 1
+        return [r for r in results], report  # type: ignore[misc]
+
+    # Sort by total instruction count, descending, so finished lanes are
+    # always a suffix of each chunk (active set = prefix slice).
+    steps = np.array(
+        [sum(len(w.kinds) for w in traces[i].warps) for i in batchable], dtype=np.int64
+    )
+    order = sorted(range(len(batchable)), key=lambda j: (-int(steps[j]), j))
+
+    # Greedy chunking under the width and dense-cache-memory ceilings.
+    chunks: List[List[int]] = []
+    current: List[int] = []
+    current_max_cost = 0
+    for j in order:
+        idx = batchable[j]
+        cost = int(lane_cost[idx])
+        new_max = max(current_max_cost, cost)
+        if current and (
+            len(current) >= policy.max_width
+            or (len(current) + 1) * new_max > policy.max_chunk_cache_bytes
+        ):
+            chunks.append(current)
+            current = []
+            new_max = cost
+        current.append(idx)
+        current_max_cost = new_max
+    if current:
+        chunks.append(current)
+
+    padded_steps = 0
+    useful_steps = 0
+    for chunk_indices in chunks:
+        chunk_traces = [traces[i] for i in chunk_indices]
+        chunk = _Chunk(chunk_traces, latencies, config)
+        wave_cycles, stall = _run_chunk(chunk, latencies, config)
+        for lane, idx in enumerate(chunk_indices):
+            stats = _stats_for_lane(
+                chunk, lane, float(wave_cycles[lane]), float(stall[lane]), line_bytes
+            )
+            results[idx] = (float(wave_cycles[lane]), stats)
+        report.batched_lanes += len(chunk_indices)
+        report.chunks += 1
+        longest = int(chunk.steps.max())
+        padded_steps += longest * len(chunk_indices)
+        useful_steps += int(chunk.steps.sum())
+
+    if padded_steps:
+        report.fill_ratio = useful_steps / padded_steps
+    return [r for r in results], report  # type: ignore[misc]

@@ -33,8 +33,10 @@ from ..hardware.gpu_config import GPUConfig
 from ..memo.dedup import collapse_draws
 from ..memo.sim_cache import RawKernelSim
 from ..workloads.workload import Workload
+from .batch import BatchPolicy, execute_wave_batch
 from .cache import Cache
 from .memory import DramModel
+from .noise import noise_factors
 from .sm import LatencyTable, StreamingMultiprocessor
 from .stats import SimStats
 from .trace import KernelTrace, TraceGenerator
@@ -103,6 +105,7 @@ class GpuSimulator:
         warmup=None,
         fault_injector=None,
         sim_cache=None,
+        batch_policy: Optional[BatchPolicy] = None,
     ):
         self.config = config
         self.latencies = latencies or self._derive_latencies(config)
@@ -127,6 +130,12 @@ class GpuSimulator:
         #: :meth:`simulate_workload` reuses raw per-invocation results
         #: across calls, repetitions and runs instead of re-simulating.
         self.sim_cache = sim_cache
+        #: Structure-of-arrays batching policy for multi-invocation
+        #: simulation (see :mod:`repro.sim.batch`).  Pure performance
+        #: knobs: results are bit-identical at any setting, so the
+        #: policy deliberately contributes nothing to
+        #: :meth:`memo_identity`.
+        self.batch_policy = batch_policy or BatchPolicy()
 
     @staticmethod
     def _derive_latencies(config: GPUConfig) -> LatencyTable:
@@ -252,6 +261,49 @@ class GpuSimulator:
             ),
         )
 
+    def _raw_invocations(
+        self, workload: Workload, indices: List[int], seed: int
+    ) -> List[RawKernelSim]:
+        """Raw simulations for ``indices``, in order.
+
+        Multi-invocation requests run through the batched
+        structure-of-arrays engine (:func:`execute_wave_batch`) when the
+        policy allows; results are bit-identical to the scalar
+        per-invocation loop, which remains both the fallback (single
+        index, warmup attached, batching disabled) and the oracle the
+        parity suite checks against.
+        """
+        policy = self.batch_policy
+        if not (policy.enabled and self.warmup is None and len(indices) > 1):
+            return [
+                self._raw_invocation(workload, index, seed) for index in indices
+            ]
+        traces = [
+            self.tracer.generate(workload.invocation(index), seed=seed)
+            for index in indices
+        ]
+        pairs, report = execute_wave_batch(
+            traces, self.latencies, self.config, policy
+        )
+        if obs.is_enabled():
+            obs.inc("sim.batch.calls")
+            obs.inc("sim.batch.lanes", report.batched_lanes)
+            obs.inc("sim.batch.scalar_lanes", report.scalar_lanes)
+            obs.inc("sim.batch.chunks", report.chunks)
+            obs.observe("sim.batch.width", float(report.batched_lanes))
+            obs.observe("sim.batch.fill_ratio", float(report.fill_ratio))
+        return [
+            RawKernelSim(
+                wave_cycles=float(wave_cycles),
+                extrapolation=float(trace.extrapolation),
+                stall_cycles=float(stats.stall_cycles),
+                events=np.array(
+                    [getattr(stats, f) for f in _EVENT_FIELDS], dtype=np.int64
+                ),
+            )
+            for trace, (wave_cycles, stats) in zip(traces, pairs)
+        ]
+
     @staticmethod
     def _stats_from_raw(raw: RawKernelSim) -> SimStats:
         """Fresh mutable stats per result slot (post-processing mutates)."""
@@ -270,12 +322,15 @@ class GpuSimulator:
     ) -> WorkloadSimResult:
         """Simulate the workload (or the subset ``indices``), in order.
 
-        Batched: the event-driven wave simulation still runs per trace
-        (it is inherently sequential), but noise, launch overhead,
+        Batched end to end: wave simulation of the not-yet-cached
+        invocations runs through the structure-of-arrays lock-step
+        engine (:mod:`repro.sim.batch`), and noise, launch overhead,
         extrapolation scaling, counter rounding and aggregation are
         single array operations over all invocations.  Results are
         bit-identical to calling :meth:`simulate_invocation` per index —
-        the arithmetic is the same IEEE ops, applied elementwise.
+        each lock-step lane performs the same IEEE ops in the same order
+        as the scalar event loop, and the post-processing is the same
+        arithmetic applied elementwise.
 
         With ``dedup=True`` (the default) repeated indices — routine for
         with-replacement sampling plans — are simulated once and their
@@ -313,32 +368,32 @@ class GpuSimulator:
                         workload, self.config, seed, self.memo_identity()
                     )
                     raw_by_index, missing = self.sim_cache.load(context, unique_list)
-                for index in missing:
-                    raw_by_index[index] = self._raw_invocation(workload, index, seed)
+                for index, raw in zip(
+                    missing, self._raw_invocations(workload, missing, seed)
+                ):
+                    raw_by_index[index] = raw
                 if self.sim_cache is not None and missing:
                     self.sim_cache.store(context, unique_list, raw_by_index)
                 executed = len(missing)
                 raws = [raw_by_index[index] for index in index_list]
             else:
-                raws = [
-                    self._raw_invocation(workload, index, seed)
-                    for index in index_list
-                ]
+                raws = self._raw_invocations(workload, index_list, seed)
                 executed = n
 
             wave_list: List[float] = [raw.wave_cycles for raw in raws]
             extrap_list: List[float] = [raw.extrapolation for raw in raws]
             stats_list: List[SimStats] = [self._stats_from_raw(raw) for raw in raws]
-            noise_list: List[float] = [
-                self._noise_factor(seed, index) for index in index_list
-            ]
+            # Vectorized replication of the per-index keyed generators;
+            # bit-identical to calling ``_noise_factor`` per slot (see
+            # :mod:`repro.sim.noise`).
+            noise_arr = noise_factors(seed, index_list, self.noise)
             sp.attrs["kernels"] = n
             sp.attrs["kernels_simulated"] = executed
 
             if n:
                 waves = np.asarray(wave_list, dtype=np.float64)
                 extraps = np.asarray(extrap_list, dtype=np.float64)
-                noises = np.asarray(noise_list, dtype=np.float64)
+                noises = noise_arr
                 launch = (
                     self.config.launch_overhead_us * self.config.cycles_per_us()
                 )

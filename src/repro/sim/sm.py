@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Tuple
 
 from .cache import Cache
 from .memory import DramModel
@@ -20,6 +20,18 @@ from .stats import SimStats
 from .trace import KernelTrace, Op
 
 __all__ = ["LatencyTable", "StreamingMultiprocessor"]
+
+#: Op code -> SimStats counter attribute, in opcode order.
+_COUNTER_FIELDS = (
+    "fp32_ops",
+    "fp16_ops",
+    "int_ops",
+    "sfu_ops",
+    "shared_ops",
+    "branches",
+    "global_loads",
+    "global_stores",
+)
 
 
 @dataclass(frozen=True)
@@ -55,20 +67,23 @@ class StreamingMultiprocessor:
         self.l1 = l1
         self.l2 = l2
         self.dram = dram
+        # Base compute latency by opcode, fixed for the simulator's
+        # lifetime; indexed by kind in ``_compute_latency`` instead of
+        # rebuilding a dict on every issued instruction.
+        self._base_latency = (
+            latencies.fp32,
+            latencies.fp16,
+            latencies.int_alu,
+            latencies.sfu,
+            latencies.shared,
+            latencies.branch,
+        )
 
     def _compute_latency(self, kind: int, efficiency: float) -> float:
-        lat = self.latencies
-        base = {
-            Op.FP32: lat.fp32,
-            Op.FP16: lat.fp16,
-            Op.INT: lat.int_alu,
-            Op.SFU: lat.sfu,
-            Op.SHARED: lat.shared,
-            Op.BRANCH: lat.branch,
-        }[kind]
         # Poor pipeline utilization (layout/alignment stalls) shows up as
         # longer exposed latency on the compute side.
-        return base / (lat.ilp * max(efficiency, 1e-3))
+        lat = self.latencies
+        return self._base_latency[kind] / (lat.ilp * max(efficiency, 1e-3))
 
     def _memory_latency(self, address: int, now: float, stats: SimStats) -> float:
         """L1 -> L2 -> DRAM lookup; returns the exposed latency."""
@@ -90,16 +105,13 @@ class StreamingMultiprocessor:
         """Run one wave of resident warps; returns (cycles, stats)."""
         stats = SimStats()
         efficiency = trace.invocation.context.efficiency
-        counters: Dict[int, str] = {
-            Op.FP32: "fp32_ops",
-            Op.FP16: "fp16_ops",
-            Op.INT: "int_ops",
-            Op.SFU: "sfu_ops",
-            Op.SHARED: "shared_ops",
-            Op.BRANCH: "branches",
-            Op.LOAD: "global_loads",
-            Op.STORE: "global_stores",
-        }
+        counters = _COUNTER_FIELDS
+        # Efficiency is constant across a wave, so each opcode's exposed
+        # compute latency is too: resolve all six divisions once up front
+        # (identical floats to calling ``_compute_latency`` per issue).
+        compute_latency = tuple(
+            self._compute_latency(kind, efficiency) for kind in range(Op.BRANCH + 1)
+        )
 
         # Per-warp state: program counter and memory-address cursor.
         pcs = [0] * len(trace.warps)
@@ -129,7 +141,7 @@ class StreamingMultiprocessor:
                 mem_cursor[w] += 1
                 latency = self._memory_latency(address, issue_at, stats)
             else:
-                latency = self._compute_latency(kind, efficiency)
+                latency = compute_latency[kind]
             completion = issue_at + latency
             last_completion = max(last_completion, completion)
             if pcs[w] < len(warp.kinds):

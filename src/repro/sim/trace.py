@@ -156,15 +156,27 @@ class TraceGenerator:
         random_access = cold & (rng.random(count) < spec.memory.random_fraction)
         streaming = cold & ~random_access
 
+        # NOTE: the rng call sequence above and below is part of the
+        # deterministic trace identity — reordering or fusing any of the
+        # draws would change every downstream result.  Zero-size
+        # ``integers`` calls are stream-neutral (they consume no bits),
+        # so skipping them when a class is empty is bit-identical.
         lines = np.empty(count, dtype=np.int64)
-        lines[hot] = rng.integers(0, hot_lines, size=int(hot.sum()))
-        lines[warm] = hot_lines + rng.integers(0, warm_lines, size=int(warm.sum()))
-        lines[random_access] = rng.integers(
-            0, ws_lines, size=int(random_access.sum())
-        )
+        n_hot = int(np.count_nonzero(hot))
+        if n_hot:
+            lines[hot] = rng.integers(0, hot_lines, size=n_hot)
+        n_warm = int(np.count_nonzero(warm))
+        if n_warm:
+            lines[warm] = hot_lines + rng.integers(0, warm_lines, size=n_warm)
+        n_random = int(np.count_nonzero(random_access))
+        if n_random:
+            lines[random_access] = rng.integers(0, ws_lines, size=n_random)
         # Streaming accesses: a strided walk from the warp's base line.
-        n_stream = int(streaming.sum())
-        lines[streaming] = (warp_lines + np.arange(n_stream, dtype=np.int64)) % ws_lines
+        n_stream = int(np.count_nonzero(streaming))
+        if n_stream:
+            lines[streaming] = (
+                warp_lines + np.arange(n_stream, dtype=np.int64)
+            ) % ws_lines
         return lines * self.line_bytes
 
     # -- public API -------------------------------------------------------
