@@ -230,6 +230,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--sim-cache", metavar="DIR", default=None,
                          help="reuse raw simulation results from this "
                               "directory across points and runs")
+    p_sweep.add_argument("--fidelity", choices=["cycle", "analytical", "hybrid"],
+                         default="cycle",
+                         help="ground-truth tier for --ground-truth sim: "
+                              "full cycle-level simulation (default), "
+                              "calibrated analytical screening, or hybrid "
+                              "screening with cycle-level escalation")
+    p_sweep.add_argument("--escalation-budget", type=float, default=0.05,
+                         help="fraction of invocations escalated to "
+                              "cycle-level at hybrid fidelity (default 0.05)")
     p_sweep.add_argument("--out", metavar="PATH", default=None,
                          help="write points + cache hit rates as JSON")
     add_obs_args(p_sweep)
@@ -257,6 +266,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument("--sim-cache", metavar="DIR", default=None,
                        help="reuse full variant simulations from this "
                             "directory across runs")
+    p_dse.add_argument("--fidelity", choices=["cycle", "analytical", "hybrid"],
+                       default="cycle",
+                       help="per-variant ground-truth tier: full cycle-level "
+                            "simulation (default, bit-identical to the "
+                            "legacy path), calibrated analytical screening, "
+                            "or hybrid screening with cycle-level escalation")
+    p_dse.add_argument("--escalation-budget", type=float, default=None,
+                       help="fraction of invocations escalated to "
+                            "cycle-level at hybrid fidelity (default 0.05)")
+    p_dse.add_argument("--faults", metavar="SPEC", default=None,
+                       help="chaos-test the grid with a seeded fault plan, "
+                            "e.g. 'seed=1,worker_kill=0.3,nan=0.02'")
     p_dse.add_argument("--out", metavar="PATH", default=None,
                        help="write results + cache hit rates as JSON")
     add_obs_args(p_dse)
@@ -1052,6 +1073,8 @@ def _cmd_sweep(args) -> int:
         sim_cache=sim_cache,
         ground_truth=args.ground_truth,
         tree_cache=tree_cache,
+        fidelity=args.fidelity,
+        escalation_budget=args.escalation_budget,
     )
     print(
         render_table(
@@ -1071,6 +1094,8 @@ def _cmd_sweep(args) -> int:
             "suite": args.suite,
             "epsilons": epsilons,
             "ground_truth": args.ground_truth,
+            "fidelity": args.fidelity,
+            "escalation_budget": args.escalation_budget,
             "repetitions": args.repetitions,
             "seed": args.seed,
             "scale": args.scale,
@@ -1118,6 +1143,9 @@ def _cmd_dse(args) -> int:
         jobs=args.jobs,
         profile_cache=profile_cache,
         sim_cache=sim_cache,
+        fidelity=args.fidelity,
+        escalation_budget=args.escalation_budget,
+        fault_plan=_fault_plan(args),
     )
     table = table4_summary(results)
     method_order = methods or ["pka", "sieve", "photon", "stem"]
@@ -1143,6 +1171,8 @@ def _cmd_dse(args) -> int:
             "repetitions": args.repetitions,
             "seed": args.seed,
             "epsilon": args.epsilon,
+            "fidelity": args.fidelity,
+            "escalation_budget": args.escalation_budget,
             "results": [dataclasses.asdict(r) for r in results],
             "table": table,
             "memo": stats,

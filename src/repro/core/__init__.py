@@ -3,7 +3,20 @@
 from .bootstrap import BootstrapInterval, bootstrap_estimate
 from .budget import BudgetPlan, epsilon_for_budget, plan_for_budget
 from .clustering import KMeansResult, count_kde_peaks, kmeans, kmeans_1d, silhouette_score
-from .error_model import plan_error_bound, union_error_bound, verify_union_theorem
+from .error_model import (
+    combine_fidelity_bound,
+    plan_error_bound,
+    union_error_bound,
+    verify_fidelity_bound,
+    verify_union_theorem,
+)
+from .fidelity import (
+    FIDELITY_MODES,
+    FidelityPolicy,
+    FidelityTimes,
+    fidelity_cycle_counts,
+    probe_indices,
+)
 from .estimator import (
     SampledSimulationResult,
     estimate_metrics,
@@ -74,4 +87,11 @@ __all__ = [
     "Reservoir",
     "union_error_bound",
     "verify_union_theorem",
+    "combine_fidelity_bound",
+    "verify_fidelity_bound",
+    "FIDELITY_MODES",
+    "FidelityPolicy",
+    "FidelityTimes",
+    "fidelity_cycle_counts",
+    "probe_indices",
 ]

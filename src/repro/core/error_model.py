@@ -17,6 +17,7 @@ from .stem import (
     DEFAULT_EPSILON,
     DEFAULT_Z,
     ClusterStats,
+    combine_fidelity_bound,
     error_bound_satisfied,
     predicted_error_multi,
 )
@@ -25,6 +26,8 @@ __all__ = [
     "plan_error_bound",
     "union_error_bound",
     "verify_union_theorem",
+    "combine_fidelity_bound",
+    "verify_fidelity_bound",
 ]
 
 
@@ -32,9 +35,17 @@ def plan_error_bound(
     clusters: Sequence[ClusterStats],
     sample_sizes: Sequence[int],
     z: float = DEFAULT_Z,
+    fidelity_gap: float = 0.0,
 ) -> float:
-    """Theoretical error (fraction) of an allocation: Eq. (4)/(5)."""
-    return predicted_error_multi(clusters, sample_sizes, z=z)
+    """Theoretical error (fraction) of an allocation: Eq. (4)/(5).
+
+    ``fidelity_gap`` widens the bound via
+    :func:`~repro.core.stem.combine_fidelity_bound` when the ground truth
+    the plan will be scored against is (partly) analytical.
+    """
+    return predicted_error_multi(
+        clusters, sample_sizes, z=z, fidelity_gap=fidelity_gap
+    )
 
 
 def union_error_bound(
@@ -76,3 +87,26 @@ def verify_union_theorem(
             return True, float("nan")
     union_error = union_error_bound(cluster_sets, sample_size_sets, z=z)
     return union_error <= epsilon * (1 + 1e-9), union_error
+
+
+def verify_fidelity_bound(
+    estimated_total: float,
+    cycle_truth_total: float,
+    epsilon: float = DEFAULT_EPSILON,
+    fidelity_gap: float = 0.0,
+) -> Tuple[bool, float, float]:
+    """Empirically check the combined (ε + fidelity-gap) bound.
+
+    The multi-fidelity analogue of :func:`verify_union_theorem`: given an
+    estimate produced from (partly) screened values and the cycle-level
+    truth, returns ``(holds, achieved_error, bound)`` where ``bound`` is
+    :func:`~repro.core.stem.combine_fidelity_bound`'s widened ε and
+    ``achieved_error`` is the realized relative error versus cycle-level
+    truth.  The honesty tests drive this across seeds, fault plans and
+    every DSE variant.
+    """
+    if cycle_truth_total == 0:
+        raise ValueError("cycle-level truth total must be non-zero")
+    bound = combine_fidelity_bound(epsilon, fidelity_gap)
+    achieved = abs(estimated_total - cycle_truth_total) / abs(cycle_truth_total)
+    return achieved <= bound * (1 + 1e-9), achieved, bound

@@ -19,6 +19,7 @@ import numpy as np
 from .. import obs
 from ..errors import EstimationError
 from ..profiling.metrics import COUNT_METRICS
+from .fidelity import FidelityTimes
 from .plan import SamplingPlan
 
 __all__ = ["SampledSimulationResult", "evaluate_plan", "estimate_metrics", "sampling_error_percent"]
@@ -88,11 +89,22 @@ class SampledSimulationResult:
 def evaluate_plan(plan: SamplingPlan, times: np.ndarray) -> SampledSimulationResult:
     """Score a sampling plan against per-invocation ground-truth times.
 
+    ``times`` may be a plain array (the legacy cycle-level path — left
+    byte-for-byte untouched) or a
+    :class:`~repro.core.fidelity.FidelityTimes`, in which case the plan's
+    metadata records which fidelity tier produced each cluster's estimate
+    (``fidelity_tiers``) plus a run-ledger-friendly summary
+    (``fidelity``), so degraded/hybrid runs stay distinguishable.
+
     Raises :class:`~repro.errors.EstimationError` when the plan and the
     ground truth disagree on the workload size — indexing a truth array
     of the wrong length would either crash deep inside numpy or, worse,
     silently score against the wrong invocations.
     """
+    fidelity: "FidelityTimes | None" = None
+    if isinstance(times, FidelityTimes):
+        fidelity = times
+        times = fidelity.values
     times = np.asarray(times)
     expected = plan.represented_invocations
     if plan.clusters and len(times) != expected:
@@ -114,6 +126,27 @@ def evaluate_plan(plan: SamplingPlan, times: np.ndarray) -> SampledSimulationRes
             num_unique_samples=len(plan.unique_indices()),
             num_clusters=plan.num_clusters,
         )
+    if fidelity is not None:
+        mask = fidelity.cycle_mask
+        tiers: Dict[str, str] = {}
+        for cluster in plan.clusters:
+            sampled = np.asarray(cluster.sampled_indices, dtype=np.int64)
+            hits = int(mask[sampled].sum()) if len(sampled) else 0
+            if hits == len(sampled):
+                tiers[cluster.label] = "cycle"
+            elif hits == 0:
+                tiers[cluster.label] = "analytical"
+            else:
+                tiers[cluster.label] = "mixed"
+        plan.metadata["fidelity_tiers"] = tiers
+        plan.metadata["fidelity"] = {
+            "mode": fidelity.mode,
+            "gap": fidelity.gap,
+            "effective_gap": fidelity.effective_gap,
+            "cycle_share": 1.0 - fidelity.analytical_share,
+            "probes": fidelity.probes,
+            "escalations": fidelity.escalations,
+        }
     # The sampled simulation executes exactly the plan's unique kernels.
     obs.inc("sim.plan_evaluations")
     obs.inc("sim.kernels_executed", result.num_unique_samples)

@@ -1,0 +1,328 @@
+"""Multi-fidelity screening: mix analytical and cycle-level tiers honestly.
+
+The DSE and sweep experiments need per-invocation ground-truth times per
+hardware variant.  Cycle-level simulation is accurate but dominates wall
+clock; the :class:`~repro.sim.analytical.AnalyticalSimulator` is orders
+of magnitude cheaper but approximate.  This module implements the
+screen-cheap-then-spend-expensive split (PPT-GPU's hybrid tier; Ekman's
+two-phase structure):
+
+1. **Screen** every invocation with the analytical tier.
+2. **Calibrate** against the cycle-level oracle on a small seeded probe
+   set: a per-kernel-name multiplicative scale (geometric mean of the
+   cycle/analytical ratios, fitted in log space) plus the residual
+   distribution after calibration.  Both tiers share the same
+   ``(seed, index)``-keyed noise factors, so hardware noise cancels in
+   the ratios instead of inflating the measured gap.
+3. **Escalate** the invocations whose screening uncertainty could move
+   the weighted-sum estimate or the KKT allocation most — uncertainty is
+   ``gap x calibrated value``, and the gap is uniform after calibration,
+   so the top-value invocations are exactly the ones escalated — to
+   cycle-level simulation, up to ``escalation_budget`` of the workload.
+4. **Account**: the measured fidelity gap ``g`` (a quantile of the probe
+   residuals times a safety factor, floored at ``min_gap``) folds into
+   the reported ε via :func:`~repro.core.stem.combine_fidelity_bound`,
+   so the bound stays an honest upper bound on error *versus cycle-level
+   truth*, not versus the screen.
+
+Every knob on :class:`FidelityPolicy` changes screened values, so all of
+them feed :meth:`FidelityPolicy.memo_identity` — the cache-key linter
+(``[[tool.repro.lint.cache-key]]`` in pyproject.toml) enforces that no
+future knob is silently left out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .. import obs
+from .stem import combine_fidelity_bound
+
+__all__ = [
+    "FIDELITY_MODES",
+    "FidelityPolicy",
+    "FidelityTimes",
+    "probe_indices",
+    "fidelity_cycle_counts",
+]
+
+#: Recognized fidelity tiers for ground-truth generation.
+FIDELITY_MODES = ("cycle", "analytical", "hybrid")
+
+
+@dataclass(frozen=True)
+class FidelityPolicy:
+    """How to mix analytical screening with cycle-level simulation.
+
+    Unlike :class:`~repro.sim.batch.BatchPolicy` (pure performance, every
+    knob exempt from the cache key), every field here changes the
+    screened values a run produces, so every field is part of
+    :meth:`memo_identity` and of the run's result identity.
+    """
+
+    #: ``cycle`` — oracle only; ``analytical`` — calibrated screen only;
+    #: ``hybrid`` — calibrated screen plus top-value escalation.
+    mode: str = "hybrid"
+    #: Cycle-level calibration probes (at least this many; every kernel
+    #: name gets probed so per-name scales exist for all groups).
+    probe_count: int = 8
+    #: Fraction of invocations escalated to cycle-level on top of the
+    #: probes (hybrid mode only).
+    escalation_budget: float = 0.05
+    #: Quantile of the calibrated probe-residual distribution reported as
+    #: the fidelity gap (1.0 = the max residual).
+    gap_quantile: float = 1.0
+    #: Multiplicative safety margin on the measured gap: probes are a
+    #: sample, not the population, so the reported gap pads the estimate.
+    gap_safety: float = 1.25
+    #: Floor on the reported gap — an empirical gap of ~0 on a lucky
+    #: probe set must not be reported as a zero-width bound.
+    min_gap: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.mode not in FIDELITY_MODES:
+            raise ValueError(
+                f"mode must be one of {FIDELITY_MODES}, got {self.mode!r}"
+            )
+        if self.probe_count < 2:
+            raise ValueError("probe_count must be at least 2")
+        if not 0.0 <= self.escalation_budget <= 1.0:
+            raise ValueError("escalation_budget must be within [0, 1]")
+        if not 0.0 < self.gap_quantile <= 1.0:
+            raise ValueError("gap_quantile must be within (0, 1]")
+        if self.gap_safety < 1.0:
+            raise ValueError("gap_safety must be >= 1")
+        if self.min_gap < 0.0:
+            raise ValueError("min_gap must be non-negative")
+
+    def memo_identity(self) -> str:
+        """Cache/result identity: every knob shapes screened values."""
+        return (
+            f"fidelity|{self.mode}|p{self.probe_count}"
+            f"|e{self.escalation_budget!r}|q{self.gap_quantile!r}"
+            f"|s{self.gap_safety!r}|g{self.min_gap!r}"
+        )
+
+
+@dataclass
+class FidelityTimes:
+    """Per-invocation ground-truth times with tier provenance.
+
+    Behaves as the value array for estimation (``values``) while carrying
+    everything ε accounting needs: which entries are cycle-level
+    (``cycle_mask``), the measured per-invocation gap (``gap``) and the
+    calibration actually applied.
+    """
+
+    values: np.ndarray
+    #: True where the value came from the cycle-level oracle.
+    cycle_mask: np.ndarray
+    #: Measured per-invocation relative gap bound of the analytical tier
+    #: (post-calibration residual quantile x safety, floored).
+    gap: float
+    mode: str
+    probes: int = 0
+    escalations: int = 0
+    #: Per-kernel-name multiplicative calibration scales.
+    calibration: Dict[str, float] = field(default_factory=dict)
+    #: Calibrated relative residuals on the probe set — the measured
+    #: fidelity-gap distribution, kept for reporting.
+    residuals: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def analytical_share(self) -> float:
+        """Value-weighted share of analytical (screened) entries."""
+        total = float(self.values.sum())
+        if total <= 0.0:
+            return 0.0
+        return float(self.values[~self.cycle_mask].sum()) / total
+
+    @property
+    def effective_gap(self) -> float:
+        """Gap of the *total*: only analytical entries carry any gap.
+
+        With per-invocation bound ``|v_i - t_i| <= g * t_i`` on analytical
+        entries and exact cycle entries,
+        ``|sum(V) - sum(T)| <= g * sum_analytical(t_i)``.  The analytical
+        truth share is unknown but bounded by the value share inflated by
+        ``(1+g)/(1-g)``, which keeps this an upper bound rather than a
+        plug-in estimate.
+        """
+        if self.gap <= 0.0:
+            return 0.0
+        if self.gap >= 1.0:
+            return self.gap
+        share = self.analytical_share * (1.0 + self.gap) / (1.0 - self.gap)
+        return self.gap * min(1.0, share)
+
+    def error_bound(self, epsilon: float) -> float:
+        """Honest combined bound versus cycle-level truth."""
+        return combine_fidelity_bound(epsilon, self.effective_gap)
+
+
+def probe_indices(workload, policy: FidelityPolicy) -> np.ndarray:
+    """Deterministic seeded probe set: strided picks per kernel name.
+
+    Every kernel name is probed (so a per-name calibration scale exists
+    for each group) with at least two probes when the group allows,
+    allocating the remaining budget proportionally to group size.
+    """
+    groups = workload.indices_by_name()
+    n = len(workload)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    budget = max(policy.probe_count, 2 * len(groups))
+    picks = []
+    for name in sorted(groups):
+        idxs = np.asarray(groups[name], dtype=np.int64)
+        want = max(2, int(round(budget * len(idxs) / n)))
+        want = min(want, len(idxs))
+        take = np.unique(np.linspace(0, len(idxs) - 1, want).astype(np.int64))
+        picks.append(np.sort(idxs)[take])
+    return np.unique(np.concatenate(picks))
+
+
+def _calibration_scales(
+    workload,
+    probes: np.ndarray,
+    probe_cycles: np.ndarray,
+    analytical: np.ndarray,
+) -> Dict[str, float]:
+    """Per-kernel-name multiplicative scales, fitted in log space.
+
+    Names with fewer than two probes fall back to the global geometric
+    mean so a single noisy probe cannot set a group's scale alone.
+    """
+    log_ratio = np.log(probe_cycles) - np.log(analytical[probes])
+    global_log = float(np.mean(log_ratio))
+    probe_pos = {int(p): i for i, p in enumerate(probes)}
+    scales: Dict[str, float] = {}
+    for name, idxs in workload.indices_by_name().items():
+        rows = [probe_pos[int(i)] for i in idxs if int(i) in probe_pos]
+        if len(rows) >= 2:
+            scales[name] = float(math.exp(float(np.mean(log_ratio[rows]))))
+        else:
+            scales[name] = float(math.exp(global_log))
+    return scales
+
+
+def fidelity_cycle_counts(
+    workload,
+    gpu,
+    seed: int = 0,
+    policy: Optional[FidelityPolicy] = None,
+    sim_cache=None,
+) -> FidelityTimes:
+    """Ground-truth times for ``workload`` on ``gpu`` at a fidelity tier.
+
+    ``mode="cycle"`` returns exactly
+    ``GpuSimulator(gpu, sim_cache=...).cycle_counts(workload, seed)`` —
+    the bit-identical legacy path.  The other modes screen analytically,
+    calibrate on probes, and (for ``hybrid``) escalate the top-value
+    invocations; probe and escalation results come from the same oracle
+    with the same cache identity, so they warm the cycle-level sim cache
+    for later full runs.
+    """
+    # Lazy imports: core must stay importable without pulling the whole
+    # simulator stack (mirrors SimGroundTruth in the sweep experiment).
+    from ..sim import BatchPolicy, GpuSimulator
+    from ..sim.analytical import AnalyticalSimulator
+
+    policy = policy or FidelityPolicy()
+    n = len(workload)
+    if policy.mode == "cycle" or n == 0:
+        oracle = GpuSimulator(gpu, sim_cache=sim_cache)
+        values = oracle.cycle_counts(workload, seed=seed)
+        obs.inc("sim.fidelity.cycle_kernels", n)
+        obs.set_gauge("sim.fidelity.cycle_share", 1.0)
+        return FidelityTimes(
+            values=values,
+            cycle_mask=np.ones(n, dtype=bool),
+            gap=0.0,
+            mode="cycle",
+        )
+
+    # Probe/escalation groups are far narrower than the width where the
+    # SoA batch engine pays off (a ~20-lane chunk costs 2-6x the scalar
+    # event loop per trace), so the subset oracle raises the batching
+    # threshold.  Batch policy is execution strategy only — not part of
+    # memo_identity — so results and cache entries stay bit-identical.
+    oracle = GpuSimulator(
+        gpu, batch_policy=BatchPolicy(min_width=64), sim_cache=sim_cache
+    )
+    with obs.span("sim.fidelity.screen", workload=workload.name, mode=policy.mode):
+        analytical = AnalyticalSimulator(gpu, sim_cache=sim_cache)
+        screened = analytical.cycle_counts(workload, seed=seed)
+
+        probes = probe_indices(workload, policy)
+        probe_result = oracle.simulate_workload(workload, probes, seed=seed)
+        probe_cycles = np.array(
+            [r.cycles for r in probe_result.kernel_results], dtype=np.float64
+        )
+
+        scales = _calibration_scales(workload, probes, probe_cycles, screened)
+        scale_arr = np.ones(n, dtype=np.float64)
+        for name, idxs in workload.indices_by_name().items():
+            scale_arr[np.asarray(idxs, dtype=np.int64)] = scales[name]
+        values = screened * scale_arr
+
+        residuals = np.abs(probe_cycles - values[probes]) / probe_cycles
+        gap = max(
+            policy.min_gap,
+            float(np.quantile(residuals, policy.gap_quantile)) * policy.gap_safety,
+        )
+
+        cycle_mask = np.zeros(n, dtype=bool)
+        values[probes] = probe_cycles
+        cycle_mask[probes] = True
+
+        escalations = 0
+        if policy.mode == "hybrid" and policy.escalation_budget > 0.0:
+            budget = min(n - len(probes), math.ceil(policy.escalation_budget * n))
+            if budget > 0:
+                candidates = np.flatnonzero(~cycle_mask)
+                # Screening uncertainty is gap x value; the gap is uniform
+                # after calibration, so the largest calibrated values are
+                # where a wrong screen could move the weighted-sum
+                # estimate (or the KKT allocation) most.
+                order = candidates[
+                    np.argsort(-values[candidates], kind="stable")
+                ][:budget]
+                escalate = np.sort(order)
+                esc_result = oracle.simulate_workload(workload, escalate, seed=seed)
+                values[escalate] = [r.cycles for r in esc_result.kernel_results]
+                cycle_mask[escalate] = True
+                escalations = len(escalate)
+
+    times = FidelityTimes(
+        values=values,
+        cycle_mask=cycle_mask,
+        gap=gap,
+        mode=policy.mode,
+        probes=len(probes),
+        escalations=escalations,
+        calibration=scales,
+        residuals=residuals,
+    )
+    obs.inc("sim.fidelity.probes", len(probes))
+    obs.inc("sim.fidelity.escalations", escalations)
+    obs.inc("sim.fidelity.screened_kernels", n - int(cycle_mask.sum()))
+    obs.observe("sim.fidelity.gap", gap)
+    obs.set_gauge("sim.fidelity.cycle_share", 1.0 - times.analytical_share)
+    obs.log_event(
+        "sim.fidelity.screened",
+        workload=workload.name,
+        mode=policy.mode,
+        probes=len(probes),
+        escalations=escalations,
+        gap=gap,
+        effective_gap=times.effective_gap,
+    )
+    return times

@@ -35,6 +35,7 @@ __all__ = [
     "predicted_error_multi",
     "error_bound_satisfied",
     "predicted_simulated_time",
+    "combine_fidelity_bound",
 ]
 
 #: z-score at 95% confidence, the paper's default.
@@ -154,14 +155,41 @@ def kkt_sample_sizes(
     return sizes
 
 
+def combine_fidelity_bound(epsilon: float, fidelity_gap: float) -> float:
+    """Honest error bound of a sampled estimate versus *cycle-level* truth.
+
+    When ground-truth values ``V`` come from a lower-fidelity tier with
+    ``|sum(V) - T| <= g * T`` against the cycle-level total ``T``, and the
+    sampling guarantee is ``|E - sum(V)| <= eps * sum(V)``, the triangle
+    inequality gives::
+
+        |E - T| <= eps * sum(V) + g * T
+                <= eps * (1 + g) * T + g * T = (eps * (1 + g) + g) * T
+
+    so the combined bound is ``eps * (1 + g) + g``.  With ``g == 0``
+    (pure cycle-level truth) this is exactly ``eps``.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    if fidelity_gap < 0:
+        raise ValueError("fidelity_gap must be non-negative")
+    return epsilon * (1.0 + fidelity_gap) + fidelity_gap
+
+
 def predicted_error_multi(
     clusters: Sequence[ClusterStats],
     sample_sizes: Sequence[int],
     z: float = DEFAULT_Z,
+    fidelity_gap: float = 0.0,
 ) -> float:
     """Joint theoretical error (fraction) from Eq. (4)/(5):
 
     ``e = z * sqrt(sum_i N_i^2 sigma_i^2 / m_i) / sum_i N_i mu_i``.
+
+    With a non-zero ``fidelity_gap`` the CLT error (which bounds the
+    estimate against the screened values) is widened through
+    :func:`combine_fidelity_bound` so the result bounds the estimate
+    against cycle-level truth.
     """
     if len(clusters) != len(sample_sizes):
         raise ValueError("clusters and sample_sizes must align")
@@ -174,7 +202,10 @@ def predicted_error_multi(
             raise ValueError("sample sizes must be positive")
         variance += (c.n * c.sigma) ** 2 / m
         total += c.total
-    return z * math.sqrt(variance) / total
+    sampling_error = z * math.sqrt(variance) / total
+    if fidelity_gap:
+        return combine_fidelity_bound(sampling_error, fidelity_gap)
+    return sampling_error
 
 
 def error_bound_satisfied(

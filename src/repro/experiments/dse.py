@@ -24,10 +24,22 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..baselines import ProfileStore
-from ..core import evaluate_plan
-from ..errors import InfeasibleProfilingError
+from ..core import (
+    FidelityPolicy,
+    FidelityTimes,
+    combine_fidelity_bound,
+    evaluate_plan,
+    fidelity_cycle_counts,
+)
+from ..errors import (
+    InfeasibleProfilingError,
+    ProfileValidationError,
+    SimulationFailure,
+)
 from ..hardware import RTX_2080, GPUConfig, dse_variants
+from ..resilience.faults import FaultPlan
 from ..sim import GpuSimulator
 from ..workloads import load_workload
 from .runner import ExperimentConfig
@@ -81,7 +93,16 @@ def default_dse_workloads(max_invocations: int = 200) -> List[DseWorkloadSpec]:
 
 @dataclass(frozen=True)
 class DseResult:
-    """One (workload, variant, method) evaluation."""
+    """One (workload, variant, method) evaluation.
+
+    The fidelity fields default to the legacy cycle-level values so
+    existing callers (and serialized rows) are unaffected:
+    ``fidelity`` names the tier that produced the per-variant ground
+    truth, ``fidelity_gap`` is that tier's measured effective gap, and
+    ``error_bound_percent`` the honest combined (ε + gap) bound a
+    bound-carrying method's error is held to — ``ε(1+g)+g``, which
+    reduces to plain ε·100 on cycle-level rows where ``g == 0``.
+    """
 
     workload: str
     variant: str
@@ -89,6 +110,9 @@ class DseResult:
     error_percent: float
     estimated_cycles: float
     full_cycles: float
+    fidelity: str = "cycle"
+    fidelity_gap: float = 0.0
+    error_bound_percent: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -103,6 +127,11 @@ class _DseSpecTask:
     epsilon: float
     cache_root: Optional[str] = None
     sim_cache_root: Optional[str] = None
+    #: ``None`` keeps the legacy pure cycle-level path bit-identical.
+    fidelity_policy: Optional[FidelityPolicy] = None
+    #: Optional chaos-testing fault plan (profile corruption degrades
+    #: poisoned cells to skipped rows instead of failing the grid).
+    fault_plan: Optional[FaultPlan] = None
 
 
 def _dse_spec_worker(task: _DseSpecTask) -> List[DseResult]:
@@ -115,10 +144,14 @@ def _dse_spec_worker(task: _DseSpecTask) -> List[DseResult]:
     spec = task.spec
     baseline = task.baseline
     seed = task.seed
+    policy = task.fidelity_policy
+    faulty = task.fault_plan is not None and task.fault_plan.enabled
     variants: List[Tuple[str, GPUConfig]] = list(
         zip(VARIANT_LABELS, dse_variants(baseline))
     )
-    config = ExperimentConfig(gpu=baseline, epsilon=task.epsilon)
+    config = ExperimentConfig(
+        gpu=baseline, epsilon=task.epsilon, fault_plan=task.fault_plan
+    )
     cache = None
     if task.cache_root:
         from ..parallel import ProfileCache
@@ -137,22 +170,45 @@ def _dse_spec_worker(task: _DseSpecTask) -> List[DseResult]:
         picks = np.linspace(0, len(workload) - 1, spec.max_invocations)
         workload = workload.subset(np.unique(picks.astype(np.int64)), name=spec.name)
 
-    # Full cycle-level simulation per variant (deterministic per seed —
-    # and therefore cacheable: re-runs and shared-variant grids reuse the
-    # raw results instead of re-simulating every invocation).
+    # Per-variant ground truth.  The legacy path — full cycle-level
+    # simulation — is kept verbatim when no fidelity policy is set (or
+    # the policy asks for pure cycle), so `fidelity=cycle` results stay
+    # bit-identical.  Otherwise each variant is analytically screened,
+    # calibrated against cycle-level probes and selectively escalated
+    # (see :mod:`repro.core.fidelity`); probes/escalations share the
+    # cycle tier's sim-cache identity, so they warm future full runs.
     variant_cycles: Dict[str, np.ndarray] = {}
+    variant_times: Dict[str, object] = {}
+    max_gap = 0.0
     for label, gpu in variants:
-        simulator = GpuSimulator(gpu, sim_cache=sim_cache)
-        variant_cycles[label] = simulator.cycle_counts(workload, seed=seed)
+        if policy is None or policy.mode == "cycle":
+            simulator = GpuSimulator(gpu, sim_cache=sim_cache)
+            variant_cycles[label] = simulator.cycle_counts(workload, seed=seed)
+            variant_times[label] = variant_cycles[label]
+        else:
+            times = fidelity_cycle_counts(
+                workload, gpu, seed=seed, policy=policy, sim_cache=sim_cache
+            )
+            variant_cycles[label] = times.values
+            variant_times[label] = times
+            max_gap = max(max_gap, times.effective_gap)
 
     # Plans from baseline profiles, evaluated against every variant.
     error_sums: Dict[Tuple[str, str], List[float]] = {}
     estimate_sums: Dict[Tuple[str, str], List[float]] = {}
     for rep in range(task.repetitions):
         rep_seed = seed + rep * 1009 + 1
-        store = ProfileStore(workload, baseline, seed=rep_seed, cache=cache)
+        if faulty:
+            store = config.store_for(workload, rep_seed, cache=cache)
+        else:
+            store = ProfileStore(workload, baseline, seed=rep_seed, cache=cache)
         for method in task.methods:
             sampler = config.sampler_for(method, workload)
+            if max_gap and hasattr(sampler, "fidelity_gap"):
+                # Fold the worst per-variant gap into the sampler's
+                # reported predicted_error so the plan's own bound is
+                # honest against cycle-level truth for every variant.
+                sampler.fidelity_gap = max_gap
             try:
                 if hasattr(sampler, "build_plan_from_store"):
                     plan = sampler.build_plan_from_store(store, seed=rep_seed)
@@ -160,8 +216,20 @@ def _dse_spec_worker(task: _DseSpecTask) -> List[DseResult]:
                     plan = sampler.build_plan(store, seed=rep_seed)
             except InfeasibleProfilingError:
                 continue
+            except (ProfileValidationError, SimulationFailure):
+                # Matches the grid runner's degradation rule: only an
+                # active fault plan may turn these into skipped cells.
+                if not faulty:
+                    raise
+                obs.log_event(
+                    "resilience.dse_cell_failed",
+                    workload=spec.name,
+                    method=method,
+                    repetition=rep,
+                )
+                continue
             for label, _gpu in variants:
-                outcome = evaluate_plan(plan, variant_cycles[label])
+                outcome = evaluate_plan(plan, variant_times[label])
                 error_sums.setdefault((method, label), []).append(
                     outcome.error_percent
                 )
@@ -171,6 +239,13 @@ def _dse_spec_worker(task: _DseSpecTask) -> List[DseResult]:
 
     results: List[DseResult] = []
     for (method, label), errors in sorted(error_sums.items()):
+        times = variant_times[label]
+        if isinstance(times, FidelityTimes):
+            fidelity = times.mode
+            gap = times.effective_gap
+        else:
+            fidelity, gap = "cycle", 0.0
+        bound_pct = combine_fidelity_bound(task.epsilon, gap) * 100.0
         results.append(
             DseResult(
                 workload=spec.name,
@@ -179,6 +254,9 @@ def _dse_spec_worker(task: _DseSpecTask) -> List[DseResult]:
                 error_percent=float(np.mean(errors)),
                 estimated_cycles=float(np.mean(estimate_sums[(method, label)])),
                 full_cycles=float(variant_cycles[label].sum()),
+                fidelity=fidelity,
+                fidelity_gap=gap,
+                error_bound_percent=bound_pct,
             )
         )
     return results
@@ -194,6 +272,10 @@ def run_dse(
     jobs: Optional[int] = 1,
     profile_cache=None,
     sim_cache=None,
+    fidelity: str = "cycle",
+    escalation_budget: Optional[float] = None,
+    fidelity_policy: Optional[FidelityPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> List[DseResult]:
     """Full DSE grid; returns flat per-(workload, variant, method) rows.
 
@@ -209,8 +291,27 @@ def run_dse(
     runs; ``sim_cache`` (a :class:`repro.memo.SimResultCache` or a cache
     directory path) does the same for the full per-variant cycle
     simulations — the dominant cost of a warm DSE re-run.
+
+    ``fidelity`` selects the ground-truth tier per variant: ``cycle``
+    (the default — bit-identical to the legacy path), ``analytical``
+    (calibrated screening only) or ``hybrid`` (screening plus cycle-level
+    escalation of the top-``escalation_budget`` share of invocations).
+    ``fidelity_policy`` overrides both with a full
+    :class:`~repro.core.FidelityPolicy`.  ``fault_plan`` chaos-tests the
+    grid: profile corruption degrades poisoned cells instead of failing
+    the run, and worker-kill rates exercise the supervised pool.
     """
     from ..parallel import run_tasks
+
+    if fidelity not in ("cycle", "analytical", "hybrid"):
+        raise ValueError(
+            f"fidelity must be 'cycle', 'analytical' or 'hybrid', got {fidelity!r}"
+        )
+    if fidelity_policy is None and fidelity != "cycle":
+        kwargs = {"mode": fidelity}
+        if escalation_budget is not None:
+            kwargs["escalation_budget"] = escalation_budget
+        fidelity_policy = FidelityPolicy(**kwargs)
 
     baseline = baseline_gpu or RTX_2080
     sim_cache_root = None
@@ -235,11 +336,21 @@ def run_dse(
                 profile_cache.root if profile_cache is not None else None
             ),
             sim_cache_root=sim_cache_root,
+            fidelity_policy=fidelity_policy,
+            fault_plan=fault_plan,
         )
         for spec in (workloads or default_dse_workloads())
     ]
     per_spec = run_tasks(
-        _dse_spec_worker, tasks, jobs=(1 if jobs is None else jobs), label="dse"
+        _dse_spec_worker,
+        tasks,
+        jobs=(1 if jobs is None else jobs),
+        label="dse",
+        fault_plan=(
+            fault_plan
+            if fault_plan is not None and fault_plan.faults_workers
+            else None
+        ),
     )
     results: List[DseResult] = []
     for spec_rows in per_spec:

@@ -61,9 +61,18 @@ class SimGroundTruth:
     repetition seed.  With ``sim_cache_root`` set, raw per-invocation
     results are cached on disk — every epsilon point and every re-run
     reuses the same full-workload simulation instead of repeating it.
+
+    ``fidelity`` swaps the truth tier: ``"cycle"`` (default, the
+    bit-identical legacy path) or ``"analytical"``/``"hybrid"`` screened
+    truth from :func:`~repro.core.fidelity.fidelity_cycle_counts` with
+    the given probe/escalation knobs.  The callable still returns a plain
+    per-invocation array, so :func:`run_suite` is unaffected.
     """
 
     sim_cache_root: Optional[str] = None
+    fidelity: str = "cycle"
+    probe_count: int = 8
+    escalation_budget: float = 0.05
 
     def __call__(self, store, seed: int) -> np.ndarray:
         from ..sim import GpuSimulator  # lazy: keeps import graph light
@@ -73,6 +82,21 @@ class SimGroundTruth:
             if self.sim_cache_root is not None
             else None
         )
+        if self.fidelity != "cycle":
+            from ..core.fidelity import FidelityPolicy, fidelity_cycle_counts
+
+            times = fidelity_cycle_counts(
+                store.workload,
+                store.config,
+                seed=seed,
+                policy=FidelityPolicy(
+                    mode=self.fidelity,
+                    probe_count=self.probe_count,
+                    escalation_budget=self.escalation_budget,
+                ),
+                sim_cache=cache,
+            )
+            return times.values
         simulator = GpuSimulator(store.config, sim_cache=cache)
         return simulator.cycle_counts(store.workload, seed=seed)
 
@@ -96,6 +120,8 @@ def run_error_bound_sweep(
     sim_cache: Optional[Union[SimResultCache, str]] = None,
     ground_truth: Union[str, Callable, None] = "profile",
     tree_cache: Union[SplitTreeCache, bool, None] = None,
+    fidelity: str = "cycle",
+    escalation_budget: float = 0.05,
 ) -> List[SweepPoint]:
     """STEM-only sweep of the error bound over one suite.
 
@@ -115,7 +141,17 @@ def run_error_bound_sweep(
     trees instead of re-clustering).  Pass ``False`` to disable the
     automatic cache (the benchmark's cold baseline).  Results are
     bit-identical with and without every cache.
+
+    ``fidelity``/``escalation_budget`` apply to ``ground_truth="sim"``
+    only: ``"analytical"`` or ``"hybrid"`` replaces the full cycle-level
+    truth with the calibrated multi-fidelity screen (see
+    :mod:`repro.core.fidelity`); ``"cycle"`` (default) keeps the legacy
+    path bit-identical.
     """
+    if fidelity not in ("cycle", "analytical", "hybrid"):
+        raise ValueError(
+            f"fidelity must be 'cycle', 'analytical' or 'hybrid', got {fidelity!r}"
+        )
     if config is None:
         config = ExperimentConfig()
     sequential = jobs is None or int(jobs) == 1
@@ -137,7 +173,11 @@ def run_error_bound_sweep(
             root = sim_cache.root
         elif sim_cache is not None:
             root = str(sim_cache)
-        truth_fn = SimGroundTruth(sim_cache_root=root)
+        truth_fn = SimGroundTruth(
+            sim_cache_root=root,
+            fidelity=fidelity,
+            escalation_budget=escalation_budget,
+        )
     else:
         raise ValueError(
             f"ground_truth must be 'profile', 'sim' or a callable, "

@@ -1,5 +1,7 @@
-"""Cycle-level GPU simulator (the reproduction's MacSim substitute)."""
+"""GPU simulators: the cycle-level MacSim substitute plus the PPT-style
+analytical fast tier (:mod:`repro.sim.analytical`)."""
 
+from .analytical import ANALYTICAL_VERSION, AnalyticalSimulator
 from .batch import BatchExecReport, BatchPolicy, execute_wave_batch
 from .cache import Cache, CacheStats
 from .energy import EnergyBreakdown, EnergyModel
@@ -14,6 +16,8 @@ from .trace import KernelTrace, Op, TraceGenerator, WarpTrace
 from .warmup import NoWarmup, ProportionalWarmup, WarmupKernel, WarmupStrategy
 
 __all__ = [
+    "ANALYTICAL_VERSION",
+    "AnalyticalSimulator",
     "BatchExecReport",
     "BatchPolicy",
     "execute_wave_batch",

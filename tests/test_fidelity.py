@@ -1,0 +1,396 @@
+"""Multi-fidelity suite: analytical tier, screened DSE, honest ε accounting.
+
+The contract has three legs:
+
+1. ``fidelity=cycle`` is the legacy path, bit for bit — same arrays from
+   :func:`~repro.core.fidelity.fidelity_cycle_counts`, same rows from
+   :func:`~repro.experiments.dse.run_dse`.
+2. The analytical screen is calibrated and *measured*: probes are exact
+   cycle-level values, and the reported gap is an empirical residual
+   quantile with a safety margin, never a guess.
+3. ε stays honest under mixing: achieved error versus cycle-level truth
+   is within the combined ``ε(1+g) + g`` bound on every variant, seed
+   and fault plan exercised here.
+"""
+
+import dataclasses
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines import ProfileStore
+from repro.core import (
+    FIDELITY_MODES,
+    FidelityPolicy,
+    StemRootSampler,
+    combine_fidelity_bound,
+    evaluate_plan,
+    fidelity_cycle_counts,
+    probe_indices,
+    verify_fidelity_bound,
+)
+from repro.experiments.dse import DseWorkloadSpec, dse_variants, run_dse
+from repro.experiments.error_bound_sweep import SimGroundTruth
+from repro.hardware import RTX_2080
+from repro.memo import SimResultCache
+from repro.resilience import FaultPlan
+from repro.sim import ANALYTICAL_VERSION, AnalyticalSimulator, GpuSimulator
+from repro.workloads import load_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """60-invocation hotspot slice: one kernel name, varied draws."""
+    full = load_workload("rodinia", "hotspot", scale=0.1, seed=0)
+    picks = np.unique(np.linspace(0, len(full) - 1, 60).astype(np.int64))
+    return full.subset(picks, name="hotspot")
+
+
+@pytest.fixture(scope="module")
+def mixed_names_workload():
+    """Multi-kernel-name workload so per-name calibration is exercised."""
+    full = load_workload("huggingface", "gpt2", scale=0.002, seed=0)
+    picks = np.unique(np.linspace(0, len(full) - 1, 80).astype(np.int64))
+    return full.subset(picks, name="gpt2")
+
+
+@pytest.fixture(scope="module")
+def cycle_truth(workload):
+    return GpuSimulator(RTX_2080).cycle_counts(workload, seed=0)
+
+
+class TestAnalyticalSimulator:
+    def test_surface_matches_gpu_simulator(self, workload):
+        sim = AnalyticalSimulator(RTX_2080)
+        result = sim.simulate_workload(workload, seed=0)
+        oracle = GpuSimulator(RTX_2080).simulate_workload(workload, seed=0)
+        assert len(result.kernel_results) == len(oracle.kernel_results)
+        for ra, rb in zip(result.kernel_results, oracle.kernel_results):
+            assert ra.invocation_index == rb.invocation_index
+            assert ra.cycles > 0
+            assert set(ra.stats.as_dict()) == set(rb.stats.as_dict())
+
+    def test_cycle_counts_deterministic(self, workload):
+        a = AnalyticalSimulator(RTX_2080).cycle_counts(workload, seed=3)
+        b = AnalyticalSimulator(RTX_2080).cycle_counts(workload, seed=3)
+        assert np.array_equal(a, b)
+        assert np.all(np.isfinite(a)) and np.all(a > 0)
+
+    def test_memo_identity_versioned_and_distinct(self):
+        ana = AnalyticalSimulator(RTX_2080).memo_identity()
+        cyc = GpuSimulator(RTX_2080).memo_identity()
+        assert ana.startswith(f"analytical-v{ANALYTICAL_VERSION}")
+        assert ana != cyc
+
+    def test_cache_tiers_never_cross(self, workload, tmp_path):
+        """A shared cache dir must keep analytical and cycle raw results
+        in distinct contexts — a cross-tier hit would silently swap the
+        oracle for the screen."""
+        cache = SimResultCache(str(tmp_path))
+        AnalyticalSimulator(RTX_2080, sim_cache=cache).cycle_counts(
+            workload, seed=0
+        )
+        cached = GpuSimulator(RTX_2080, sim_cache=cache).cycle_counts(
+            workload, seed=0
+        )
+        plain = GpuSimulator(RTX_2080).cycle_counts(workload, seed=0)
+        assert np.array_equal(cached, plain)
+
+    def test_tracks_cycle_totals_after_calibration(self, workload, cycle_truth):
+        """One global scale should land the analytical total within ~50%
+        of the oracle — the screen is a predictor, not noise."""
+        screened = AnalyticalSimulator(RTX_2080).cycle_counts(workload, seed=0)
+        scale = float(np.exp(np.mean(np.log(cycle_truth) - np.log(screened))))
+        total_err = abs(float((screened * scale).sum()) - cycle_truth.sum())
+        assert total_err / cycle_truth.sum() < 0.5
+
+
+class TestFidelityPolicy:
+    def test_defaults_valid(self):
+        policy = FidelityPolicy()
+        assert policy.mode in FIDELITY_MODES
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "quantum"},
+            {"probe_count": 1},
+            {"escalation_budget": -0.1},
+            {"escalation_budget": 1.5},
+            {"gap_quantile": 0.0},
+            {"gap_quantile": 1.5},
+            {"gap_safety": 0.5},
+            {"min_gap": -0.01},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            FidelityPolicy(**kwargs)
+
+    def test_every_knob_changes_memo_identity(self):
+        base = FidelityPolicy()
+        variants = [
+            FidelityPolicy(mode="analytical"),
+            FidelityPolicy(probe_count=9),
+            FidelityPolicy(escalation_budget=0.07),
+            FidelityPolicy(gap_quantile=0.9),
+            FidelityPolicy(gap_safety=1.5),
+            FidelityPolicy(min_gap=0.02),
+        ]
+        assert len(variants) == len(dataclasses.fields(FidelityPolicy))
+        identities = {p.memo_identity() for p in [base] + variants}
+        assert len(identities) == len(variants) + 1
+
+
+class TestCacheKeyLint:
+    """`repro lint` pins FidelityPolicy's complete memo_identity()."""
+
+    def test_fidelity_policy_key_covers_every_field(self):
+        """Unlike BatchPolicy (all knobs exempt — execution strategy
+        only), every FidelityPolicy field changes screened values, so the
+        pyproject spec must name memo_identity with no exemptions."""
+        from repro.lint import load_config, run_lint
+
+        repo_config = os.path.join(
+            os.path.dirname(__file__), "..", "pyproject.toml"
+        )
+        config = load_config(repo_config)
+        specs = [s for s in config.cache_keys if s.cls == "FidelityPolicy"]
+        assert len(specs) == 1
+        spec = specs[0]
+        assert spec.key == "memo_identity"
+        assert not spec.exempt
+        result = run_lint(config)
+        assert not [
+            f for f in result.findings if "FidelityPolicy" in f.message
+        ], [f.format_text() for f in result.findings]
+
+
+class TestCombineFidelityBound:
+    def test_zero_gap_is_plain_epsilon(self):
+        assert combine_fidelity_bound(0.05, 0.0) == 0.05
+
+    def test_triangle_inequality_form(self):
+        assert combine_fidelity_bound(0.05, 0.1) == pytest.approx(
+            0.05 * 1.1 + 0.1
+        )
+
+    @pytest.mark.parametrize("eps,gap", [(-0.01, 0.0), (0.05, -0.1)])
+    def test_rejects_negative_inputs(self, eps, gap):
+        with pytest.raises(ValueError):
+            combine_fidelity_bound(eps, gap)
+
+    def test_verify_fidelity_bound(self):
+        holds, achieved, bound = verify_fidelity_bound(
+            103.0, 100.0, epsilon=0.05, fidelity_gap=0.02
+        )
+        assert holds
+        assert achieved == pytest.approx(0.03)
+        assert bound == pytest.approx(0.05 * 1.02 + 0.02)
+        holds, achieved, _ = verify_fidelity_bound(
+            120.0, 100.0, epsilon=0.05, fidelity_gap=0.02
+        )
+        assert not holds and achieved == pytest.approx(0.20)
+
+
+class TestFidelityCycleCounts:
+    def test_cycle_mode_bit_identical(self, workload, cycle_truth):
+        times = fidelity_cycle_counts(
+            workload, RTX_2080, seed=0, policy=FidelityPolicy(mode="cycle")
+        )
+        assert np.array_equal(times.values, cycle_truth)
+        assert times.cycle_mask.all()
+        assert times.gap == 0.0
+        assert times.effective_gap == 0.0
+        assert times.error_bound(0.05) == 0.05
+
+    def test_probe_indices_cover_every_name(self, mixed_names_workload):
+        policy = FidelityPolicy()
+        probes = probe_indices(mixed_names_workload, policy)
+        probed_names = set()
+        by_name = mixed_names_workload.indices_by_name()
+        for name, idxs in by_name.items():
+            hits = len(set(map(int, idxs)) & set(map(int, probes)))
+            assert hits >= min(2, len(idxs)), f"{name} under-probed"
+            probed_names.add(name)
+        assert probed_names == set(by_name)
+        assert np.array_equal(probes, probe_indices(mixed_names_workload, policy))
+
+    def test_analytical_mode_probes_are_exact(self, workload, cycle_truth):
+        policy = FidelityPolicy(mode="analytical")
+        times = fidelity_cycle_counts(workload, RTX_2080, seed=0, policy=policy)
+        probes = probe_indices(workload, policy)
+        assert np.array_equal(times.values[probes], cycle_truth[probes])
+        assert int(times.cycle_mask.sum()) == len(probes)
+        assert times.escalations == 0
+        assert times.gap >= policy.min_gap
+        assert times.calibration  # per-name scales recorded
+
+    def test_hybrid_escalates_top_values_exactly(self, workload, cycle_truth):
+        policy = FidelityPolicy(mode="hybrid", escalation_budget=0.1)
+        times = fidelity_cycle_counts(workload, RTX_2080, seed=0, policy=policy)
+        expected = math.ceil(0.1 * len(workload))
+        assert times.escalations == expected
+        assert int(times.cycle_mask.sum()) == times.probes + expected
+        # Every cycle-tier entry matches the oracle exactly.
+        mask = times.cycle_mask
+        assert np.array_equal(times.values[mask], cycle_truth[mask])
+        # Escalations took the largest remaining values: every screened
+        # (analytical) value is <= the smallest escalated one.
+        esc_values = times.values[mask]
+        assert times.values[~mask].max() <= esc_values.max()
+
+    def test_deterministic_across_calls(self, workload):
+        a = fidelity_cycle_counts(workload, RTX_2080, seed=5)
+        b = fidelity_cycle_counts(workload, RTX_2080, seed=5)
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(a.cycle_mask, b.cycle_mask)
+        assert a.gap == b.gap
+
+    def test_effective_gap_never_exceeds_measured_gap(self, workload):
+        times = fidelity_cycle_counts(workload, RTX_2080, seed=0)
+        assert 0.0 < times.effective_gap <= times.gap
+        assert times.error_bound(0.05) == combine_fidelity_bound(
+            0.05, times.effective_gap
+        )
+
+
+class TestEpsilonHonesty:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_total_within_gap_on_every_variant(self, workload, seed):
+        """|sum(screened) - sum(truth)| / sum(truth) <= effective gap,
+        per hardware variant — the inequality the combined bound rests
+        on, checked empirically like verify_union_theorem."""
+        for gpu in dse_variants(RTX_2080):
+            times = fidelity_cycle_counts(workload, gpu, seed=seed)
+            truth = GpuSimulator(gpu).cycle_counts(workload, seed=seed)
+            achieved = abs(float(times.values.sum()) - truth.sum()) / truth.sum()
+            assert achieved <= times.effective_gap + 1e-12
+
+    def test_plan_error_within_combined_bound(self, workload, cycle_truth):
+        """STEM estimate scored on hybrid truth stays within ε + gap of
+        the *cycle-level* total."""
+        store = ProfileStore(workload, RTX_2080, seed=0)
+        times = fidelity_cycle_counts(workload, RTX_2080, seed=0)
+        sampler = StemRootSampler(epsilon=0.10, fidelity_gap=times.gap)
+        plan = sampler.build_plan_from_store(store, seed=0)
+        result = evaluate_plan(plan, times)
+        holds, achieved, bound = verify_fidelity_bound(
+            result.estimated_total,
+            float(cycle_truth.sum()),
+            epsilon=0.10,
+            fidelity_gap=times.effective_gap,
+        )
+        assert holds, f"achieved {achieved:.4f} > bound {bound:.4f}"
+
+    def test_sampler_folds_gap_into_predicted_error(self, workload):
+        store = ProfileStore(workload, RTX_2080, seed=0)
+        plain = StemRootSampler(epsilon=0.10).build_plan_from_store(store, seed=0)
+        gapped = StemRootSampler(
+            epsilon=0.10, fidelity_gap=0.05
+        ).build_plan_from_store(store, seed=0)
+        assert gapped.metadata["fidelity_gap"] == 0.05
+        assert gapped.metadata["predicted_error"] > plain.metadata["predicted_error"]
+
+    def test_sampler_rejects_negative_gap(self):
+        with pytest.raises(ValueError):
+            StemRootSampler(fidelity_gap=-0.1)
+
+
+class TestEvaluatePlanMetadata:
+    def test_fidelity_tiers_recorded(self, workload):
+        store = ProfileStore(workload, RTX_2080, seed=0)
+        times = fidelity_cycle_counts(workload, RTX_2080, seed=0)
+        plan = StemRootSampler(epsilon=0.10).build_plan_from_store(store, seed=0)
+        evaluate_plan(plan, times)
+        tiers = plan.metadata["fidelity_tiers"]
+        assert set(tiers) == {c.label for c in plan.clusters}
+        assert set(tiers.values()) <= {"cycle", "analytical", "mixed"}
+        summary = plan.metadata["fidelity"]
+        assert summary["mode"] == "hybrid"
+        assert summary["gap"] == times.gap
+        assert summary["probes"] == times.probes
+
+    def test_plain_ndarray_path_untouched(self, workload, cycle_truth):
+        store = ProfileStore(workload, RTX_2080, seed=0)
+        plan = StemRootSampler(epsilon=0.10).build_plan_from_store(store, seed=0)
+        result = evaluate_plan(plan, cycle_truth)
+        assert "fidelity" not in plan.metadata
+        assert "fidelity_tiers" not in plan.metadata
+        assert result.true_total == pytest.approx(float(cycle_truth.sum()))
+
+
+SPEC = DseWorkloadSpec("rodinia", "hotspot", 0.1, 30)
+
+
+class TestRunDse:
+    def test_cycle_fidelity_bit_identical_to_legacy(self):
+        legacy = run_dse(
+            workloads=[SPEC], methods=["stem"], repetitions=1, seed=0, jobs=1
+        )
+        cycle = run_dse(
+            workloads=[SPEC],
+            methods=["stem"],
+            repetitions=1,
+            seed=0,
+            jobs=1,
+            fidelity="cycle",
+        )
+        assert legacy == cycle
+        assert all(r.fidelity == "cycle" and r.fidelity_gap == 0.0 for r in cycle)
+
+    def test_hybrid_rows_honest_and_annotated(self):
+        cycle = run_dse(
+            workloads=[SPEC], methods=["stem"], repetitions=1, seed=0, jobs=1
+        )
+        hybrid = run_dse(
+            workloads=[SPEC],
+            methods=["stem"],
+            repetitions=1,
+            seed=0,
+            jobs=1,
+            fidelity="hybrid",
+        )
+        truth = {(r.workload, r.variant): r.full_cycles for r in cycle}
+        assert len(hybrid) == len(cycle)
+        for row in hybrid:
+            assert row.fidelity == "hybrid"
+            assert 0.0 < row.fidelity_gap < 1.0
+            assert row.error_bound_percent > 5.0  # above plain eps=5%
+            true_total = truth[(row.workload, row.variant)]
+            achieved = abs(row.estimated_cycles - true_total) / true_total * 100
+            assert achieved <= row.error_bound_percent + 1e-9
+
+    def test_invalid_fidelity_rejected(self):
+        with pytest.raises(ValueError):
+            run_dse(workloads=[SPEC], fidelity="quantum")
+
+    def test_hybrid_survives_fault_plan(self):
+        rows = run_dse(
+            workloads=[SPEC],
+            methods=["stem"],
+            repetitions=1,
+            seed=0,
+            jobs=1,
+            fidelity="hybrid",
+            fault_plan=FaultPlan.from_spec("seed=3672,nan=0.05,cache_corrupt=0.5"),
+        )
+        assert rows  # poisoned cells degrade; the grid still completes
+        assert all(r.fidelity == "hybrid" for r in rows)
+
+
+class TestSweepGroundTruth:
+    def test_cycle_default_bit_identical(self, workload, cycle_truth):
+        store = ProfileStore(workload, RTX_2080, seed=0)
+        truth = SimGroundTruth()
+        assert np.array_equal(truth(store, 0), cycle_truth)
+
+    def test_hybrid_returns_plain_array(self, workload):
+        store = ProfileStore(workload, RTX_2080, seed=0)
+        truth = SimGroundTruth(fidelity="hybrid", escalation_budget=0.1)
+        values = truth(store, 0)
+        assert isinstance(values, np.ndarray)
+        assert len(values) == len(workload)
+        assert np.all(values > 0)
