@@ -16,6 +16,7 @@ from .fidelity import (
     FidelityTimes,
     fidelity_cycle_counts,
     probe_indices,
+    tail_gap,
 )
 from .estimator import (
     SampledSimulationResult,
@@ -94,4 +95,5 @@ __all__ = [
     "FidelityTimes",
     "fidelity_cycle_counts",
     "probe_indices",
+    "tail_gap",
 ]

@@ -16,14 +16,21 @@ two-phase structure):
    the ratios instead of inflating the measured gap.
 3. **Escalate** the invocations whose screening uncertainty could move
    the weighted-sum estimate or the KKT allocation most — uncertainty is
-   ``gap x calibrated value``, and the gap is uniform after calibration,
-   so the top-value invocations are exactly the ones escalated — to
-   cycle-level simulation, up to ``escalation_budget`` of the workload.
-4. **Account**: the measured fidelity gap ``g`` (a quantile of the probe
-   residuals times a safety factor, floored at ``min_gap``) folds into
-   the reported ε via :func:`~repro.core.stem.combine_fidelity_bound`,
-   so the bound stays an honest upper bound on error *versus cycle-level
-   truth*, not versus the screen.
+   ``per-kernel-name residual risk x calibrated value``, so groups the
+   probes showed to calibrate poorly are escalated before well-behaved
+   ones of the same size — to cycle-level simulation, up to
+   ``escalation_budget`` of the workload.
+4. **Account**: the reported fidelity gap ``g`` must bound the residual
+   of *unseen* invocations, not just the probes, so it is tail-aware:
+   probe residuals are measured out-of-sample (leave-one-out
+   calibration), their ``gap_quantile`` is extrapolated to the unseen
+   analytical population with an exponential-tail (peaks-over-threshold)
+   model, and the result is padded by ``gap_safety`` and floored at
+   ``min_gap``.  The gap folds into the reported ε via
+   :func:`~repro.core.stem.combine_fidelity_bound`, so the bound stays
+   an honest upper bound on error *versus cycle-level truth*, not versus
+   the screen — verified empirically across workloads, seeds and
+   hardware variants in ``tests/test_fidelity.py``.
 
 Every knob on :class:`FidelityPolicy` changes screened values, so all of
 them feed :meth:`FidelityPolicy.memo_identity` — the cache-key linter
@@ -47,6 +54,7 @@ __all__ = [
     "FidelityPolicy",
     "FidelityTimes",
     "probe_indices",
+    "tail_gap",
     "fidelity_cycle_counts",
 ]
 
@@ -69,15 +77,18 @@ class FidelityPolicy:
     mode: str = "hybrid"
     #: Cycle-level calibration probes (at least this many; every kernel
     #: name gets probed so per-name scales exist for all groups).
-    probe_count: int = 8
+    probe_count: int = 12
     #: Fraction of invocations escalated to cycle-level on top of the
     #: probes (hybrid mode only).
     escalation_budget: float = 0.05
-    #: Quantile of the calibrated probe-residual distribution reported as
-    #: the fidelity gap (1.0 = the max residual).
+    #: Quantile of the leave-one-out probe-residual distribution used as
+    #: the base of the fidelity gap (1.0 = the max residual).  The base
+    #: is then tail-extrapolated to the unseen analytical population —
+    #: see :func:`tail_gap` — before the safety margin applies.
     gap_quantile: float = 1.0
-    #: Multiplicative safety margin on the measured gap: probes are a
-    #: sample, not the population, so the reported gap pads the estimate.
+    #: Multiplicative safety margin on the tail-extrapolated gap: the
+    #: tail model is itself fitted from a sample, so the reported gap
+    #: pads the extrapolation.
     gap_safety: float = 1.25
     #: Floor on the reported gap — an empirical gap of ~0 on a lucky
     #: probe set must not be reported as a zero-width bound.
@@ -121,17 +132,23 @@ class FidelityTimes:
     values: np.ndarray
     #: True where the value came from the cycle-level oracle.
     cycle_mask: np.ndarray
-    #: Measured per-invocation relative gap bound of the analytical tier
-    #: (post-calibration residual quantile x safety, floored).
+    #: Per-invocation relative gap bound of the analytical tier
+    #: (leave-one-out residual quantile, tail-extrapolated to the unseen
+    #: population, x safety, floored).
     gap: float
     mode: str
     probes: int = 0
     escalations: int = 0
     #: Per-kernel-name multiplicative calibration scales.
     calibration: Dict[str, float] = field(default_factory=dict)
-    #: Calibrated relative residuals on the probe set — the measured
-    #: fidelity-gap distribution, kept for reporting.
+    #: Leave-one-out calibrated relative residuals on the probe set —
+    #: the measured out-of-sample fidelity-gap distribution the reported
+    #: gap is extrapolated from, kept for reporting.
     residuals: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: Caller-set provenance key (e.g. the DSE variant label) so one
+    #: plan evaluated against several ground truths records each
+    #: evaluation's fidelity separately instead of clobbering one slot.
+    label: str = ""
 
     def __len__(self) -> int:
         return len(self.values)
@@ -213,6 +230,99 @@ def _calibration_scales(
     return scales
 
 
+def _probe_rows_by_name(workload, probes: np.ndarray) -> Dict[str, list]:
+    """Probe-array row indices per kernel name (names with >= 2 probes
+    carry their own calibration scale; the rest fall back to global)."""
+    probe_pos = {int(p): i for i, p in enumerate(probes)}
+    rows: Dict[str, list] = {}
+    for name, idxs in workload.indices_by_name().items():
+        rows[name] = [probe_pos[int(i)] for i in idxs if int(i) in probe_pos]
+    return rows
+
+
+def _loo_residuals(
+    workload,
+    probes: np.ndarray,
+    probe_cycles: np.ndarray,
+    analytical: np.ndarray,
+) -> np.ndarray:
+    """Out-of-sample probe residuals via leave-one-out calibration.
+
+    In-sample residuals (probe scored against a scale fitted *on that
+    probe*) systematically understate what the screen does on unseen
+    invocations — the exact optimism that made the reported gap
+    unsound on heterogeneous workloads.  Refitting each group's scale
+    without the held-out probe makes every residual an honest preview of
+    an unseen invocation's error.
+    """
+    log_ratio = np.log(probe_cycles) - np.log(analytical[probes])
+    k = len(probes)
+    total = float(np.sum(log_ratio))
+    out = np.zeros(k, dtype=np.float64)
+    grouped: set = set()
+    for rows in _probe_rows_by_name(workload, probes).values():
+        if len(rows) < 2:
+            continue  # group used the global scale; handled below
+        s = float(np.sum(log_ratio[rows]))
+        for r in rows:
+            loo = (s - float(log_ratio[r])) / (len(rows) - 1)
+            out[r] = abs(math.expm1(loo - float(log_ratio[r])))
+            grouped.add(r)
+    for r in range(k):
+        if r in grouped:
+            continue
+        loo = (
+            (total - float(log_ratio[r])) / (k - 1)
+            if k >= 2
+            else float(log_ratio[r])
+        )
+        out[r] = abs(math.expm1(loo - float(log_ratio[r])))
+    return out
+
+
+def _name_risks(
+    workload, probes: np.ndarray, residuals: np.ndarray
+) -> Dict[str, float]:
+    """Per-kernel-name residual risk: the worst out-of-sample residual
+    the group's probes showed (global worst for under-probed groups)."""
+    global_max = float(residuals.max()) if len(residuals) else 0.0
+    risks: Dict[str, float] = {}
+    for name, rows in _probe_rows_by_name(workload, probes).items():
+        if len(rows) >= 2:
+            risks[name] = float(residuals[rows].max())
+        else:
+            risks[name] = global_max
+    return risks
+
+
+def tail_gap(residuals: np.ndarray, quantile: float, unseen: int) -> float:
+    """Tail-aware bound on the residual an *unseen* invocation can reach.
+
+    The empirical ``quantile`` of ``k`` probe residuals only covers the
+    probes themselves; with ``unseen`` more analytical invocations in
+    the population, the realized maximum residual keeps growing past the
+    observed one.  Model the residual upper tail as exponential
+    (peaks-over-threshold with exponential excesses over the median —
+    the memoryless, conservative default when the tail shape is
+    unknown): for an exponential tail with scale ``beta`` the expected
+    maximum of ``N`` draws grows like ``beta * ln N``, so seeing
+    ``k + unseen`` draws instead of ``k`` extends the observed quantile
+    by ``beta * ln(1 + unseen / k)``.
+    """
+    if len(residuals) == 0:
+        return 0.0
+    base = float(np.quantile(residuals, quantile))
+    k = len(residuals)
+    if unseen <= 0 or k < 2:
+        return base
+    threshold = float(np.median(residuals))
+    excess = residuals[residuals > threshold] - threshold
+    if len(excess) == 0:
+        return base
+    beta = float(np.mean(excess))
+    return base + beta * math.log1p(unseen / k)
+
+
 def fidelity_cycle_counts(
     workload,
     gpu,
@@ -225,8 +335,11 @@ def fidelity_cycle_counts(
     ``mode="cycle"`` returns exactly
     ``GpuSimulator(gpu, sim_cache=...).cycle_counts(workload, seed)`` —
     the bit-identical legacy path.  The other modes screen analytically,
-    calibrate on probes, and (for ``hybrid``) escalate the top-value
-    invocations; probe and escalation results come from the same oracle
+    calibrate on probes, and (for ``hybrid``) escalate the invocations
+    with the largest risk-weighted values, where risk is the group's
+    worst leave-one-out probe residual — a poorly calibrated group is
+    escalated before a well-behaved one of the same size; probe and
+    escalation results come from the same oracle
     with the same cache identity, so they warm the cycle-level sim cache
     for later full runs.
     """
@@ -269,15 +382,14 @@ def fidelity_cycle_counts(
 
         scales = _calibration_scales(workload, probes, probe_cycles, screened)
         scale_arr = np.ones(n, dtype=np.float64)
+        risk_arr = np.zeros(n, dtype=np.float64)
+        residuals = _loo_residuals(workload, probes, probe_cycles, screened)
+        risks = _name_risks(workload, probes, residuals)
         for name, idxs in workload.indices_by_name().items():
-            scale_arr[np.asarray(idxs, dtype=np.int64)] = scales[name]
+            group = np.asarray(idxs, dtype=np.int64)
+            scale_arr[group] = scales[name]
+            risk_arr[group] = risks[name]
         values = screened * scale_arr
-
-        residuals = np.abs(probe_cycles - values[probes]) / probe_cycles
-        gap = max(
-            policy.min_gap,
-            float(np.quantile(residuals, policy.gap_quantile)) * policy.gap_safety,
-        )
 
         cycle_mask = np.zeros(n, dtype=bool)
         values[probes] = probe_cycles
@@ -288,18 +400,28 @@ def fidelity_cycle_counts(
             budget = min(n - len(probes), math.ceil(policy.escalation_budget * n))
             if budget > 0:
                 candidates = np.flatnonzero(~cycle_mask)
-                # Screening uncertainty is gap x value; the gap is uniform
-                # after calibration, so the largest calibrated values are
-                # where a wrong screen could move the weighted-sum
-                # estimate (or the KKT allocation) most.
+                # Screening uncertainty is residual risk x value: a large
+                # invocation from a group the probes showed to calibrate
+                # poorly is where a wrong screen could move the
+                # weighted-sum estimate (or the KKT allocation) most.
+                uncertainty = risk_arr[candidates] * values[candidates]
                 order = candidates[
-                    np.argsort(-values[candidates], kind="stable")
+                    np.argsort(-uncertainty, kind="stable")
                 ][:budget]
                 escalate = np.sort(order)
                 esc_result = oracle.simulate_workload(workload, escalate, seed=seed)
                 values[escalate] = [r.cycles for r in esc_result.kernel_results]
                 cycle_mask[escalate] = True
                 escalations = len(escalate)
+
+        # The gap must bound unseen invocations, so extrapolate the
+        # leave-one-out residual quantile to the invocations that stay
+        # analytical after escalation (probes/escalations carry no gap).
+        unseen = int(n - cycle_mask.sum())
+        gap = max(
+            policy.min_gap,
+            tail_gap(residuals, policy.gap_quantile, unseen) * policy.gap_safety,
+        )
 
     times = FidelityTimes(
         values=values,

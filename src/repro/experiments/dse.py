@@ -95,6 +95,15 @@ def default_dse_workloads(max_invocations: int = 200) -> List[DseWorkloadSpec]:
 class DseResult:
     """One (workload, variant, method) evaluation.
 
+    ``full_cycles`` is the *tier-relative* ground-truth total the row
+    was scored against: the exact cycle-level total when ``fidelity`` is
+    ``"cycle"``, otherwise the screened (calibrated-analytical +
+    probes/escalations) total, which may differ from cycle-level truth
+    by up to ``fidelity_gap``.  ``cycle_tier_cycles`` is the portion of
+    that total that *is* known cycle-level truth (probes + escalations;
+    equal to ``full_cycles`` on cycle rows), so downstream consumers can
+    tell how much of the denominator is exact.
+
     The fidelity fields default to the legacy cycle-level values so
     existing callers (and serialized rows) are unaffected:
     ``fidelity`` names the tier that produced the per-variant ground
@@ -113,6 +122,7 @@ class DseResult:
     fidelity: str = "cycle"
     fidelity_gap: float = 0.0
     error_bound_percent: float = 0.0
+    cycle_tier_cycles: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -189,6 +199,10 @@ def _dse_spec_worker(task: _DseSpecTask) -> List[DseResult]:
             times = fidelity_cycle_counts(
                 workload, gpu, seed=seed, policy=policy, sim_cache=sim_cache
             )
+            # Label the ground truth so evaluate_plan files each
+            # variant's fidelity provenance under its own key instead of
+            # the last variant overwriting the plan's single slot.
+            times.label = label
             variant_cycles[label] = times.values
             variant_times[label] = times
             max_gap = max(max_gap, times.effective_gap)
@@ -240,11 +254,14 @@ def _dse_spec_worker(task: _DseSpecTask) -> List[DseResult]:
     results: List[DseResult] = []
     for (method, label), errors in sorted(error_sums.items()):
         times = variant_times[label]
+        total = float(variant_cycles[label].sum())
         if isinstance(times, FidelityTimes):
             fidelity = times.mode
             gap = times.effective_gap
+            cycle_tier = float(times.values[times.cycle_mask].sum())
         else:
             fidelity, gap = "cycle", 0.0
+            cycle_tier = total
         bound_pct = combine_fidelity_bound(task.epsilon, gap) * 100.0
         results.append(
             DseResult(
@@ -253,10 +270,11 @@ def _dse_spec_worker(task: _DseSpecTask) -> List[DseResult]:
                 method=method,
                 error_percent=float(np.mean(errors)),
                 estimated_cycles=float(np.mean(estimate_sums[(method, label)])),
-                full_cycles=float(variant_cycles[label].sum()),
+                full_cycles=total,
                 fidelity=fidelity,
                 fidelity_gap=gap,
                 error_bound_percent=bound_pct,
+                cycle_tier_cycles=cycle_tier,
             )
         )
     return results
