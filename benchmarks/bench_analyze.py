@@ -1,0 +1,118 @@
+"""Analyzer runtime: whole-program ``repro analyze`` must stay cheap.
+
+The analysis tier loads every module under the configured paths, builds
+the project call graph, and runs three interprocedural passes
+(seed-flow, pool purity, cache-key soundness).  It is meant to run on
+every PR, so its wall-clock is an SLO: ``analyze_runtime_s`` in
+``[tool.repro.slo.metric_max]`` (enforced by ``repro obs check`` over
+the ledger record this bench appends).
+
+Also measured, for context: graph construction alone (the fixpoint
+passes are the rest), and the cost of one *disabled* DetSan hook — the
+runtime sanitizer's hooks sit on hot simulation paths and must be an
+early-returning no-op when ``REPRO_DETSAN`` is unset.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_analyze.py``,
+which writes BENCH_analyze.json and ledger-records the runtime) or via
+pytest (``pytest benchmarks/bench_analyze.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.analysis import detsan
+from repro.analysis.engine import build_graph, run_analysis
+from repro.lint import load_config
+
+REPO_CONFIG = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "pyproject.toml",
+)
+REPEATS = 3
+MAX_ANALYZE_SECONDS = 60.0  # [tool.repro.slo.metric_max] analyze_runtime_s
+
+
+def _disabled_hook_seconds(calls: int = 200_000) -> float:
+    """Average cost of one DetSan record() with the sanitizer off."""
+    assert not detsan.is_enabled()
+    start = time.perf_counter()
+    for _ in range(calls):
+        detsan.record("bench.noop", None)
+    return (time.perf_counter() - start) / calls
+
+
+def measure() -> dict:
+    config = load_config(REPO_CONFIG)
+
+    best_graph = float("inf")
+    best_total = float("inf")
+    files = functions = 0
+    findings = 0
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        graph = build_graph(config)
+        best_graph = min(best_graph, time.perf_counter() - start)
+        functions = len(graph.functions)
+
+        start = time.perf_counter()
+        result = run_analysis(config)
+        best_total = min(best_total, time.perf_counter() - start)
+        files = result.files_checked
+        findings = len(result.findings)
+
+    hook = _disabled_hook_seconds()
+
+    print()
+    print(f"files analyzed           : {files:8d}")
+    print(f"functions in call graph  : {functions:8d}")
+    print(f"graph construction       : {best_graph * 1e3:8.1f} ms")
+    print(f"full analyze (3 passes)  : {best_total * 1e3:8.1f} ms "
+          f"(bound {MAX_ANALYZE_SECONDS:.0f}s)")
+    print(f"disabled detsan hook     : {hook * 1e9:8.1f} ns/call")
+    print(f"findings                 : {findings:8d}")
+
+    return {
+        "repeats": REPEATS,
+        "files_checked": files,
+        "graph_functions": functions,
+        "graph_seconds": best_graph,
+        "analyze_seconds": best_total,
+        "detsan_disabled_hook_seconds": hook,
+        "findings": findings,
+        "bound_seconds": MAX_ANALYZE_SECONDS,
+    }
+
+
+def test_analyze_runtime_under_bound():
+    report = measure()
+    assert report["analyze_seconds"] < MAX_ANALYZE_SECONDS, (
+        f"repro analyze took {report['analyze_seconds']:.1f}s, "
+        f"over the {MAX_ANALYZE_SECONDS:.0f}s SLO"
+    )
+
+
+if __name__ == "__main__":
+    from _shared import write_bench_report
+
+    report = measure()
+    write_bench_report(
+        "BENCH_analyze.json",
+        report,
+        command="bench_analyze",
+        label="default",
+        config={"repeats": REPEATS},
+        metrics={"analyze_runtime_s": report["analyze_seconds"]},
+    )
+    print("report written to BENCH_analyze.json")
+    if report["analyze_seconds"] >= MAX_ANALYZE_SECONDS:
+        print(
+            f"FAIL: analyze took {report['analyze_seconds']:.1f}s, "
+            f"over the {MAX_ANALYZE_SECONDS:.0f}s SLO",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)

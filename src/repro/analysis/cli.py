@@ -1,6 +1,6 @@
-"""Implementation of the ``repro lint`` subcommand.
+"""Implementation of the ``repro analyze`` subcommand.
 
-Exit codes are part of the contract CI relies on:
+Same exit-code contract as ``repro lint``:
 
 * ``0`` — clean (no non-baselined, non-suppressed findings);
 * ``1`` — findings;
@@ -12,24 +12,23 @@ from __future__ import annotations
 import sys
 from typing import Optional
 
-from .baseline import write_baseline
-from .config import LintUsageError, load_config
-from .engine import run_lint
-from .passes import load_builtin_passes, registered_passes
-from .reporters import render_json, render_text
+from ..lint.baseline import write_baseline
+from ..lint.changed import changed_python_files, under_config_roots
+from ..lint.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS
+from ..lint.config import LintUsageError, load_config
+from ..lint.reporters import render_json, render_text
+from .engine import run_analysis
+from .passes import load_builtin_analysis_passes, registered_analysis_passes
 
-__all__ = ["add_lint_arguments", "run_lint_command"]
-
-EXIT_CLEAN = 0
-EXIT_FINDINGS = 1
-EXIT_ERROR = 2
+__all__ = ["add_analyze_arguments", "run_analyze_command"]
 
 
-def add_lint_arguments(parser) -> None:
-    """Attach ``repro lint`` arguments to an argparse subparser."""
+def add_analyze_arguments(parser) -> None:
+    """Attach ``repro analyze`` arguments to an argparse subparser."""
     parser.add_argument(
         "paths", nargs="*",
-        help="files/directories to lint (default: [tool.repro.lint] paths)")
+        help="report findings only for these files/directories (the "
+             "program graph always covers the configured paths)")
     parser.add_argument(
         "--format", choices=["text", "json"], default="text",
         help="report format (default text)")
@@ -39,51 +38,46 @@ def add_lint_arguments(parser) -> None:
              "(default: nearest pyproject.toml above the cwd)")
     parser.add_argument(
         "--baseline", metavar="PATH", default=None,
-        help="override the configured baseline file")
+        help="override the configured analysis baseline file")
     parser.add_argument(
         "--no-baseline", action="store_true",
         help="report grandfathered findings too")
     parser.add_argument(
         "--update-baseline", action="store_true",
-        help="rewrite the baseline from the current findings and exit 0 "
-             "(with path operands, only entries for the linted files are "
-             "replaced; the rest of the baseline is preserved)")
+        help="rewrite the analysis baseline from the current findings "
+             "and exit 0")
     parser.add_argument(
         "--rule", action="append", default=None, metavar="RULE",
-        help="run only this rule (repeatable)")
+        help="run only this analysis rule (repeatable)")
     parser.add_argument(
         "--changed", nargs="?", const="", default=None, metavar="REF",
-        help="lint only files that differ from REF (default: the "
-             "configured changed-ref, origin/main)")
+        help="report findings only for files that differ from REF "
+             "(default: the configured changed-ref, origin/main)")
     parser.add_argument(
         "--out", metavar="PATH", default=None,
         help="also write the JSON report to this path")
     parser.add_argument(
         "--list-rules", action="store_true",
-        help="list registered rules and exit")
-    parser.add_argument(
-        "--update-sim-salt", action="store_true",
-        help="refresh the sim-version salt manifest from the current "
-             "tree and exit (see the sim-version-salt rule)")
+        help="list registered analysis rules and exit")
 
 
 def _list_rules() -> int:
-    load_builtin_passes()
-    for rule, cls in sorted(registered_passes().items()):
+    load_builtin_analysis_passes()
+    for rule, cls in sorted(registered_analysis_passes().items()):
         print(f"{rule:26s} [{cls.severity}] {cls.description}")
     return EXIT_CLEAN
 
 
-def run_lint_command(args) -> int:
+def run_analyze_command(args) -> int:
     """Entry point used by ``repro.cli``; returns the process exit code."""
     try:
         return _run(args)
     except LintUsageError as err:
-        print(f"repro lint: error: {err}", file=sys.stderr)
+        print(f"repro analyze: error: {err}", file=sys.stderr)
         return EXIT_ERROR
     except Exception as err:  # internal error contract: never a traceback
         print(
-            f"repro lint: internal error: {type(err).__name__}: {err}",
+            f"repro analyze: internal error: {type(err).__name__}: {err}",
             file=sys.stderr,
         )
         return EXIT_ERROR
@@ -94,61 +88,43 @@ def _run(args) -> int:
         return _list_rules()
     config = load_config(args.config)
     if args.baseline:
-        config.baseline = args.baseline
+        config.analysis_baseline = args.baseline
     rules: Optional[list] = args.rule
 
-    if args.update_sim_salt:
-        from .passes.sim_salt import update_salt_manifest
-
-        manifest_path, count = update_salt_manifest(config)
-        print(
-            f"sim salt manifest updated: {count} file(s) hashed into "
-            f"{manifest_path}",
-            file=sys.stderr,
-        )
-        return EXIT_CLEAN
-
-    paths = args.paths or None
+    report_only = None
     if args.changed is not None:
-        from .changed import changed_python_files, under_config_roots
-
         ref = args.changed or config.changed_ref
-        changed = under_config_roots(
+        report_only = under_config_roots(
             config, changed_python_files(config.root, ref)
         )
-        if args.paths:
-            # Operands narrow the changed set, not the other way round.
-            changed = [rel for rel in changed if rel in set(args.paths)]
-        if not changed:
+        if not report_only and not args.paths:
             print(
-                f"repro lint: no .py files changed against {ref}",
+                f"repro analyze: no .py files changed against {ref}",
                 file=sys.stderr,
             )
             return EXIT_CLEAN
-        paths = changed
 
-    result = run_lint(
+    result = run_analysis(
         config,
-        paths=paths,
+        paths=args.paths or None,
         use_baseline=not (args.no_baseline or args.update_baseline),
         rules=rules,
+        report_only=report_only,
     )
 
     if args.update_baseline:
         count = write_baseline(
             result.findings,
-            config.baseline_path(),
-            # A partial run (explicit path operands or --changed) must
-            # not drop grandfathered entries for files it never saw.
+            config.analysis_baseline_path(),
             linted_paths=(
                 result.linted_paths
-                if (args.paths or args.changed is not None)
+                if (args.paths or report_only is not None)
                 else None
             ),
         )
         print(
-            f"baseline updated: {count} finding(s) written to "
-            f"{config.baseline_path()}",
+            f"analysis baseline updated: {count} finding(s) written to "
+            f"{config.analysis_baseline_path()}",
             file=sys.stderr,
         )
         return EXIT_CLEAN

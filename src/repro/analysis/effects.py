@@ -1,0 +1,345 @@
+"""Interprocedural effect inference over the project graph.
+
+Computes, per function, the *direct* effects that matter for pool
+purity — writes to module-level globals and calls into banned
+ambient-nondeterminism APIs — and propagates them over the call graph to
+a transitive summary: a function is impure iff it, or anything it can
+reach through project-internal calls, has a direct effect.
+
+Soundness bias matches :mod:`repro.analysis.graph`: an *unresolvable*
+callee contributes nothing (dynamic dispatch is assumed benign), while a
+*resolved* project callee contributes everything it can reach.  Modules
+in the effect exemption set (by default :mod:`repro.obs` — worker-local
+observability that the parallel executor merges deterministically)
+contribute no effects at all.
+
+Also home to the pool-dispatch discovery shared by the purity and
+seed-flow passes: every call site whose callee name is ``run_tasks`` /
+``supervise_tasks``, with its worker argument expression.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .graph import FunctionInfo, ProjectGraph
+
+__all__ = [
+    "DirectEffects",
+    "Effect",
+    "PoolDispatch",
+    "DEFAULT_EFFECT_EXEMPT_MODULES",
+    "MUTATING_METHODS",
+    "banned_call_reason",
+    "compute_direct_effects",
+    "find_pool_dispatches",
+    "local_names",
+    "propagate_effects",
+    "shortest_chain",
+]
+
+#: Modules whose effects are exempt from purity: process-local
+#: observability that workers ship back and the parent merges in a
+#: canonical order (see ``repro.parallel.executor``), plus the runtime
+#: determinism sanitizer itself.
+DEFAULT_EFFECT_EXEMPT_MODULES = ("repro.obs", "repro.analysis.detsan")
+
+#: Method names that mutate their receiver in place.
+MUTATING_METHODS = {
+    "append", "add", "update", "setdefault", "pop", "popitem", "extend",
+    "insert", "remove", "discard", "clear", "sort", "reverse",
+    "__setitem__", "__delitem__", "write",
+}
+
+#: Ambient wall-clock / OS-entropy reads (mirrors the ``wall-clock``
+#: lint rule's ban list — one invariant, two tiers).
+_WALLCLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+#: numpy.random entry points that are explicit, seedable constructions
+#: (mirrors the ``global-rng`` lint rule's allowlist).
+_ALLOWED_NUMPY_RANDOM = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.BitGenerator",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "numpy.random.MT19937",
+}
+
+
+def banned_call_reason(absolute: str) -> Optional[str]:
+    """Why an absolute dotted callee is banned in a pure context."""
+    if absolute in _WALLCLOCK:
+        return f"reads ambient wall-clock/OS state via {absolute}()"
+    if absolute == "random" or absolute.startswith("random."):
+        return f"uses the module-state stdlib RNG via {absolute}()"
+    if (
+        absolute.startswith("numpy.random.")
+        and absolute not in _ALLOWED_NUMPY_RANDOM
+    ):
+        return f"uses the numpy module-state RNG via {absolute}()"
+    return None
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One direct impurity, anchored at its source location."""
+
+    kind: str  # "global-write" | "banned-call"
+    function: str  # key of the function containing the effect
+    detail: str  # human sentence fragment
+    path: str  # module rel path of the effect site
+    line: int
+    col: int
+
+
+@dataclass
+class DirectEffects:
+    """Direct (non-transitive) effects of one function."""
+
+    effects: List[Effect] = field(default_factory=list)
+
+
+def local_names(fn_node: ast.AST) -> Set[str]:
+    """Names bound locally inside a function (params, assigns, loops…)."""
+    names: Set[str] = set()
+    args = fn_node.args
+    for group in (
+        getattr(args, "posonlyargs", []), args.args, args.kwonlyargs,
+    ):
+        names.update(a.arg for a in group)
+    for special in (args.vararg, args.kwarg):
+        if special is not None:
+            names.add(special.arg)
+
+    def bind(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                bind(elt)
+        elif isinstance(target, ast.Starred):
+            bind(target.value)
+
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                bind(target)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            bind(node.target)
+        elif isinstance(node, ast.For):
+            bind(node.target)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    bind(item.optional_vars)
+        elif isinstance(node, ast.ExceptHandler):
+            if node.name:
+                names.add(node.name)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                bind(gen.target)
+        elif isinstance(node, ast.NamedExpr):
+            bind(node.target)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn_node:
+            names.add(node.name)
+    return names
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def compute_direct_effects(
+    graph: ProjectGraph,
+    exempt_modules: Sequence[str] = DEFAULT_EFFECT_EXEMPT_MODULES,
+) -> Dict[str, DirectEffects]:
+    """Direct effects of every project function."""
+    exempt = tuple(exempt_modules)
+    out: Dict[str, DirectEffects] = {}
+    for key, info in graph.functions.items():
+        if _module_exempt(info.module_name, exempt):
+            out[key] = DirectEffects()
+            continue
+        out[key] = _direct_effects(graph, info, exempt)
+    return out
+
+
+def _module_exempt(module_name: str, exempt: Tuple[str, ...]) -> bool:
+    return any(
+        module_name == mod or module_name.startswith(mod + ".") for mod in exempt
+    )
+
+
+def _direct_effects(
+    graph: ProjectGraph, info: FunctionInfo, exempt: Tuple[str, ...]
+) -> DirectEffects:
+    effects = DirectEffects()
+    fn_node = info.node
+    locals_ = local_names(fn_node)
+    module_globals = graph.module_globals.get(info.module_name, {})
+    declared_global: Set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+
+    def add(kind: str, node: ast.AST, detail: str) -> None:
+        effects.effects.append(
+            Effect(
+                kind=kind,
+                function=info.key,
+                detail=detail,
+                path=info.module.rel,
+                line=int(getattr(node, "lineno", 1) or 1),
+                col=int(getattr(node, "col_offset", 0) or 0),
+            )
+        )
+
+    def is_shared_root(name: Optional[str]) -> bool:
+        if name is None or name == "self":
+            return False
+        if name in locals_ and name not in declared_global:
+            return False
+        return name in module_globals or name in declared_global
+
+    for node in ast.walk(fn_node):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if target.id in declared_global:
+                    add(
+                        "global-write", node,
+                        f"rebinds module global '{target.id}'",
+                    )
+            else:
+                root = _root_name(target)
+                if is_shared_root(root):
+                    add(
+                        "global-write", node,
+                        f"mutates module global '{root}' in place",
+                    )
+
+    for site in info.calls:
+        call = site.node
+        # Mutating method on a module global: GLOBAL.append(...), etc.
+        if isinstance(call.func, ast.Attribute):
+            root = _root_name(call.func)
+            if call.func.attr in MUTATING_METHODS and is_shared_root(root):
+                add(
+                    "global-write", call,
+                    f"mutates module global '{root}' via .{call.func.attr}()",
+                )
+        if site.target is not None and site.target.startswith("external:"):
+            reason = banned_call_reason(site.target[len("external:"):])
+            if reason is not None:
+                add("banned-call", call, reason)
+    return effects
+
+
+def propagate_effects(
+    graph: ProjectGraph, direct: Dict[str, DirectEffects]
+) -> Dict[str, List[Effect]]:
+    """Transitive effects per function (fixpoint over the call graph)."""
+    summary: Dict[str, Set[Effect]] = {
+        key: set(d.effects) for key, d in direct.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for key in graph.functions:
+            mine = summary.setdefault(key, set())
+            before = len(mine)
+            for callee in graph.callees(key):
+                mine |= summary.get(callee, set())
+            if len(mine) != before:
+                changed = True
+    return {key: sorted(v, key=lambda e: (e.path, e.line, e.detail)) for key, v in summary.items()}
+
+
+def shortest_chain(
+    graph: ProjectGraph, root: str, carrier_of: Dict[str, List[Effect]], effect: Effect
+) -> List[str]:
+    """BFS call chain from ``root`` to the function owning ``effect``."""
+    if root == effect.function:
+        return [root]
+    seen = {root}
+    queue: List[Tuple[str, List[str]]] = [(root, [root])]
+    while queue:
+        key, path = queue.pop(0)
+        for callee in sorted(graph.callees(key)):
+            if callee in seen:
+                continue
+            if effect not in set(carrier_of.get(callee, [])):
+                continue
+            next_path = path + [callee]
+            if callee == effect.function:
+                return next_path
+            seen.add(callee)
+            queue.append((callee, next_path))
+    return [root, effect.function]
+
+
+#: Callee names treated as pool dispatch entry points.  Name-based on
+#: purpose: fixture projects import ``repro.parallel`` without it being
+#: part of the analyzed tree, so absolute resolution cannot be required.
+POOL_ENTRYPOINTS = {"run_tasks", "supervise_tasks"}
+
+
+@dataclass
+class PoolDispatch:
+    """One ``run_tasks``/``supervise_tasks`` call site."""
+
+    caller: FunctionInfo
+    call: ast.Call
+    entrypoint: str
+    worker: Optional[ast.AST]  # the worker argument expression
+
+
+def find_pool_dispatches(graph: ProjectGraph) -> List[PoolDispatch]:
+    dispatches: List[PoolDispatch] = []
+    for info in graph.functions.values():
+        for site in info.calls:
+            dotted = site.dotted
+            if dotted is None:
+                continue
+            name = dotted.rsplit(".", 1)[-1]
+            if name not in POOL_ENTRYPOINTS:
+                continue
+            call = site.node
+            worker: Optional[ast.AST] = None
+            if call.args:
+                worker = call.args[0]
+            for kw in call.keywords:
+                if kw.arg == "worker":
+                    worker = kw.value
+            dispatches.append(
+                PoolDispatch(
+                    caller=info, call=call, entrypoint=name, worker=worker
+                )
+            )
+    return dispatches

@@ -1,0 +1,160 @@
+"""The whole-program analysis engine behind ``repro analyze``.
+
+Mirrors :func:`repro.lint.run_lint` — same config, same
+:class:`~repro.lint.engine.SourceModule` parsing, same inline
+suppressions, same baseline format and reporters, same
+:class:`~repro.lint.engine.LintResult` shape — but runs the
+*interprocedural* pass registry over a :class:`ProjectGraph` built from
+the **entire configured tree**, regardless of path operands.  Whole-
+program facts do not localize: a seed tainted three modules away still
+taints this file's sink.  Path operands (and ``--changed``) therefore
+restrict *reporting*, never *loading*.
+
+Exit-code contract, baseline semantics and suppression comments are
+identical to the lint tier, so CI and editors treat the two tiers as
+one tool with two scopes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from ..lint.baseline import match_baseline
+from ..lint.config import LintConfig, LintUsageError
+from ..lint.engine import (
+    LintResult,
+    SourceModule,
+    _rel_posix,
+    discover_files,
+    parse_module,
+)
+from ..lint.findings import Finding
+from .graph import ProjectGraph
+from .passes import load_builtin_analysis_passes, registered_analysis_passes
+
+__all__ = ["build_graph", "run_analysis"]
+
+
+def build_graph(
+    config: LintConfig, paths: Optional[Sequence[str]] = None
+) -> ProjectGraph:
+    """Parse the configured tree (or explicit paths) into a ProjectGraph."""
+    modules: List[SourceModule] = []
+    for path in discover_files(config, paths):
+        try:
+            modules.append(parse_module(path, config.root))
+        except SyntaxError:
+            continue  # reported as parse-error findings by run_analysis
+    return ProjectGraph(modules)
+
+
+def run_analysis(
+    config: LintConfig,
+    paths: Optional[Sequence[str]] = None,
+    use_baseline: bool = True,
+    rules: Optional[Sequence[str]] = None,
+    report_only: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Run every enabled analysis pass over the whole configured tree.
+
+    ``paths``/``report_only`` restrict which files findings are
+    *reported* for; the program graph always covers the configured
+    roots.  ``report_only`` takes root-relative POSIX paths (what
+    ``--changed`` produces); ``paths`` takes CLI operands resolved like
+    lint path operands.
+    """
+    load_builtin_analysis_passes()
+    known = set(registered_analysis_passes())
+    unknown = sorted(
+        {
+            rule
+            for rule in (list(rules or []))
+            if rule not in known
+        }
+    )
+    if unknown:
+        raise LintUsageError(
+            "unknown analysis rule id(s): " + ", ".join(unknown)
+            + " (run `repro analyze --list-rules` for the registry)"
+        )
+    enabled = {
+        rule: cls
+        for rule, cls in registered_analysis_passes().items()
+        if rule not in config.disable and (rules is None or rule in rules)
+    }
+
+    modules: List[SourceModule] = []
+    raw: List[Finding] = []
+    for path in discover_files(config, None):
+        try:
+            modules.append(parse_module(path, config.root))
+        except SyntaxError as err:
+            raw.append(
+                Finding(
+                    path=_rel_posix(path, config.root),
+                    line=int(err.lineno or 1),
+                    col=int(err.offset or 0),
+                    rule="parse-error",
+                    severity="error",
+                    message=f"file does not parse: {err.msg}",
+                    hint="fix the syntax error; unparseable files are "
+                    "invisible to whole-program analysis",
+                )
+            )
+
+    report_rels = _report_filter(config, paths, report_only)
+
+    graph = ProjectGraph(modules)
+    module_by_rel = {m.rel: m for m in modules}
+    for cls in enabled.values():
+        raw.extend(cls().check_graph(graph, config))
+    raw.sort()
+
+    if report_rels is not None:
+        raw = [f for f in raw if f.path in report_rels]
+
+    visible: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        module = module_by_rel.get(finding.path)
+        if module is not None and module.is_suppressed(finding):
+            suppressed += 1
+        else:
+            visible.append(finding)
+
+    baselined = 0
+    if use_baseline:
+        visible, baselined = match_baseline(
+            visible, config.analysis_baseline_path()
+        )
+
+    reported_paths = (
+        sorted(report_rels)
+        if report_rels is not None
+        else [m.rel for m in modules]
+    )
+    return LintResult(
+        findings=visible,
+        files_checked=len(modules),
+        suppressed=suppressed,
+        baselined=baselined,
+        raw_findings=raw,
+        linted_paths=reported_paths,
+    )
+
+
+def _report_filter(
+    config: LintConfig,
+    paths: Optional[Sequence[str]],
+    report_only: Optional[Sequence[str]],
+) -> Optional[Set[str]]:
+    """Root-relative rels to report findings for; None = everything."""
+    if paths is None and report_only is None:
+        return None
+    rels: Set[str] = set(report_only or [])
+    if paths:
+        # Resolve operands like lint does (file or directory), then
+        # reduce to rels — a directory operand covers its whole subtree.
+        for path in discover_files(config, paths):
+            rels.add(_rel_posix(path, config.root))
+    return rels

@@ -1,0 +1,266 @@
+"""Analysis rule ``cache-key-soundness``: keys cover what influences results.
+
+The lint-tier rule ``cache-key-completeness`` is syntactic: every
+declared field must be *mentioned* by the key function or exempted.
+This tier asks the question that actually matters for cache hygiene:
+**which fields can influence results**, and is every one of those either
+serialized into the key or carried by a reviewed exemption?
+
+A field *influences results* when it is read outside the key machinery:
+
+* ``self.<field>`` loads in any method of the class other than the key
+  method itself and dunders, or
+* ``<param>.<field>`` loads in any project function whose parameter is
+  annotated with the class (how free functions like
+  ``fidelity_cycle_counts(policy: FidelityPolicy)`` consume fields).
+
+The diff ``influencing − serialized − exempt`` is the finding set:
+deleting ``gap_safety`` from ``FidelityPolicy.memo_identity()`` makes
+this pass fail *without touching pyproject.toml*, because the field is
+still read by the fidelity engine.
+
+Keyed classes are discovered two ways, and both are checked:
+
+* every ``[[tool.repro.lint.cache-key]]`` entry (authoritative for the
+  key method and the exemption list), and
+* every class defining ``memo_identity()`` or ``fingerprint()`` even
+  without a TOML entry — a new keyed class is verified from the moment
+  it exists, with an empty exemption list.
+
+Exemptions are *reviewed*: an entry with a non-empty ``exempt`` list
+must carry a written ``justification`` in pyproject.toml, or this pass
+flags it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ...lint.config import CacheKeySpec, LintConfig
+from ...lint.findings import Finding
+from ...lint.passes.cache_keys import (
+    _calls_dataclasses_fields,
+    _field_call_kwarg,
+    _referenced_fields,
+)
+from ..graph import ClassInfo, ProjectGraph
+from .base import AnalysisPass, register_analysis_pass
+
+#: Method names that mark a class as cache-keyed even without a TOML
+#: entry.  ``to_dict``/``repr`` keys must be declared explicitly — too
+#: many innocent classes have a ``to_dict``.
+KEY_METHOD_NAMES = ("memo_identity", "fingerprint")
+
+#: Methods whose ``self.<field>`` reads do not count as influence: the
+#: key machinery itself plus representation/equality dunders.
+_NON_INFLUENCE_METHODS = {"__repr__", "__eq__", "__hash__", "__str__"}
+
+
+@dataclass
+class _Keyed:
+    """One keyed class resolved against the project graph."""
+
+    cls: ClassInfo
+    key: str  # method name, or "repr"
+    exempt: Tuple[str, ...]
+    justification: str
+    declared: bool  # True when it came from a TOML entry
+
+
+def _spec_rel(spec: CacheKeySpec) -> str:
+    return spec.path.replace(os.sep, "/")
+
+
+class _InfluenceIndex:
+    """Field reads per class name, collected once over the whole graph.
+
+    ``reads[class_name][field]`` is the qualpath of one function that
+    loads the field (for the finding message) — existence is what the
+    soundness check needs; one witness is what the human needs.
+    """
+
+    def __init__(self, graph: ProjectGraph):
+        self.graph = graph
+        self.reads: Dict[str, Dict[str, str]] = {}
+        self._collect()
+
+    def _collect(self) -> None:
+        for info in self.graph.functions.values():
+            receivers: Dict[str, str] = {}  # local name -> class name
+            if info.class_name is not None:
+                if not (
+                    info.name == "__init__"
+                    or info.name in _NON_INFLUENCE_METHODS
+                ):
+                    receivers["self"] = info.class_name
+            receivers.update(info.param_annotations())
+            if not receivers:
+                continue
+            for node in ast.walk(info.node):
+                if not (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, ast.Load)
+                    and isinstance(node.value, ast.Name)
+                ):
+                    continue
+                cls_name = receivers.get(node.value.id)
+                if cls_name is None:
+                    continue
+                self.reads.setdefault(cls_name, {}).setdefault(
+                    node.attr, self._where(info, node.value.id)
+                )
+
+    @staticmethod
+    def _where(info, receiver: str) -> str:
+        if receiver == "self":
+            return f"{info.qualpath}()"
+        return f"{info.qualpath}({receiver}: …)"
+
+    def influencing_fields(
+        self, keyed: _Keyed
+    ) -> Dict[str, str]:
+        """Field -> witness, for fields of this class read outside the key.
+
+        Reads *inside the key method itself* never count — they are the
+        serialization, not a consumer.
+        """
+        raw = dict(self.reads.get(keyed.cls.name, {}))
+        fields = set(keyed.cls.fields)
+        key_method = keyed.cls.methods.get(keyed.key)
+        key_reads: Set[str] = set()
+        if key_method is not None:
+            key_reads = _referenced_fields(key_method.node)
+        out: Dict[str, str] = {}
+        for name, witness in raw.items():
+            if name not in fields:
+                continue  # property / derived attribute, not a field
+            if name in key_reads and witness.startswith(
+                f"{keyed.cls.name}.{keyed.key}("
+            ):
+                continue
+            out[name] = witness
+        return out
+
+
+@register_analysis_pass
+class CacheKeySoundnessPass(AnalysisPass):
+    rule = "cache-key-soundness"
+    description = (
+        "every field that can influence a keyed class's results must be "
+        "serialized by its cache key or carried by a reviewed exemption "
+        "with a written justification"
+    )
+
+    def check_graph(self, graph: ProjectGraph, config: LintConfig) -> Iterable[Finding]:
+        index = _InfluenceIndex(graph)
+        findings: List[Finding] = []
+        for keyed in self._keyed_classes(graph, config):
+            findings.extend(self._check_keyed(keyed, index))
+        return findings
+
+    # -- discovery ---------------------------------------------------------
+    def _keyed_classes(
+        self, graph: ProjectGraph, config: LintConfig
+    ) -> List[_Keyed]:
+        by_rel_name: Dict[Tuple[str, str], ClassInfo] = {
+            (c.module.rel, c.name): c for c in graph.classes.values()
+        }
+        out: List[_Keyed] = []
+        covered: Set[str] = set()
+        for spec in config.cache_keys:
+            cls = by_rel_name.get((_spec_rel(spec), spec.cls))
+            if cls is None:
+                continue  # path not in this graph (e.g. explicit operands)
+            covered.add(cls.key)
+            out.append(
+                _Keyed(
+                    cls=cls,
+                    key=spec.key,
+                    exempt=spec.exempt,
+                    justification=spec.justification,
+                    declared=True,
+                )
+            )
+        for cls in graph.classes.values():
+            if cls.key in covered:
+                continue
+            for method in KEY_METHOD_NAMES:
+                if method in cls.methods:
+                    out.append(
+                        _Keyed(
+                            cls=cls,
+                            key=method,
+                            exempt=(),
+                            justification="",
+                            declared=False,
+                        )
+                    )
+                    break
+        return out
+
+    # -- checks ------------------------------------------------------------
+    def _check_keyed(
+        self, keyed: _Keyed, index: _InfluenceIndex
+    ) -> Iterable[Finding]:
+        cls = keyed.cls
+        if keyed.declared and keyed.exempt and not keyed.justification:
+            yield self.finding(
+                cls.module,
+                cls.node,
+                f"cache-key exemption for {cls.name} "
+                f"({', '.join(keyed.exempt)}) has no justification; "
+                "exemptions are reviewed waivers, not configuration",
+                hint="add justification = \"…\" to this "
+                "[[tool.repro.lint.cache-key]] entry explaining why the "
+                "exempted fields cannot change results",
+            )
+
+        serialized = self._serialized_fields(keyed)
+        if serialized is None:
+            return  # unresolvable key method: the lint tier reports it
+        influencing = index.influencing_fields(keyed)
+        for name in sorted(influencing):
+            if name in serialized or name in keyed.exempt:
+                continue
+            anchor = cls.fields.get(name, cls.node)
+            yield self.finding(
+                cls.module,
+                anchor,
+                f"{cls.name}.{name} influences results (read in "
+                f"{influencing[name]}) but is not serialized by "
+                f"{self._key_label(keyed)} and carries no exemption; "
+                "cached entries keyed before the field changes would be "
+                "served as stale hits",
+                hint=f"serialize self.{name} in the key, or exempt it in "
+                "pyproject.toml with a written justification",
+            )
+
+    def _serialized_fields(self, keyed: _Keyed) -> Optional[Set[str]]:
+        cls = keyed.cls
+        fields = set(cls.fields)
+        if keyed.key == "repr":
+            hidden: Set[str] = set()
+            for name, node in cls.fields.items():
+                default = getattr(node, "value", None)
+                repr_kw = _field_call_kwarg(default, "repr")
+                if isinstance(repr_kw, ast.Constant) and repr_kw.value is False:
+                    hidden.add(name)
+            return fields - hidden
+        method = cls.methods.get(keyed.key)
+        if method is None:
+            return None
+        if _calls_dataclasses_fields(method.node):
+            return fields  # enumerates fields(): complete by construction
+        serialized = _referenced_fields(method.node) & fields
+        # The key method may delegate: self.memo_identity() calling
+        # self.config.fingerprint() still only covers 'config' itself.
+        return serialized
+
+    @staticmethod
+    def _key_label(keyed: _Keyed) -> str:
+        if keyed.key == "repr":
+            return "repr()"
+        return f"{keyed.key}()"

@@ -1,0 +1,154 @@
+"""Analysis rule ``pool-safety``: pool workers must be *transitively* pure.
+
+Subsumes the syntactic lint rule of the same id.  The lint tier rejects
+worker callables that cannot even be shipped to a spawn-start pool
+(lambdas, closures); this tier verifies the property the parallel engine
+actually relies on for bit-identical results — that a dispatched worker
+is **pure up to its explicit payload**:
+
+* no writes to module-level globals, directly or through any chain of
+  project-internal calls (the blind spot of the name-based pass: a
+  module-level worker that *calls* a helper mutating a module dict
+  passed the old check);
+* no ambient nondeterminism (wall-clock reads, stdlib ``random``,
+  numpy's module-state RNG) anywhere in the worker's call closure.
+
+Effects inside exempt modules do not count (default: :mod:`repro.obs`,
+whose per-worker state is shipped back and merged deterministically, and
+the DetSan runtime sanitizer).  Config::
+
+    [tool.repro.lint.pool-safety]
+    effect_exempt_modules = ["repro.obs", "repro.analysis.detsan"]
+
+Findings are anchored at the *effect site* (the global write or banned
+call), so an inline ``# repro-lint: disable=pool-safety`` with a
+rationale at that line exempts exactly the statement that was reviewed.
+Unpicklable workers (lambda / nested function) are still reported at the
+dispatch site, as in the lint tier.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ...lint.findings import Finding
+from ..effects import (
+    DEFAULT_EFFECT_EXEMPT_MODULES,
+    compute_direct_effects,
+    find_pool_dispatches,
+    propagate_effects,
+    shortest_chain,
+)
+from ..graph import ProjectGraph
+from .base import AnalysisPass, register_analysis_pass
+
+
+def _short(key: str) -> str:
+    """Human name of a function key: module:qualpath -> qualpath."""
+    return key.split(":", 1)[-1]
+
+
+def _chain_text(chain: List[str]) -> str:
+    return " -> ".join(_short(k) for k in chain)
+
+
+@register_analysis_pass
+class PoolPurityPass(AnalysisPass):
+    rule = "pool-safety"
+    description = (
+        "pool-dispatched workers must be transitively pure: no module-"
+        "global writes and no ambient nondeterminism anywhere in their "
+        "call closure (interprocedural tier of the lint rule)"
+    )
+
+    def check_graph(self, graph: ProjectGraph, config) -> Iterable[Finding]:
+        options = config.options_for(self.rule)
+        exempt_modules = tuple(
+            str(m)
+            for m in options.get(
+                "effect_exempt_modules", DEFAULT_EFFECT_EXEMPT_MODULES
+            )
+        )
+        direct = compute_direct_effects(graph, exempt_modules)
+        transitive = propagate_effects(graph, direct)
+        dispatches = find_pool_dispatches(graph)
+
+        seen: Set[Tuple[str, str, int, str]] = set()
+        findings: List[Finding] = []
+        for dispatch in dispatches:
+            worker = dispatch.worker
+            if worker is None:
+                continue
+            caller = dispatch.caller
+            if isinstance(worker, ast.Lambda):
+                findings.append(
+                    self.finding(
+                        caller.module,
+                        worker,
+                        f"lambda passed as worker to {dispatch.entrypoint}() "
+                        "cannot be pickled to spawn-start pool workers",
+                        hint="define a module-level function and pass it by name",
+                    )
+                )
+                continue
+            if not isinstance(worker, ast.Name):
+                continue  # dynamic worker expression: out of static reach
+            info = graph.function_for_name(caller.module_name, worker.id)
+            if info is None:
+                if self._is_nested_def(caller, worker.id):
+                    findings.append(
+                        self.finding(
+                            caller.module,
+                            worker,
+                            f"nested function '{worker.id}' passed as worker "
+                            f"to {dispatch.entrypoint}() is a closure with no "
+                            "importable qualified name and cannot be pickled "
+                            "to pool workers",
+                            hint="hoist it to module level and pass state "
+                            "through the payloads instead of captured "
+                            "variables",
+                        )
+                    )
+                continue
+
+            for effect in transitive.get(info.key, []):
+                dedup = (info.key, effect.path, effect.line, effect.detail)
+                if dedup in seen:
+                    continue
+                seen.add(dedup)
+                chain = shortest_chain(graph, info.key, transitive, effect)
+                findings.append(
+                    Finding(
+                        path=effect.path,
+                        line=effect.line,
+                        col=effect.col,
+                        rule=self.rule,
+                        severity=self.severity,
+                        message=(
+                            f"worker '{_short(info.key)}' dispatched to "
+                            f"{dispatch.entrypoint}() is impure: "
+                            f"{_chain_text(chain)} {effect.detail}"
+                        ),
+                        hint=(
+                            "thread the state through the payload (pure up "
+                            "to explicit inputs), or — if the effect is "
+                            "provably result-neutral (e.g. a process-local "
+                            "cache-handle memo) — suppress this line with "
+                            "'# repro-lint: disable=pool-safety' and a "
+                            "rationale"
+                        ),
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _is_nested_def(caller, name: str) -> bool:
+        for node in ast.walk(caller.node):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not caller.node
+                and node.name == name
+            ):
+                return True
+        return False

@@ -19,6 +19,14 @@ Commands
 ``dse``       design-space exploration grid (Table 4)
 ``lint``      AST-based invariant linter (determinism, cache keys, pool
               safety — see :mod:`repro.lint` and docs/static-analysis.md)
+``analyze``   whole-program determinism analyzer: interprocedural seed
+              flow, worker purity and cache-key soundness over the full
+              module graph (see :mod:`repro.analysis` and
+              docs/static-analysis.md)
+``detsan``    cross-engine determinism smoke under the runtime
+              sanitizer (scalar vs batch, cold vs warm, sequential vs
+              parallel); every workload command also accepts
+              ``--detsan`` to sanitize that run
 
 Parallelism & memoization
 -------------------------
@@ -121,6 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip appending this run to the run ledger")
         p.add_argument("--run-label", metavar="LABEL", default=None,
                        help="free-form label stored in the run record")
+        p.add_argument("--detsan", action="store_true",
+                       help="enable the runtime determinism sanitizer "
+                            "(records sync points, cross-checks engine "
+                            "configurations; non-zero exit on divergence — "
+                            "see repro detsan / docs/static-analysis.md)")
 
     def add_workload_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("suite", choices=suite_names())
@@ -298,6 +311,26 @@ def build_parser() -> argparse.ArgumentParser:
     from .lint.cli import add_lint_arguments
 
     add_lint_arguments(p_lint)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="run the whole-program determinism analyzer (seed flow, "
+             "pool purity, cache-key soundness; exit 0 clean / 1 "
+             "findings / 2 internal error)",
+    )
+    from .analysis.cli import add_analyze_arguments
+
+    add_analyze_arguments(p_analyze)
+
+    p_detsan = sub.add_parser(
+        "detsan",
+        help="cross-engine determinism smoke: scalar vs batch, cold vs "
+             "warm cache, sequential vs parallel under the runtime "
+             "sanitizer (exit 0 bit-identical / 1 divergence)",
+    )
+    from .analysis.detsan_smoke import add_detsan_arguments
+
+    add_detsan_arguments(p_detsan)
 
     p_obs = sub.add_parser(
         "obs",
@@ -574,6 +607,8 @@ _NON_IDENTITY_ARGS = {
     # Supervision knobs never change results (quarantine excepted, and a
     # quarantined cell is visible in the rows themselves, not run_id).
     "no_supervise", "speculate", "max_task_kills", "heartbeat_timeout",
+    # The sanitizer observes results, never changes them.
+    "detsan",
 }
 
 
@@ -1189,6 +1224,18 @@ def _cmd_lint(args) -> int:
     return run_lint_command(args)
 
 
+def _cmd_analyze(args) -> int:
+    from .analysis.cli import run_analyze_command
+
+    return run_analyze_command(args)
+
+
+def _cmd_detsan(args) -> int:
+    from .analysis.detsan_smoke import run_detsan_command
+
+    return run_detsan_command(args)
+
+
 _COMMANDS = {
     "sample": _cmd_sample,
     "compare": _cmd_compare,
@@ -1202,7 +1249,30 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "dse": _cmd_dse,
     "lint": _cmd_lint,
+    "analyze": _cmd_analyze,
+    "detsan": _cmd_detsan,
 }
+
+
+def _dispatch(args) -> int:
+    """Run one command, honouring ``--detsan`` around it.
+
+    With the sanitizer on (flag or ``REPRO_DETSAN=1``), the run's
+    coverage report lands on stderr and any divergence turns a
+    successful exit into status 1 — determinism violations fail runs
+    exactly like wrong results would.
+    """
+    from .analysis import detsan
+
+    if getattr(args, "detsan", False):
+        detsan.enable()
+    status = _COMMANDS[args.command](args)
+    sanitizer = detsan.get_sanitizer()
+    if sanitizer is not None and sanitizer.records:
+        print(sanitizer.report(), file=sys.stderr, end="")
+        if sanitizer.divergences and status == 0:
+            status = 1
+    return status
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -1215,7 +1285,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     runs_dir = _resolve_runs_dir(args) if args.command in _LEDGERED else None
     enable = bool(trace_out or metrics_out or flame_out or log_level or runs_dir)
     if not enable:
-        return _COMMANDS[args.command](args)
+        return _dispatch(args)
 
     # Stream events to stderr only when the user asked for a level, so
     # --trace-out alone keeps stdout/stderr exactly as before.
@@ -1226,7 +1296,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     monitor = obs.ResourceMonitor()
     try:
         with monitor:
-            status = _COMMANDS[args.command](args)
+            status = _dispatch(args)
     finally:
         if trace_out:
             count = session.write_trace(trace_out)

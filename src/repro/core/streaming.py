@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from ..seeding import stable_text_seed
 from .plan import PlanCluster, SamplingPlan
 from .root import RootConfig, root_split
 from .stem import DEFAULT_EPSILON, DEFAULT_Z, ClusterStats, kkt_sample_sizes
@@ -111,9 +112,8 @@ class StreamingProfile:
     _total: int = 0
 
     def _rng_for(self, name: str) -> np.random.Generator:
-        return np.random.default_rng(
-            (hash(name) & 0xFFFFFFFF) ^ (self.seed * 0x9E3779B9 & 0xFFFFFFFF)
-        )
+        # hash(name) is process-salted; stable_text_seed is not.
+        return np.random.default_rng(stable_text_seed(name, self.seed))
 
     # -- ingestion ---------------------------------------------------------
     def ingest(

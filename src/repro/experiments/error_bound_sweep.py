@@ -48,7 +48,10 @@ def _sim_cache_for(root: str) -> SimResultCache:
     cache = _SIM_CACHES.get(root)
     if cache is None:
         cache = SimResultCache(root)
-        _SIM_CACHES[root] = cache
+        # Result-neutral: memoizes the *handle* to a content-addressed
+        # store keyed only by its root path; hits/misses change timing,
+        # never any returned number.
+        _SIM_CACHES[root] = cache  # repro-lint: disable=pool-safety
     return cache
 
 

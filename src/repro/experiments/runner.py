@@ -39,6 +39,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Un
 import numpy as np
 
 from .. import obs
+from ..analysis import detsan
 from ..baselines import (
     PhotonSampler,
     PkaSampler,
@@ -460,6 +461,16 @@ def run_workload(
             # Record the moment each cell lands, so a kill mid-repetition
             # loses at most the in-flight cell.
             computed[method] = row
+            if detsan.is_enabled():
+                # Sync point: the post-aggregation row — what every
+                # downstream table is built from — in its serialized
+                # form, so sequential rows compare against parallel
+                # rows received by the grid parent.
+                detsan.record(
+                    f"grid.row|{workload.suite}|{workload.name}"
+                    f"|{method}|rep={rep}",
+                    row.as_dict(),
+                )
             if checkpoint is not None:
                 checkpoint.record(
                     workload.suite, workload.name, method, rep, row.as_dict()

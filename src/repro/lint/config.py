@@ -29,7 +29,10 @@ except ImportError:  # pragma: no cover - exercised only on 3.9/3.10
 __all__ = ["CacheKeySpec", "LintConfig", "LintUsageError", "load_config"]
 
 #: Top-level [tool.repro.lint] keys that are not per-rule option tables.
-_RESERVED_KEYS = {"paths", "exclude", "baseline", "disable", "cache-key"}
+_RESERVED_KEYS = {
+    "paths", "exclude", "baseline", "disable", "cache-key",
+    "analysis-baseline", "changed-ref",
+}
 
 
 class LintUsageError(Exception):
@@ -44,12 +47,19 @@ class CacheKeySpec:
     or serialization function) or the literal string ``"repr"`` for
     types keyed through ``repr(instance)`` — where completeness means no
     field opts out with ``field(repr=False)``.
+
+    ``exempt`` fields are *reviewed exemptions*: the analysis tier
+    (rule ``cache-key-soundness``) requires a non-empty
+    ``justification`` explaining why the exempted fields cannot change
+    results — an exemption nobody can defend is a stale-cache bug
+    waiting to happen.
     """
 
     path: str
     cls: str
     key: str
     exempt: tuple = ()
+    justification: str = ""
 
 
 @dataclass
@@ -60,6 +70,11 @@ class LintConfig:
     paths: List[str] = field(default_factory=lambda: ["src"])
     exclude: List[str] = field(default_factory=list)
     baseline: str = "lint-baseline.json"
+    #: Baseline of the whole-program analysis tier (``repro analyze``).
+    analysis_baseline: str = "analysis-baseline.json"
+    #: Default git ref for ``--changed`` (lint/analyze only files that
+    #: differ from this ref).
+    changed_ref: str = "origin/main"
     disable: List[str] = field(default_factory=list)
     cache_keys: List[CacheKeySpec] = field(default_factory=list)
     #: Per-rule option tables, keyed by rule id.
@@ -70,6 +85,9 @@ class LintConfig:
 
     def baseline_path(self) -> str:
         return os.path.join(self.root, self.baseline)
+
+    def analysis_baseline_path(self) -> str:
+        return os.path.join(self.root, self.analysis_baseline)
 
 
 def _find_pyproject(start: str) -> Optional[str]:
@@ -99,6 +117,7 @@ def _parse_cache_key(raw: Dict[str, Any], source: str) -> CacheKeySpec:
         cls=cls,
         key=str(raw.get("key", "repr")),
         exempt=tuple(str(name) for name in raw.get("exempt", [])),
+        justification=str(raw.get("justification", "")).strip(),
     )
 
 
@@ -142,6 +161,10 @@ def load_config(
         config.exclude = [str(p) for p in table["exclude"]]
     if "baseline" in table:
         config.baseline = str(table["baseline"])
+    if "analysis-baseline" in table:
+        config.analysis_baseline = str(table["analysis-baseline"])
+    if "changed-ref" in table:
+        config.changed_ref = str(table["changed-ref"])
     if "disable" in table:
         config.disable = [str(r) for r in table["disable"]]
     for raw in table.get("cache-key", []):

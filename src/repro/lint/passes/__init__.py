@@ -24,6 +24,7 @@ def load_builtin_passes() -> None:
         cache_keys,
         global_rng,
         pool_safety,
+        sim_salt,
         typed_errors,
         unordered_iter,
         wall_clock,

@@ -83,6 +83,32 @@ def _field_call_kwarg(default: Optional[ast.AST], kwarg: str) -> Optional[ast.AS
     return None
 
 
+def _init_self_fields(cls: ast.ClassDef) -> Dict[str, ast.AST]:
+    """``self.x = …`` targets in ``__init__``, for plain keyed classes."""
+    fields: Dict[str, ast.AST] = {}
+    for stmt in cls.body:
+        if (
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name == "__init__"
+        ):
+            for node in ast.walk(stmt):
+                targets = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and not target.attr.startswith("_")
+                        and target.attr not in fields
+                    ):
+                        fields[target.attr] = node
+    return fields
+
+
 def _referenced_fields(method: ast.AST) -> Set[str]:
     """Names accessed as ``self.<name>`` anywhere inside the method."""
     referenced: Set[str] = set()
@@ -155,17 +181,24 @@ class CacheKeyCompletenessPass(LintPass):
                 hint="fix the 'class' of this [[tool.repro.lint.cache-key]] entry",
             )
             return
-        if not _is_dataclass_decorated(cls):
-            yield self.finding(
-                module,
-                cls,
-                f"{spec.cls} is declared cache-keyed but is not a "
-                "@dataclass; field completeness cannot be verified",
-                hint="make it a dataclass or drop the cache-key entry",
-            )
-            return
-
-        fields = _dataclass_fields(cls)
+        is_dataclass = _is_dataclass_decorated(cls)
+        if is_dataclass:
+            fields = _dataclass_fields(cls)
+        else:
+            # Plain class: its field set is the ``self.x = …``
+            # assignments in ``__init__``.  repr() of a plain class is
+            # the default object repr — useless as a cache key.
+            if spec.key == "repr":
+                yield self.finding(
+                    module,
+                    cls,
+                    f"{spec.cls} is keyed through repr() but is not a "
+                    "@dataclass; the default repr carries no field "
+                    "values, so every instance would share one key",
+                    hint="key it through a fingerprint method instead",
+                )
+                return
+            fields = _init_self_fields(cls)
         for exempt in spec.exempt:
             if exempt not in fields:
                 yield self.finding(

@@ -1,0 +1,235 @@
+"""Rule ``sim-version-salt``: simulator changes must bump ``SIM_VERSION``.
+
+:data:`repro.memo.sim_cache.SIM_VERSION` salts every cache key so that
+raw simulation results computed by an older simulator can never be
+replayed against a newer one.  The salt only works if someone remembers
+to bump it — which is exactly the kind of invariant a linter should
+carry, not a reviewer.
+
+The rule keeps a committed *salt manifest* (JSON: the ``SIM_VERSION``
+value plus a sha256 per watched file) recording the simulator tree as it
+was when the salt was last reviewed.  On every lint run:
+
+* a watched module missing from the manifest is flagged (new simulator
+  code nobody reviewed for cache impact);
+* a watched module whose hash differs from the manifest is flagged —
+  either the change is result-neutral (refresh the manifest with
+  ``repro lint --update-sim-salt``) or it is not (bump ``SIM_VERSION``,
+  *then* refresh);
+* a manifest recorded under a different ``SIM_VERSION`` than the
+  current one is stale as a whole and must be refreshed.
+
+Config (the rule is active only when this table exists)::
+
+    [tool.repro.lint.sim-version-salt]
+    manifest = "sim-salt.json"
+    watch = ["src/repro/sim"]
+    version-source = "src/repro/memo/sim_cache.py"
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..config import LintConfig
+from ..findings import Finding
+from .base import LintPass, register
+
+__all__ = ["SimVersionSaltPass", "update_salt_manifest"]
+
+_MANIFEST_VERSION = 1
+
+
+def _sha256_file(path: str) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(65536), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def _watched_files(config: LintConfig, watch: List[str]) -> List[str]:
+    """Root-relative POSIX paths of every watched .py file, sorted."""
+    out: List[str] = []
+    for entry in watch:
+        absolute = os.path.join(config.root, entry)
+        if os.path.isfile(absolute):
+            out.append(entry.replace(os.sep, "/"))
+            continue
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    rel = os.path.relpath(
+                        os.path.join(dirpath, name), config.root
+                    )
+                    out.append(rel.replace(os.sep, "/"))
+    return sorted(set(out))
+
+
+def _current_sim_version(config: LintConfig, source_rel: str) -> Optional[int]:
+    """The ``SIM_VERSION = <int>`` constant in the version-source file."""
+    path = os.path.join(config.root, source_rel)
+    if not os.path.isfile(path):
+        return None
+    try:
+        tree = ast.parse(open(path, "r", encoding="utf-8").read())
+    except SyntaxError:
+        return None
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "SIM_VERSION"
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, int)
+                ):
+                    return node.value.value
+    return None
+
+
+def _salt_options(config: LintConfig) -> Optional[Tuple[str, List[str], str]]:
+    options = config.options_for("sim-version-salt")
+    if not options:
+        return None
+    manifest = str(options.get("manifest", "sim-salt.json"))
+    watch = [str(p) for p in options.get("watch", ["src/repro/sim"])]
+    version_source = str(
+        options.get("version-source", "src/repro/memo/sim_cache.py")
+    )
+    return manifest, watch, version_source
+
+
+def update_salt_manifest(config: LintConfig) -> Tuple[str, int]:
+    """Rewrite the manifest from the current tree; returns (path, count)."""
+    resolved = _salt_options(config)
+    if resolved is None:
+        from ..config import LintUsageError
+
+        raise LintUsageError(
+            "--update-sim-salt needs a [tool.repro.lint.sim-version-salt] "
+            "table in pyproject.toml"
+        )
+    manifest_rel, watch, version_source = resolved
+    files = _watched_files(config, watch)
+    payload = {
+        "manifest_version": _MANIFEST_VERSION,
+        "sim_version": _current_sim_version(config, version_source),
+        "files": {
+            rel: _sha256_file(os.path.join(config.root, rel)) for rel in files
+        },
+    }
+    manifest_path = os.path.join(config.root, manifest_rel)
+    with open(manifest_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return manifest_path, len(files)
+
+
+@register
+class SimVersionSaltPass(LintPass):
+    rule = "sim-version-salt"
+    description = (
+        "watched simulator modules must match the committed SIM_VERSION "
+        "salt manifest; a changed simulator with an unbumped salt can "
+        "replay stale cached results"
+    )
+
+    def check_project(self, modules, config: LintConfig) -> Iterable[Finding]:
+        resolved = _salt_options(config)
+        if resolved is None:
+            return  # rule inactive without config
+        manifest_rel, watch, version_source = resolved
+        manifest_path = os.path.join(config.root, manifest_rel)
+        module_by_rel = {m.rel: m for m in modules}
+
+        if not os.path.isfile(manifest_path):
+            anchor = self._anchor(module_by_rel, watch)
+            if anchor is not None:
+                yield self.finding(
+                    anchor,
+                    anchor.tree,
+                    f"sim-version salt manifest {manifest_rel} does not "
+                    "exist; simulator changes cannot be checked against "
+                    "the cache salt",
+                    hint="run `repro lint --update-sim-salt` and commit "
+                    "the manifest",
+                )
+            return
+
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+            recorded_files: Dict[str, str] = dict(manifest.get("files", {}))
+            recorded_version = manifest.get("sim_version")
+        except (ValueError, OSError):
+            anchor = self._anchor(module_by_rel, watch)
+            if anchor is not None:
+                yield self.finding(
+                    anchor,
+                    anchor.tree,
+                    f"sim-version salt manifest {manifest_rel} is "
+                    "unreadable",
+                    hint="regenerate it with `repro lint --update-sim-salt`",
+                )
+            return
+
+        current_version = _current_sim_version(config, version_source)
+        version_stale = (
+            current_version is not None and recorded_version != current_version
+        )
+
+        for rel in _watched_files(config, watch):
+            module = module_by_rel.get(rel)
+            if module is None:
+                continue  # partial run: this file is not being linted
+            recorded = recorded_files.get(rel)
+            if recorded is None:
+                yield self.finding(
+                    module,
+                    module.tree,
+                    f"{rel} is under a SIM_VERSION-salted tree but absent "
+                    f"from {manifest_rel}; its changes would never prompt "
+                    "a salt review",
+                    hint="run `repro lint --update-sim-salt` (bump "
+                    "SIM_VERSION first if raw outputs changed)",
+                )
+                continue
+            actual = _sha256_file(module.path)
+            if actual != recorded:
+                yield self.finding(
+                    module,
+                    module.tree,
+                    f"{rel} changed since the salt manifest was recorded "
+                    f"(SIM_VERSION {recorded_version}); stale cache "
+                    "entries may replay against the new simulator",
+                    hint="if raw simulation outputs changed, bump "
+                    "SIM_VERSION in repro/memo/sim_cache.py; then run "
+                    "`repro lint --update-sim-salt` to re-record",
+                )
+            elif version_stale:
+                yield self.finding(
+                    module,
+                    module.tree,
+                    f"salt manifest {manifest_rel} was recorded under "
+                    f"SIM_VERSION {recorded_version} but the code says "
+                    f"{current_version}; the manifest is stale",
+                    hint="run `repro lint --update-sim-salt` to re-record "
+                    "under the current SIM_VERSION",
+                )
+                return  # one finding is enough for a stale manifest
+
+    @staticmethod
+    def _anchor(module_by_rel, watch: List[str]):
+        """Some watched module to anchor manifest-level findings at."""
+        for rel in sorted(module_by_rel):
+            for entry in watch:
+                prefix = entry.replace(os.sep, "/").rstrip("/") + "/"
+                if rel == entry or rel.startswith(prefix):
+                    return module_by_rel[rel]
+        return None

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from .. import obs
+from ..analysis import detsan
 from ..errors import GridExecutionError
 from .executor import resolve_jobs, run_tasks
 from .profile_cache import ProfileCache
@@ -183,6 +184,16 @@ def execute_grid(
         workload = workload_list[wl_idx]
         for method, row_dict in cells:
             computed[(wl_idx, method, rep)] = runner.ResultRow.from_dict(row_dict)
+            if detsan.is_enabled():
+                # Parent-side sync point: rows received from workers use
+                # the same key (and serialized form) as the sequential
+                # runner's, so sequential-vs-jobs>1 cross-checks happen
+                # here regardless of completion order.
+                detsan.record(
+                    f"grid.row|{workload.suite}|{workload.name}"
+                    f"|{method}|rep={rep}",
+                    row_dict,
+                )
             if checkpoint is not None:
                 checkpoint.record(
                     workload.suite, workload.name, method, rep, row_dict

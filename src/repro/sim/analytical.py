@@ -33,6 +33,7 @@ from typing import Iterable, List, Optional, Tuple
 import numpy as np
 
 from .. import obs
+from ..analysis import detsan
 from ..hardware.gpu_config import GPUConfig
 from ..memo.dedup import collapse_draws
 from ..memo.sim_cache import RawKernelSim
@@ -409,6 +410,17 @@ class AnalyticalSimulator:
                 setattr(aggregate, field_name, int(totals[j]))
             aggregate.stall_cycles = float(sum(s.stall_cycles for s in stats_list))
         aggregate.cycles = float(sum(r.cycles for r in results))
+        if detsan.is_enabled():
+            # Same sync point as the cycle engine, under this tier's own
+            # "analytical" family tag: the two engines legitimately
+            # disagree with each other, but each must agree with itself
+            # across cold/warm cache and repeated evaluation.
+            tag = (
+                f"sim.analytical|{workload.name}|seed={seed}"
+                f"|idx={detsan.index_digest(index_list)}"
+            )
+            detsan.record(tag + "|cycles", cycles)
+            detsan.record(tag + "|events", scaled)
         return WorkloadSimResult(
             workload_name=workload.name,
             kernel_results=results,

@@ -29,6 +29,7 @@ from typing import Iterable, List, Optional, Tuple
 import numpy as np
 
 from .. import obs
+from ..analysis import detsan
 from ..hardware.gpu_config import GPUConfig
 from ..memo.dedup import collapse_draws
 from ..memo.sim_cache import RawKernelSim
@@ -438,6 +439,18 @@ class GpuSimulator:
                 setattr(aggregate, field_name, int(totals[j]))
             aggregate.stall_cycles = float(sum(s.stall_cycles for s in stats_list))
         aggregate.cycles = float(sum(r.cycles for r in results))
+        if detsan.is_enabled():
+            # Sync point: per-invocation cycles and scaled counters must
+            # be bit-identical across engine configs (scalar vs batch,
+            # cold vs warm cache, dedup on/off).  The key is engine-
+            # invariant; the "cycle" family tag keeps these recordings
+            # disjoint from the analytical tier's.
+            tag = (
+                f"sim.cycle|{workload.name}|seed={seed}"
+                f"|idx={detsan.index_digest(index_list)}"
+            )
+            detsan.record(tag + "|cycles", cycles)
+            detsan.record(tag + "|events", scaled)
         return WorkloadSimResult(
             workload_name=workload.name,
             kernel_results=results,

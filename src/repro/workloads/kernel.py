@@ -23,6 +23,8 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from ..seeding import stable_text_seed
+
 __all__ = [
     "InstructionMix",
     "MemoryPattern",
@@ -205,9 +207,9 @@ class KernelSpec:
         near-identical BBV — precisely the blindness of BBV-based
         signatures that Figure 10 of the paper illustrates.
         """
-        rng = np.random.default_rng(
-            (hash(self.name) & 0xFFFFFFFF) ^ (self.bbv_seed * 0x9E3779B9 & 0xFFFFFFFF)
-        )
+        # hash(name) is process-salted; stable_text_seed is not, so the
+        # same spec yields the same BBV in every process and run.
+        rng = np.random.default_rng(stable_text_seed(self.name, self.bbv_seed))
         weights = rng.pareto(1.5, size=self.num_basic_blocks) + 1.0
         counts = weights / weights.sum() * max(self.mix.total(), 1)
         return counts.astype(np.float64)

@@ -1,0 +1,1 @@
+"""Fixture package: cache-key soundness (influence vs serialization)."""

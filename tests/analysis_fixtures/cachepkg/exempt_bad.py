@@ -1,0 +1,13 @@
+"""Fixture: an exemption declared without a written justification."""
+
+
+class UnjustifiedExempt:
+    def __init__(self, depth, tuning):
+        self.depth = depth
+        self.tuning = tuning  # exempted in TOML, but nobody wrote down why
+
+    def memo_identity(self):
+        return ("UnjustifiedExempt", self.depth)
+
+    def solve(self):
+        return self.depth * self.tuning.get("gain", 1.0)

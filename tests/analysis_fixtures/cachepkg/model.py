@@ -1,0 +1,16 @@
+"""Fixture: a keyed class whose key forgets a field the math reads.
+
+No TOML entry: discovered implicitly through ``memo_identity``.
+"""
+
+
+class Estimator:
+    def __init__(self, alpha, beta):
+        self.alpha = alpha
+        self.beta = beta  # influences predict() but missing from the key
+
+    def memo_identity(self):
+        return ("Estimator", self.alpha)
+
+    def predict(self, x):
+        return self.alpha * x + self.beta

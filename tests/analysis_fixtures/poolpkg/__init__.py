@@ -1,0 +1,1 @@
+"""Fixture package: impure pool workers the name-based lint rule misses."""

@@ -1,0 +1,29 @@
+"""Fixture: a picklable worker that is transitively impure."""
+
+from repro.parallel import run_tasks
+
+_RESULTS = {}
+
+
+def _accumulate(key, value):
+    _RESULTS[key] = value  # line 9: global write, two hops from the pool
+    return value
+
+
+def _worker(payload):
+    return _accumulate(payload, payload * 2)
+
+
+def run(payloads):
+    # The worker is a module-level function — picklable, so the
+    # name-based lint tier approves — but its call closure mutates a
+    # module global, so parallel results depend on worker scheduling.
+    return run_tasks(_worker, payloads)
+
+
+def _pure_worker(payload):
+    return payload * 2
+
+
+def fine(payloads):
+    return run_tasks(_pure_worker, payloads)

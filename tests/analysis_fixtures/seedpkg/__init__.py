@@ -1,0 +1,1 @@
+"""Fixture package: seeds derived from ambient process state."""

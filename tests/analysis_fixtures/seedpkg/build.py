@@ -1,0 +1,37 @@
+"""Fixture: tainted seeds reaching RNG constructors across call chains."""
+
+import numpy as np
+
+from .clock import stable_seed, wall_seed
+
+
+def direct():
+    # line 10: source and sink in one expression
+    return np.random.default_rng(int(time_like()))
+
+
+def time_like():
+    import time
+
+    return time.time()
+
+
+def interprocedural():
+    # line 20: the taint arrives through wall_seed()'s return value
+    return np.random.default_rng(wall_seed())
+
+
+def process_salted(name):
+    # line 25: hash() of a str differs between processes (PYTHONHASHSEED)
+    return np.random.default_rng(hash(name))
+
+
+def fine(base, index):
+    # Explicit inputs through a pure helper: must not fire.
+    return np.random.default_rng(stable_seed(base, index))
+
+
+def fine_laundered(names, base):
+    # sorted() launders iteration-order taint from the set.
+    ordered = sorted(set(names))
+    return np.random.default_rng(base + len(ordered))

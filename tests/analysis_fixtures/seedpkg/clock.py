@@ -1,0 +1,11 @@
+"""Fixture helper: a seed laundered through an innocent-looking helper."""
+
+import time
+
+
+def wall_seed():
+    return int(time.time())  # tainted: wall-clock read
+
+
+def stable_seed(base, index):
+    return base * 1000003 + index  # pure function of explicit inputs

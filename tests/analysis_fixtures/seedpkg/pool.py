@@ -1,0 +1,27 @@
+"""Fixture: a seeded generator escaping into pool-reachable shared state."""
+
+import numpy as np
+
+from repro.parallel import run_tasks
+
+_SHARED_RNG = np.random.default_rng(1234)
+
+
+def _jitter(value):
+    # line 12: draws from process-shared generator inside a worker's
+    # call closure — draw order depends on scheduling, not the payload.
+    return value + _SHARED_RNG.normal()
+
+
+def _worker(payload):
+    return _jitter(payload)
+
+
+def run(payloads):
+    return run_tasks(_worker, payloads)
+
+
+def fine(payload, seed):
+    # A fresh per-call generator from an explicit seed: allowed.
+    rng = np.random.default_rng(seed)
+    return payload + rng.normal()

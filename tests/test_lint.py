@@ -11,6 +11,7 @@ pyproject.toml.
 """
 
 import json
+import subprocess
 import textwrap
 from pathlib import Path
 
@@ -353,6 +354,172 @@ class TestCli:
         out = capsys.readouterr().out
         assert status == 1
         assert "parse-error" in out
+
+
+class TestSimVersionSalt:
+    """The salt-manifest workflow: record, detect drift, refresh."""
+
+    def _project(self, tmp_path):
+        root = tmp_path / "proj"
+        (root / "sim").mkdir(parents=True)
+        (root / "pyproject.toml").write_text(textwrap.dedent("""\
+            [tool.repro.lint]
+            paths = ["."]
+
+            [tool.repro.lint.sim-version-salt]
+            manifest = "salt.json"
+            watch = ["sim"]
+            version-source = "sim/version.py"
+        """))
+        (root / "sim" / "__init__.py").write_text('"""Fixture sim."""\n')
+        (root / "sim" / "version.py").write_text("SIM_VERSION = 1\n")
+        (root / "sim" / "engine.py").write_text(textwrap.dedent('''\
+            """Fixture engine under salt watch."""
+
+
+            def run(x):
+                return x + 1
+        '''))
+        return root
+
+    def test_missing_manifest_fires(self, tmp_path, capsys):
+        root = self._project(tmp_path)
+        status = main(["lint", "--config", str(root / "pyproject.toml")])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "sim-version-salt" in out
+        assert "does not exist" in out
+
+    def test_update_then_clean_then_drift(self, tmp_path, capsys):
+        root = self._project(tmp_path)
+        cfg = str(root / "pyproject.toml")
+        assert main(["lint", "--config", cfg, "--update-sim-salt"]) == 0
+        assert (root / "salt.json").is_file()
+        assert main(["lint", "--config", cfg]) == 0
+        capsys.readouterr()
+
+        # An edited watched module must fire until the manifest is
+        # refreshed (after a SIM_VERSION review).
+        engine = root / "sim" / "engine.py"
+        engine.write_text(engine.read_text() + "\n# tweaked\n")
+        assert main(["lint", "--config", cfg]) == 1
+        out = capsys.readouterr().out
+        assert "changed since the salt manifest" in out
+        assert "bump" in out and "SIM_VERSION" in out
+
+        assert main(["lint", "--config", cfg, "--update-sim-salt"]) == 0
+        assert main(["lint", "--config", cfg]) == 0
+        capsys.readouterr()
+
+    def test_new_watched_file_is_absent_from_manifest(self, tmp_path, capsys):
+        root = self._project(tmp_path)
+        cfg = str(root / "pyproject.toml")
+        assert main(["lint", "--config", cfg, "--update-sim-salt"]) == 0
+        (root / "sim" / "extra.py").write_text(
+            '"""New simulator module nobody reviewed."""\n'
+        )
+        status = main(["lint", "--config", cfg])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "sim/extra.py" in out
+        assert "absent" in out
+
+    def test_stale_recorded_version_fires_once(self, tmp_path, capsys):
+        root = self._project(tmp_path)
+        cfg = str(root / "pyproject.toml")
+        assert main(["lint", "--config", cfg, "--update-sim-salt"]) == 0
+        manifest = json.loads((root / "salt.json").read_text())
+        manifest["sim_version"] = 0  # as if recorded before a bump
+        (root / "salt.json").write_text(json.dumps(manifest))
+        status = main(["lint", "--config", cfg])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "stale" in out
+        assert out.count("sim-version-salt") == 1  # one finding, not per-file
+
+    def test_update_without_config_table_exits_2(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.lint]\npaths = [\".\"]\n"
+        )
+        (tmp_path / "mod.py").write_text('"""Empty."""\n')
+        status = main([
+            "lint", "--config", str(tmp_path / "pyproject.toml"),
+            "--update-sim-salt",
+        ])
+        assert status == 2
+        assert "sim-version-salt" in capsys.readouterr().err
+
+
+class TestLintChanged:
+    def _git(self, *argv, cwd):
+        subprocess.run(
+            ["git", *argv], cwd=cwd, check=True, capture_output=True
+        )
+
+    def _seeded_copy(self, tmp_path):
+        import shutil
+
+        root = tmp_path / "proj"
+        shutil.copytree(FIXTURES, root)
+        self._git("init", "-q", cwd=root)
+        self._git("add", "-A", cwd=root)
+        self._git(
+            "-c", "user.email=t@example.com", "-c", "user.name=t",
+            "commit", "-q", "-m", "seed", cwd=root,
+        )
+        return root
+
+    def test_changed_restricts_to_touched_files(self, tmp_path, capsys):
+        root = self._seeded_copy(tmp_path)
+        bad = root / "bad_rng.py"
+        bad.write_text(bad.read_text() + "\n# touched\n")
+        status = main([
+            "lint", "--config", str(root / "pyproject.toml"),
+            "--changed", "HEAD",
+        ])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "bad_rng.py" in out
+        assert "bad_wallclock.py" not in out  # unchanged: not reported
+
+    def test_changed_never_widens_past_configured_roots(
+        self, tmp_path, capsys
+    ):
+        """A changed file outside the lint roots (fixtures, vendored
+        code) must not be dragged into the run by --changed."""
+        root = tmp_path / "proj"
+        (root / "pkg").mkdir(parents=True)
+        (root / "scratch").mkdir()
+        (root / "pyproject.toml").write_text(
+            "[tool.repro.lint]\npaths = [\"pkg\"]\n"
+        )
+        (root / "pkg" / "mod.py").write_text('"""Clean."""\n')
+        self._git("init", "-q", cwd=root)
+        self._git("add", "-A", cwd=root)
+        self._git(
+            "-c", "user.email=t@example.com", "-c", "user.name=t",
+            "commit", "-q", "-m", "seed", cwd=root,
+        )
+        # Deliberate violation, outside the configured roots.
+        (root / "scratch" / "bad.py").write_text("import time\ntime.time()\n")
+        status = main([
+            "lint", "--config", str(root / "pyproject.toml"),
+            "--changed", "HEAD",
+        ])
+        assert status == 0
+        assert "no .py files changed" in capsys.readouterr().err
+
+    def test_changed_outside_a_repo_exits_2(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.lint]\npaths = [\".\"]\n"
+        )
+        (tmp_path / "mod.py").write_text('"""Empty."""\n')
+        status = main([
+            "lint", "--config", str(tmp_path / "pyproject.toml"),
+            "--changed", "HEAD",
+        ])
+        assert status == 2
+        assert "--changed" in capsys.readouterr().err
 
 
 class TestRepoIsClean:
